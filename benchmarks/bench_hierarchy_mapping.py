@@ -1,0 +1,114 @@
+"""E5 — hierarchy mapping: variable-format records vs separate units
+(paper §5.2).
+
+"LUCs in a tree structured generalization hierarchy are physically mapped
+into a storage unit with variable-format records...  This ensures that all
+immediate and inherited single-valued DVAs applicable to a class will be
+in one physical record."
+
+Unit operation: materialize ONE entity — every attribute from the base
+class down to the leaf — via an indexed single-entity query, cold cache.
+Under the variable-format mapping the entity's role records share one
+block (one physical read); one-unit-per-class needs one block per level.
+
+Shape claim asserted: per-entity physical reads are lower under
+variable-format for every depth >= 2, and the gap grows with depth.
+"""
+
+import pytest
+
+from repro import Database, HierarchyMapping, PhysicalDesign
+from repro.workloads import hierarchy_chain_schema, populate_hierarchy_chain
+
+from _harness import attach, cold_io
+
+ENTITIES = 40
+
+
+def build(depth: int, mapping: HierarchyMapping):
+    schema = hierarchy_chain_schema(depth)
+    design = PhysicalDesign(schema, pool_capacity=64,
+                            default_hierarchy=mapping)
+    db = Database(schema, design=design.finalize(), constraint_mode="off",
+                  use_optimizer=False)
+    surrogates = populate_hierarchy_chain(db, depth, ENTITIES)
+    return db, surrogates
+
+
+def materialize(db, surrogate: int, depth: int):
+    """Read every level's attributes of one entity through the Mapper."""
+    store = db.store
+    values = []
+    for level in range(depth):
+        sim_class = db.schema.get_class(f"level{level}")
+        attr = sim_class.attribute(f"data{level}")
+        values.append(store.read_dva(surrogate, attr))
+    return values
+
+
+def per_entity_reads(db, surrogates, depth: int) -> float:
+    total = 0
+    for surrogate in surrogates:
+        io = cold_io(db, lambda: materialize(db, surrogate, depth))
+        total += io["physical"]
+    return total / len(surrogates)
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("mapping", list(HierarchyMapping),
+                         ids=lambda m: m.value)
+def test_e5_entity_materialization(benchmark, depth, mapping):
+    db, surrogates = build(depth, mapping)
+    sample = surrogates[:10]
+
+    def operation():
+        db.cold_cache()
+        for surrogate in sample:
+            materialize(db, surrogate, depth)
+
+    benchmark(operation)
+    attach(benchmark, depth=depth, mapping=mapping.value,
+           per_entity_physical=per_entity_reads(db, sample, depth))
+
+
+def test_e5_variable_format_wins_and_gap_grows(benchmark):
+    gaps = {}
+    for depth in (2, 3, 4, 5):
+        numbers = {}
+        for mapping in HierarchyMapping:
+            db, surrogates = build(depth, mapping)
+            numbers[mapping] = per_entity_reads(db, surrogates[:10], depth)
+        assert numbers[HierarchyMapping.VARIABLE_FORMAT] <= \
+            numbers[HierarchyMapping.SEPARATE_UNITS]
+        gaps[depth] = (numbers[HierarchyMapping.SEPARATE_UNITS]
+                       - numbers[HierarchyMapping.VARIABLE_FORMAT])
+    assert gaps[5] >= gaps[2]
+    attach(benchmark, **{f"gap_depth_{k}": v for k, v in gaps.items()})
+    benchmark(lambda: None)
+
+
+def test_e5_space_claim(benchmark):
+    """§5.2: the merged mapping "is also efficient in terms of space" —
+    it never uses more blocks than one-unit-per-class."""
+    for depth in (2, 4):
+        sizes = {}
+        for mapping in HierarchyMapping:
+            db, _ = build(depth, mapping)
+            db.store.pool.flush()
+            sizes[mapping] = sum(
+                f.block_count for f in db.store._files.values())
+        assert sizes[HierarchyMapping.VARIABLE_FORMAT] <= \
+            sizes[HierarchyMapping.SEPARATE_UNITS]
+    benchmark(lambda: None)
+
+
+def test_e5_same_answers_under_both_mappings(benchmark):
+    reference = None
+    for mapping in HierarchyMapping:
+        db, _ = build(4, mapping)
+        rows = db.query("From level3 Retrieve key0, data0, data3"
+                        " Order By key0").rows
+        if reference is None:
+            reference = rows
+        assert rows == reference
+    benchmark(lambda: None)

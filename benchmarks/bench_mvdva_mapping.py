@@ -1,0 +1,141 @@
+"""E12 — MV DVA mapping: arrays vs separate units (paper §5.2).
+
+"LUCs of multi-valued DVAs without the MAX option (unbounded) are mapped
+into a separate storage unit.  Those with the MAX option are stored as
+arrays in the same physical record with their owner."
+
+Workload: a ``document`` class with an MV DVA ``tags`` (MAX-bounded, so
+both mappings are legal), population with a fixed number of tags per
+document.
+
+Shape claims asserted:
+* reading the owner's scalar fields plus the MV values costs fewer block
+  accesses under the array mapping (one record) than under the separate
+  unit (owner record + dependent records elsewhere);
+* both mappings return identical values in insertion order, and
+  INCLUDE/EXCLUDE behave identically.
+"""
+
+import pytest
+
+from repro import Database, MvDvaMapping, PhysicalDesign
+from repro.schema import (
+    AttributeOptions,
+    DataValuedAttribute,
+    Schema,
+    SimClass,
+)
+from repro.types.domain import IntegerType, StringType
+
+from _harness import attach, cold_io
+
+DOCUMENTS = 50
+TAGS = 6
+
+
+def document_schema() -> Schema:
+    schema = Schema("documents")
+    doc = SimClass("document")
+    doc.add_attribute(DataValuedAttribute(
+        "doc-key", IntegerType(), AttributeOptions(unique=True,
+                                                   required=True)))
+    doc.add_attribute(DataValuedAttribute("body", StringType(60)))
+    doc.add_attribute(DataValuedAttribute(
+        "tags", StringType(12), AttributeOptions(mv=True,
+                                                 max_cardinality=8)))
+    schema.add_class(doc)
+    return schema.resolve()
+
+
+def build(mapping: MvDvaMapping):
+    schema = document_schema()
+    design = PhysicalDesign(schema, pool_capacity=16)
+    design.override_mv_dva("document", "tags", mapping)
+    db = Database(schema, design=design.finalize(), constraint_mode="off",
+                  use_optimizer=False)
+    store = db.store
+    surrogates = []
+    for index in range(DOCUMENTS):
+        surrogates.append(store.insert_entity("document", {
+            "doc-key": index,
+            "body": f"document body {index:04d} " + "x" * 30,
+            "tags": [f"tag-{index}-{t}" for t in range(TAGS)],
+        }))
+    return db, surrogates
+
+
+def read_documents(db, surrogates):
+    store = db.store
+    body = db.schema.get_class("document").attribute("body")
+    tags = db.schema.get_class("document").attribute("tags")
+    total = 0
+    for surrogate in surrogates:
+        store.read_dva(surrogate, body)
+        total += len(store.read_dva(surrogate, tags))
+    return total
+
+
+@pytest.mark.parametrize("mapping", list(MvDvaMapping),
+                         ids=lambda m: m.value)
+def test_e12_read_owner_plus_values(benchmark, mapping):
+    db, surrogates = build(mapping)
+
+    def operation():
+        db.cold_cache()
+        return read_documents(db, surrogates)
+
+    count = benchmark(operation)
+    assert count == DOCUMENTS * TAGS
+    io = cold_io(db, lambda: read_documents(db, surrogates))
+    attach(benchmark, mapping=mapping.value, **io)
+
+
+def test_e12_array_reads_fewer_blocks(benchmark):
+    numbers = {}
+    for mapping in MvDvaMapping:
+        db, surrogates = build(mapping)
+        numbers[mapping.value] = cold_io(
+            db, lambda: read_documents(db, surrogates))["physical"]
+    assert numbers["array"] <= numbers["separate-unit"]
+    attach(benchmark, **numbers)
+    benchmark(lambda: None)
+
+
+def test_e12_identical_values_and_order(benchmark):
+    reference = None
+    for mapping in MvDvaMapping:
+        db, surrogates = build(mapping)
+        tags = db.schema.get_class("document").attribute("tags")
+        values = [db.store.read_dva(s, tags) for s in surrogates]
+        if reference is None:
+            reference = values
+        assert values == reference
+    benchmark(lambda: None)
+
+
+def test_e12_include_exclude_equivalent(benchmark):
+    for mapping in MvDvaMapping:
+        db, surrogates = build(mapping)
+        db.execute('Modify document(tags := include "extra")'
+                   ' Where doc-key = 0')
+        db.execute('Modify document(tags := exclude "tag-0-0")'
+                   ' Where doc-key = 0')
+        tags = db.schema.get_class("document").attribute("tags")
+        values = db.store.read_dva(surrogates[0], tags)
+        assert "extra" in values and "tag-0-0" not in values
+        assert len(values) == TAGS
+    benchmark(lambda: None)
+
+
+def test_e12_max_enforced_under_both(benchmark):
+    from repro.errors import CardinalityViolation
+    for mapping in MvDvaMapping:
+        db, _ = build(mapping)
+        db.execute('Modify document(tags := include "seven")'
+                   ' Where doc-key = 1')
+        db.execute('Modify document(tags := include "eight")'
+                   ' Where doc-key = 1')
+        with pytest.raises(CardinalityViolation):
+            db.execute('Modify document(tags := include "nine")'
+                       ' Where doc-key = 1')
+    benchmark(lambda: None)

@@ -1,0 +1,175 @@
+"""E6 — the optimizer (paper §5.1): strategy enumeration, cost estimates,
+and measured wins.
+
+"SIM optimizes a query by building a query graph..., enumerating
+strategies, estimating the cost of processing for each strategy and
+choosing the one with the least cost."
+
+Workload: the populated UNIVERSITY database; queries with selective
+equality predicates on indexed attributes.
+
+Shape claims asserted:
+* the optimizer's chosen plan never does more physical I/O than the naive
+  canonical scan, and wins by a growing factor as the class grows;
+* the cost model's ranking of strategies agrees with measured I/O;
+* plans preserve answers and perspective-implied ordering.
+"""
+
+import pytest
+
+from repro import parse_dml
+from repro.workloads import build_university
+
+from _harness import attach, cold_io
+
+
+def build(students: int):
+    return build_university(departments=4, instructors=12,
+                            students=students, courses=24, seed=17)
+
+
+def selective_query(db):
+    ssn = db.query("From student Retrieve soc-sec-no").rows[-1][0]
+    return (f"From student Retrieve name, name of advisor"
+            f" Where soc-sec-no = {ssn}")
+
+
+def run_with(db, text, plan):
+    query = parse_dml(text)
+    tree = db.qualifier.resolve_retrieve(query)
+    return db.executor.run(query, tree, plan)
+
+
+def chosen_plan(db, text):
+    query = parse_dml(text)
+    tree = db.qualifier.resolve_retrieve(query)
+    return db.optimizer.choose_plan(query, tree)
+
+
+@pytest.mark.parametrize("students", [40, 160])
+def test_e6_optimized_query(benchmark, students):
+    db = build(students)
+    text = selective_query(db)
+    plan = chosen_plan(db, text)
+
+    def operation():
+        db.cold_cache()
+        return run_with(db, text, plan)
+
+    result = benchmark(operation)
+    assert len(result) == 1
+    io = cold_io(db, lambda: run_with(db, text, plan))
+    attach(benchmark, students=students, plan=plan.description, **io)
+
+
+@pytest.mark.parametrize("students", [40, 160])
+def test_e6_naive_query(benchmark, students):
+    db = build(students)
+    text = selective_query(db)
+
+    def operation():
+        db.cold_cache()
+        return run_with(db, text, None)
+
+    result = benchmark(operation)
+    assert len(result) == 1
+    io = cold_io(db, lambda: run_with(db, text, None))
+    attach(benchmark, students=students, plan="canonical scan", **io)
+
+
+def test_e6_optimizer_beats_naive_and_scales(benchmark):
+    ratios = {}
+    for students in (40, 160):
+        db = build(students)
+        text = selective_query(db)
+        plan = chosen_plan(db, text)
+        assert plan.root_access["student"].kind == "index"
+        optimized = cold_io(db, lambda: run_with(db, text, plan))["physical"]
+        naive = cold_io(db, lambda: run_with(db, text, None))["physical"]
+        assert optimized <= naive
+        ratios[students] = naive / max(optimized, 1)
+    # The win grows with the extent size.
+    assert ratios[160] >= ratios[40]
+    attach(benchmark, **{f"ratio_{k}": round(v, 2)
+                         for k, v in ratios.items()})
+    benchmark(lambda: None)
+
+
+def test_e6_cost_ranking_matches_measurement(benchmark):
+    """Estimates order strategies the same way measured I/O does."""
+    db = build(160)
+    text = selective_query(db)
+    query = parse_dml(text)
+    tree = db.qualifier.resolve_retrieve(query)
+    plans = db.optimizer.enumerate_strategies(query, tree)
+
+    measured = []
+    for plan in plans:
+        io = cold_io(db, lambda: db.executor.run(query, tree, plan))
+        measured.append((plan.estimated_cost, io["physical"]))
+    by_estimate = sorted(measured, key=lambda pair: pair[0])
+    assert [physical for _, physical in by_estimate] == \
+        sorted(physical for _, physical in measured)
+    attach(benchmark, strategies=len(plans))
+    benchmark(lambda: None)
+
+
+def test_e6_plans_preserve_answers_and_order(benchmark):
+    db = build(60)
+    queries = [
+        "From student Retrieve name, name of advisor",
+        selective_query(db),
+        "From student Retrieve name, title of courses-enrolled"
+        " Where soc-sec-no >= 0 and soc-sec-no <= 999999999",
+    ]
+    for text in queries:
+        query = parse_dml(text)
+        tree = db.qualifier.resolve_retrieve(query)
+        plan = db.optimizer.choose_plan(query, tree)
+        assert db.executor.run(query, tree, plan).rows == \
+            db.executor.run(query, tree, None).rows
+    benchmark(lambda: None)
+
+
+def test_e6_explain_overhead(benchmark):
+    db = build(40)
+    text = selective_query(db)
+    benchmark(lambda: db.explain(text))
+
+
+def test_e6_statistics_ablation(benchmark):
+    """Statistical optimization (§5.1's unfinished roadmap item): with
+    ANALYZE, a value index on an effectively-unique attribute is chosen;
+    without statistics the fixed default selectivity under-sells it."""
+    from repro import Database, PhysicalDesign, parse_ddl
+    from repro.workloads import UNIVERSITY_DDL, populate_university
+
+    schema = parse_ddl(UNIVERSITY_DDL)
+    design = (PhysicalDesign(schema)
+              .add_value_index("student", "student-nbr")
+              .finalize())
+    db = Database(schema, design=design, constraint_mode="off")
+    populate_university(db, students=160, instructors=12, courses=24,
+                        seed=19)
+    nbr = db.query("From student Retrieve student-nbr").rows[-1][0]
+    text = f"From student Retrieve name, name of advisor Where student-nbr = {nbr}"
+
+    query = parse_dml(text)
+    tree = db.qualifier.resolve_retrieve(query)
+    db.optimizer.table_statistics = None
+    plan_default = db.optimizer.choose_plan(query, tree)
+    db.analyze()
+    plan_analyzed = db.optimizer.choose_plan(query, tree)
+
+    assert plan_analyzed.root_access["student"].kind == "index"
+    analyzed_io = cold_io(db, lambda: db.executor.run(query, tree,
+                                                      plan_analyzed))
+    default_io = cold_io(db, lambda: db.executor.run(query, tree,
+                                                     plan_default))
+    assert analyzed_io["physical"] <= default_io["physical"]
+    attach(benchmark,
+           default_plan=plan_default.root_access["student"].kind,
+           analyzed_plan=plan_analyzed.root_access["student"].kind,
+           default_physical=default_io["physical"],
+           analyzed_physical=analyzed_io["physical"])
+    benchmark(lambda: db.analyze())

@@ -1,0 +1,98 @@
+"""Substrate extension benchmark — WAL and crash recovery.
+
+Not a paper experiment (the paper delegates durability to DMSII); this
+measures the substrate extension documented in DESIGN.md §4:
+
+* commit-path overhead of write-ahead logging (log forces per commit);
+* crash-recovery time as a function of database size and of the amount of
+  in-flight (loser) work to undo;
+* correctness: recovered state equals the committed state.
+"""
+
+import pytest
+
+from repro import Database
+from repro.workloads import UNIVERSITY_DDL
+
+from _harness import attach
+
+
+def loaded(students: int) -> Database:
+    db = Database(UNIVERSITY_DDL, constraint_mode="off",
+                  use_optimizer=False)
+    with db.transaction():
+        db.execute('Insert course(course-no := 1, title := "Load",'
+                   ' credits := 12)')
+        for k in range(students):
+            db.execute(f'Insert student(soc-sec-no := {k + 1},'
+                       f' courses-enrolled := course with'
+                       f' (title = "Load"))')
+    return db
+
+
+@pytest.mark.parametrize("students", [25, 100])
+def test_recovery_time_scales_with_database(benchmark, students):
+    db = loaded(students)
+
+    def operation():
+        return db.simulate_crash()
+
+    stats = benchmark(operation)
+    assert stats["undone_slots"] == 0
+    assert db.store.class_count("student") == students
+    attach(benchmark, students=students)
+
+
+@pytest.mark.parametrize("inflight", [5, 50])
+def test_undo_work_scales_with_losers(benchmark, inflight):
+    counter = [0]
+
+    def operation():
+        db = loaded(20)
+        db.begin()
+        base = 1000 * (counter[0] + 1)
+        counter[0] += 1
+        for k in range(inflight):
+            db.execute(f'Insert person(soc-sec-no := {base + k})')
+        db.store.pool.flush()
+        stats = db.simulate_crash()
+        assert db.store.class_count("person") == 20
+        return stats
+
+    stats = benchmark(operation)
+    assert stats["undone_slots"] >= inflight
+    attach(benchmark, inflight=inflight, undone=stats["undone_slots"])
+
+
+def test_commit_overhead_of_wal(benchmark):
+    """Each commit costs one log force (plus the data-page flush)."""
+    db = Database(UNIVERSITY_DDL, constraint_mode="off",
+                  use_optimizer=False)
+
+    counter = [0]
+
+    def one_transaction():
+        counter[0] += 1
+        with db.transaction():
+            db.execute(f'Insert person(soc-sec-no := {counter[0]})')
+
+    benchmark(one_transaction)
+    # one force per commit (plus any eviction-driven forces)
+    assert db.store.wal.forces >= db.store.transactions.commits
+    attach(benchmark, commits=db.store.transactions.commits,
+           forces=db.store.wal.forces)
+
+
+def test_recovered_database_fully_operational(benchmark):
+    db = loaded(30)
+    db.simulate_crash()
+
+    def operation():
+        return db.query("From student Retrieve count(courses-enrolled)"
+                        " of student").rows
+
+    rows = benchmark(operation)
+    assert all(count == 1 for (count,) in rows)
+    with db.transaction():
+        db.execute('Insert person(soc-sec-no := 777777)')
+    assert db.store.class_count("person") == 31

@@ -1,0 +1,125 @@
+"""E8 — transitive closure on cyclic EVA chains (paper §4.7, example 5).
+
+Workloads: prerequisite graphs shaped as a chain, a binary tree and a
+random DAG, over a depth/size sweep.
+
+Shape claims asserted:
+* the closure visits every reachable course exactly once (set semantics,
+  even on diamonds) and never loops on cycles;
+* work grows roughly linearly with the number of reachable edges (each
+  entity's relationship instances are traversed once).
+"""
+
+import pytest
+
+from repro import Database
+from repro.workloads import UNIVERSITY_DDL
+
+from _harness import attach, cold_io
+
+
+def course_db(edges, count):
+    """Build a course graph; edges are (course, prerequisite) indexes."""
+    db = Database(UNIVERSITY_DDL, constraint_mode="off",
+                  use_optimizer=False)
+    store = db.store
+    prereq = db.schema.get_class("course").attribute("prerequisites")
+    surrogates = [store.insert_entity(
+        "course", {"course-no": k + 1, "title": f"C{k}", "credits": 1})
+        for k in range(count)]
+    for course, prerequisite in edges:
+        store.eva_include(surrogates[course], prereq,
+                          surrogates[prerequisite])
+    return db, surrogates
+
+
+def chain(depth):
+    return [(k, k + 1) for k in range(depth)], depth + 1
+
+
+def binary_tree(levels):
+    edges = []
+    count = 2 ** levels - 1
+    for node in range(count):
+        for child in (2 * node + 1, 2 * node + 2):
+            if child < count:
+                edges.append((node, child))
+    return edges, count
+
+
+def diamond_dag(layers):
+    """Each layer fully connected to the next: many shared paths."""
+    width = 3
+    edges = []
+    count = layers * width
+    for layer in range(layers - 1):
+        for upper in range(width):
+            for lower in range(width):
+                edges.append((layer * width + upper,
+                              (layer + 1) * width + lower))
+    return edges, count
+
+
+CLOSURE = ('Retrieve count distinct (transitive(prerequisites))'
+           ' Where title = "C0"')
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_e8_chain_depth_sweep(benchmark, depth):
+    edges, count = chain(depth)
+    db, _ = course_db(edges, count)
+    result = benchmark(lambda: db.query("From course " + CLOSURE).scalar())
+    assert result == depth
+    io = cold_io(db, lambda: db.query("From course " + CLOSURE))
+    attach(benchmark, depth=depth, **io)
+
+
+@pytest.mark.parametrize("levels", [3, 5, 7])
+def test_e8_tree_sweep(benchmark, levels):
+    edges, count = binary_tree(levels)
+    db, _ = course_db(edges, count)
+    result = benchmark(lambda: db.query("From course " + CLOSURE).scalar())
+    assert result == count - 1
+    attach(benchmark, levels=levels, nodes=count)
+
+
+def test_e8_dag_counts_each_node_once(benchmark):
+    edges, count = diamond_dag(4)
+    db, _ = course_db(edges, count)
+    value = benchmark(
+        lambda: db.query("From course " + CLOSURE).scalar())
+    # reachable: everything below layer 0 except C0's own layer siblings
+    assert value == count - 3
+
+def test_e8_cycle_terminates(benchmark):
+    edges = [(0, 1), (1, 2), (2, 0)]
+    db, _ = course_db(edges, 3)
+    value = benchmark(
+        lambda: db.query("From course " + CLOSURE).scalar())
+    assert value == 2  # everything reachable except the start itself
+
+
+def test_e8_levels_in_structured_output(benchmark):
+    edges, count = chain(5)
+    db, _ = course_db(edges, count)
+    result = db.query('Retrieve Structure Title of'
+                      ' Transitive(prerequisites) of Course'
+                      ' Where Title of Course = "C0"')
+    levels = [record.level for record in result.structured
+              if record.format_name == "prerequisites"]
+    assert levels == [1, 2, 3, 4, 5]
+    benchmark(lambda: None)
+
+
+def test_e8_linear_scaling(benchmark):
+    """Closure I/O grows sub-quadratically in chain depth."""
+    io_by_depth = {}
+    for depth in (16, 64):
+        edges, count = chain(depth)
+        db, _ = course_db(edges, count)
+        io_by_depth[depth] = cold_io(
+            db, lambda: db.query("From course " + CLOSURE))["logical"]
+    # 4x the depth should cost well under 16x the logical reads.
+    assert io_by_depth[64] < 8 * io_by_depth[16]
+    attach(benchmark, **{str(k): v for k, v in io_by_depth.items()})
+    benchmark(lambda: None)

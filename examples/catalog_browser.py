@@ -1,0 +1,52 @@
+"""Browsing the Directory: the catalog is itself a SIM database (§6).
+
+The paper notes that ADDS, the data dictionary, "is itself a SIM
+database".  Here the UNIVERSITY schema is loaded into the meta-schema and
+explored with ordinary SIM DML — then the IQF-style session does the same
+interactively.
+
+Run:  python examples/catalog_browser.py
+"""
+
+from repro import parse_ddl
+from repro.directory import build_catalog
+from repro.interfaces import run_script
+from repro.workloads import UNIVERSITY_DDL
+
+
+def main():
+    schema = parse_ddl(UNIVERSITY_DDL)
+    catalog = build_catalog(schema)
+
+    queries = [
+        ("Base classes",
+         "From db-class Retrieve name, subclass-count"
+         " Where is-base = true Order By name"),
+        ("The generalization DAG",
+         "From db-class Retrieve name, name of superclasses"
+         " Order By name"),
+        ("Multi-valued EVAs and their bounds",
+         'From db-attribute Retrieve name of owner, name, max-cardinality'
+         ' Where kind = "eva" and mv = true Order By name of owner, name'),
+        ("Inverse pairs",
+         'From db-attribute Retrieve name, name of inverse-attr'
+         ' Where kind = "eva" Order By name'),
+        ("Integrity constraints",
+         "From db-constraint Retrieve name, name of on-class, message"),
+        ("Attribute counts per class",
+         "From db-class Retrieve name, count(attributes) of db-class"
+         " Order By name"),
+    ]
+    for title, text in queries:
+        print(f"== {title} ==")
+        print(catalog.query(text).pretty(), "\n")
+
+    print("== The same catalog through an IQF session ==")
+    print(run_script(catalog, """
+.classes
+From db-class Retrieve name Where level = 2;
+"""))
+
+
+if __name__ == "__main__":
+    main()

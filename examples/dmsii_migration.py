@@ -1,0 +1,89 @@
+"""DMSII evolution: viewing a network-model database as SIM (paper §5).
+
+An "existing" inventory application lives in a network-model database —
+record types connected by owner/member sets, with a foreign-key field the
+network schema cannot express as a relationship.  The import utility views
+it as a SIM database: record types become classes, sets become EVA pairs,
+and the user hint promotes the foreign key to an EVA, after which SIM DML
+(including qualification through the new EVAs) works directly.
+
+Run:  python examples/dmsii_migration.py
+"""
+
+from repro.interfaces import (
+    NetworkDatabase,
+    NetworkRecordType,
+    NetworkSet,
+    import_network_database,
+)
+
+
+def build_legacy_database() -> NetworkDatabase:
+    net = NetworkDatabase("inventory")
+    net.add_record_type(NetworkRecordType(
+        "warehouse",
+        {"wh-id": "integer", "city": "string[20]", "sqft": "integer"},
+        key_field="wh-id"))
+    net.add_record_type(NetworkRecordType(
+        "bin",
+        {"bin-id": "integer", "aisle": "integer", "capacity": "integer"},
+        key_field="bin-id"))
+    net.add_record_type(NetworkRecordType(
+        "item",
+        {"item-id": "integer", "descr": "string[30]", "qty": "integer",
+         "wh": "integer"},       # <- foreign key the network model hides
+        key_field="item-id"))
+    net.add_set(NetworkSet("wh-bins", "warehouse", "bin"))
+
+    warehouses = [net.store("warehouse", {"wh-id": 1, "city": "Irvine",
+                                          "sqft": 90000}),
+                  net.store("warehouse", {"wh-id": 2, "city": "Detroit",
+                                          "sqft": 40000})]
+    for bin_id, (wh, aisle, cap) in enumerate(
+            [(0, 1, 50), (0, 2, 70), (1, 1, 30)], start=100):
+        member = net.store("bin", {"bin-id": bin_id, "aisle": aisle,
+                                   "capacity": cap})
+        net.connect("wh-bins", warehouses[wh], member)
+    for item_id, (descr, qty, wh) in enumerate(
+            [("widget", 500, 1), ("sprocket", 120, 2),
+             ("gear", 640, 2), ("flange", 75, 1)], start=10):
+        net.store("item", {"item-id": item_id, "descr": descr,
+                           "qty": qty, "wh": wh})
+    return net
+
+
+def main():
+    legacy = build_legacy_database()
+    print("== Legacy network database ==")
+    for type_name in legacy.record_types:
+        print(f"  {type_name}: {len(legacy.records(type_name))} records")
+    print("  sets:", ", ".join(legacy.sets))
+
+    print("\n== Importing as a SIM database ==")
+    print("user hint: item.wh is a foreign key referencing warehouse")
+    db = import_network_database(
+        legacy,
+        foreign_keys={("item", "wh"): "warehouse"},
+    )
+    print("resulting schema:")
+    print(db.schema.ddl())
+
+    print("\n== SIM DML over the migrated data ==")
+    queries = [
+        # The promoted foreign key is now an EVA: qualify through it.
+        'From item Retrieve descr, qty, city of wh Order By descr',
+        # The network set became an EVA pair on both sides.
+        'From warehouse Retrieve city, count(wh-bins-members) of warehouse',
+        # Inverse direction of the promoted key.
+        'From warehouse Retrieve city, count(wh-of) of warehouse',
+        # A join the network application would have hand-coded.
+        'From item Retrieve descr'
+        ' Where count(wh-bins-members) of wh >= 2',
+    ]
+    for text in queries:
+        print(f"-- {text}")
+        print(db.query(text).pretty(), "\n")
+
+
+if __name__ == "__main__":
+    main()

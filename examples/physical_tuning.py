@@ -1,0 +1,84 @@
+"""Physical design tuning: measuring the §5.2 mapping options.
+
+"The mapping of EVAs is the key factor in determining SIM's performance."
+
+This example builds the same 1:many workload under each EVA mapping —
+common structure, dedicated structure, clustered, pointer — and under both
+hierarchy mappings, then reports cold-cache block I/O for the same
+traversal query, exactly the terms the paper's §5.1/§5.2 cost discussion
+uses.
+
+Run:  python examples/physical_tuning.py
+"""
+
+from repro import Database, EvaMapping, HierarchyMapping, PhysicalDesign
+from repro.workloads import (
+    fanout_schema,
+    hierarchy_chain_schema,
+    populate_fanout,
+    populate_hierarchy_chain,
+)
+
+
+def eva_mapping_comparison(owners=40, fanout=12):
+    print(f"== EVA mapping comparison ({owners} owners x {fanout} members,"
+          f" cold cache) ==")
+    print(f"{'mapping':<12} {'logical':>8} {'physical':>9}")
+    for mapping in (EvaMapping.COMMON, EvaMapping.DEDICATED,
+                    EvaMapping.CLUSTERED, EvaMapping.POINTER):
+        schema = fanout_schema()
+        design = PhysicalDesign(schema, pool_capacity=64)
+        design.override_eva("owner", "members", mapping)
+        db = Database(schema, design=design.finalize(),
+                      constraint_mode="off", use_optimizer=False)
+        populate_fanout(db, owners, fanout)
+        db.cold_cache()
+        db.reset_io_stats()
+        result = db.query(
+            "From owner Retrieve owner-key, member-key of members")
+        stats = db.io_stats
+        assert len(result) == owners * fanout
+        print(f"{mapping.value:<12} {stats.logical_reads:>8}"
+              f" {stats.physical_reads:>9}")
+    print()
+
+
+def hierarchy_mapping_comparison(depth=5, entities=60):
+    print(f"== Hierarchy mapping comparison (depth {depth}, "
+          f"{entities} entities, cold cache) ==")
+    print("query: read an inherited level-0 attribute from the leaf class")
+    print(f"{'mapping':<18} {'logical':>8} {'physical':>9}")
+    for mapping in (HierarchyMapping.VARIABLE_FORMAT,
+                    HierarchyMapping.SEPARATE_UNITS):
+        schema = hierarchy_chain_schema(depth)
+        design = PhysicalDesign(schema, pool_capacity=64,
+                                default_hierarchy=mapping)
+        db = Database(schema, design=design.finalize(),
+                      constraint_mode="off", use_optimizer=False)
+        populate_hierarchy_chain(db, depth, entities)
+        db.cold_cache()
+        db.reset_io_stats()
+        leaf = f"level{depth - 1}"
+        result = db.query(f"From {leaf} Retrieve data0, data{depth - 1}")
+        stats = db.io_stats
+        assert len(result) == entities
+        print(f"{mapping.value:<18} {stats.logical_reads:>8}"
+              f" {stats.physical_reads:>9}")
+    print()
+
+
+def design_report():
+    print("== The default design for the UNIVERSITY schema ==")
+    from repro.workloads import UNIVERSITY_DDL
+    db = Database(UNIVERSITY_DDL)
+    print(db.design.describe())
+
+
+def main():
+    eva_mapping_comparison()
+    hierarchy_mapping_comparison()
+    design_report()
+
+
+if __name__ == "__main__":
+    main()

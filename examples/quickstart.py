@@ -1,0 +1,94 @@
+"""Quickstart: the UNIVERSITY database of the paper, end to end.
+
+Defines the §7 schema, inserts the paper's worked examples through SIM
+DML, and runs the queries from §4 — including the outer-join behaviour of
+the perspective semantics, transitive closure and aggregates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+from repro.workloads import UNIVERSITY_DDL
+
+
+def main():
+    db = Database(UNIVERSITY_DDL, constraint_mode="off")
+
+    print("== Loading the UNIVERSITY database (paper section 7) ==")
+    statements = [
+        'Insert department(dept-nbr := 100, name := "Physics")',
+        'Insert department(dept-nbr := 200, name := "Math")',
+        'Insert instructor(name := "Joe Bloke", soc-sec-no := 111223333,'
+        ' employee-nbr := 1729, salary := 50000,'
+        ' assigned-department := department with (name = "Physics"))',
+        'Insert instructor(name := "Jane Roe", soc-sec-no := 222334444,'
+        ' employee-nbr := 1730, salary := 60000, bonus := 5000,'
+        ' assigned-department := department with (name = "Math"))',
+        'Insert course(course-no := 101, title := "Algebra I",'
+        ' credits := 3)',
+        'Insert course(course-no := 102, title := "Calculus I",'
+        ' credits := 4)',
+        'Insert course(course-no := 201,'
+        ' title := "Quantum Chromodynamics", credits := 5)',
+        'Modify course(prerequisites := include course with'
+        ' (title = "Algebra I")) Where title = "Calculus I"',
+        'Modify course(prerequisites := include course with'
+        ' (title = "Calculus I")) Where title = "Quantum Chromodynamics"',
+        # Paper example 1: insert John Doe and enroll him in Algebra I.
+        'Insert student(name := "John Doe", soc-sec-no := 456887766,'
+        ' courses-enrolled := course with (title = "Algebra I"),'
+        ' advisor := instructor with (name = "Joe Bloke"))',
+        'Insert student(name := "Lone Wolf", soc-sec-no := 999887766)',
+        # Paper example 2: make John Doe an instructor too.
+        'Insert instructor From person Where name = "John Doe"'
+        ' (employee-nbr := 1731)',
+    ]
+    for statement in statements:
+        db.execute(statement)
+    print(f"loaded; schema statistics: {db.schema.statistics()}\n")
+
+    def show(title, text):
+        print(f"-- {title}")
+        print(f"   {' '.join(text.split())}")
+        print(db.query(text).pretty(), "\n")
+
+    show("The paper's first query (outer join: Lone Wolf gets a null "
+         "advisor)",
+         "From Student Retrieve Name, Name of Advisor")
+
+    show("Shorthand qualification: 'Salary' completes to salary of "
+         "advisor",
+         "From Student Retrieve Name of Advisor, Salary")
+
+    show("Subroles: which roles does each person hold?",
+         "From person Retrieve name, profession")
+
+    show("Transitive closure (paper example 5)",
+         'Retrieve Title of Transitive(prerequisites) of Course'
+         ' Where Title of Course = "Quantum Chromodynamics"')
+
+    show("Aggregates with delimited scope (paper section 4.6)",
+         "From Department Retrieve name,"
+         " AVG(Salary of Instructors-employed) of Department")
+
+    print("-- Update: John drops Algebra I (paper example 3)")
+    db.execute('Modify student('
+               ' courses-enrolled := exclude courses-enrolled with'
+               ' (title = "Algebra I"))'
+               ' Where name of student = "John Doe"')
+    show("...afterwards",
+         "From student Retrieve name,"
+         " count(courses-enrolled) of student")
+
+    print("-- Delete semantics: deleting the STUDENT role keeps PERSON")
+    db.execute('Delete student Where name = "John Doe"')
+    show("John is still a person (and an instructor)",
+         'From person Retrieve name, profession Where name = "John Doe"')
+
+    print("-- The optimizer's report for a selective query")
+    print(db.explain(
+        "From person Retrieve name Where soc-sec-no = 999887766"))
+
+
+if __name__ == "__main__":
+    main()

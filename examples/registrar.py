@@ -1,0 +1,108 @@
+"""Registrar workflow: transactions and VERIFY integrity enforcement.
+
+A registration clerk enrolls students under the paper's V1 constraint
+("sum(credits of courses-enrolled) >= 12") and V2 ("salary + bonus <
+100000"), showing:
+
+* immediate mode — a violating statement rolls back by itself;
+* deferred mode — a transaction may pass through invalid intermediate
+  states as long as COMMIT sees a consistent database;
+* trigger detection — changing a course's CREDITS re-checks exactly the
+  students enrolled in it.
+
+Run:  python examples/registrar.py
+"""
+
+from repro import ConstraintViolation, Database
+from repro.workloads import UNIVERSITY_DDL
+
+
+def build(mode):
+    db = Database(UNIVERSITY_DDL, constraint_mode=mode)
+    db.execute('Insert department(dept-nbr := 100, name := "Physics")')
+    for number, title, credits in [(101, "Mechanics", 6),
+                                   (102, "Optics", 6),
+                                   (103, "Seminar", 2)]:
+        db.execute(f'Insert course(course-no := {number},'
+                   f' title := "{title}", credits := {credits})')
+    return db
+
+
+def immediate_mode():
+    print("== Immediate checking ==")
+    db = build("immediate")
+
+    print("Enrolling Ada in Mechanics + Optics (12 credits): ", end="")
+    db.execute('Insert student(name := "Ada", soc-sec-no := 1,'
+               ' courses-enrolled := course with (credits = 6))')
+    print("accepted")
+
+    print("Enrolling Bob in just the Seminar (2 credits):     ", end="")
+    try:
+        db.execute('Insert student(name := "Bob", soc-sec-no := 2,'
+                   ' courses-enrolled := course with'
+                   ' (title = "Seminar"))')
+    except ConstraintViolation as exc:
+        print(f"rejected -> {exc.user_message}")
+    print("Students now:", db.query("From student Retrieve name").column(0))
+
+    print("Shrinking Mechanics to 3 credits (Ada would drop to 9): ",
+          end="")
+    try:
+        db.execute('Modify course(credits := 3)'
+                   ' Where title = "Mechanics"')
+    except ConstraintViolation as exc:
+        print(f"rejected -> {exc.user_message}")
+    print("Trigger statistics:", db.constraints.statistics())
+    print()
+
+
+def deferred_mode():
+    print("== Deferred checking (repair before commit) ==")
+    db = build("deferred")
+    with db.transaction():
+        # Temporarily invalid: a brand-new student has 0 credits.
+        db.execute('Insert student(name := "Cleo", soc-sec-no := 3)')
+        print("inside transaction: Cleo enrolled in nothing yet")
+        db.execute('Modify student(courses-enrolled := include course'
+                   ' with (credits = 6)) Where name = "Cleo"')
+        print("inside transaction: Cleo repaired to 12 credits")
+    print("committed; Cleo's credits:",
+          db.query('From student Retrieve sum(credits of courses-enrolled)'
+                   ' of student Where name = "Cleo"').scalar())
+
+    print("An unrepaired transaction fails at COMMIT and rolls back:")
+    try:
+        with db.transaction():
+            db.execute('Insert student(name := "Dan", soc-sec-no := 4)')
+    except ConstraintViolation as exc:
+        print(f"  commit rejected -> {exc.user_message}")
+    print("  students now:",
+          db.query("From student Retrieve name").column(0))
+    print()
+
+
+def salary_cap():
+    print("== V2: the salary cap ==")
+    db = build("immediate")
+    db.execute('Insert instructor(name := "Prof", soc-sec-no := 9,'
+               ' employee-nbr := 1001, salary := 80000, bonus := 10000)')
+    print("Doubling Prof's salary: ", end="")
+    try:
+        db.execute('Modify instructor(salary := 2 * salary)'
+                   ' Where name = "Prof"')
+    except ConstraintViolation as exc:
+        print(f"rejected -> {exc.user_message}")
+    print("salary is unchanged:",
+          db.query('From instructor Retrieve salary'
+                   ' Where name = "Prof"').scalar())
+
+
+def main():
+    immediate_mode()
+    deferred_mode()
+    salary_cap()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — a from-scratch reproduction of SIM, the Semantic Information
+Manager (Jagannathan et al., SIGMOD 1988).
+
+Public API highlights:
+
+* :class:`repro.Database` — open a schema (DDL text or a built
+  :class:`repro.schema.Schema`) and run SIM DML;
+* :func:`repro.parse_ddl` / :func:`repro.parse_dml` — the two languages;
+* :class:`repro.PhysicalDesign` — the §5.2 physical mapping options;
+* :mod:`repro.workloads` — the UNIVERSITY database of the paper's §7 and
+  synthetic workload generators;
+* :mod:`repro.baseline` — a small relational engine used as the
+  comparison baseline in the benchmarks.
+"""
+
+from repro.database import Database
+from repro.dml.parser import parse_dml, parse_expression
+from repro.errors import (
+    CardinalityViolation,
+    ConstraintViolation,
+    DDLSyntaxError,
+    DMLSyntaxError,
+    IntegrityError,
+    QualificationError,
+    RequiredViolation,
+    SchemaError,
+    SimError,
+    UniquenessViolation,
+)
+from repro.mapper.physical import (
+    EvaMapping,
+    HierarchyMapping,
+    MvDvaMapping,
+    PhysicalDesign,
+    SurrogateKeyKind,
+)
+from repro.engine.sessions import LockConflict, Session
+from repro.schema.ddl_parser import parse_ddl
+from repro.schema.schema import Schema
+from repro.types.tvl import NULL, UNKNOWN
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "parse_dml",
+    "parse_expression",
+    "parse_ddl",
+    "Schema",
+    "PhysicalDesign",
+    "EvaMapping",
+    "HierarchyMapping",
+    "MvDvaMapping",
+    "SurrogateKeyKind",
+    "Session",
+    "LockConflict",
+    "NULL",
+    "UNKNOWN",
+    "SimError",
+    "SchemaError",
+    "DDLSyntaxError",
+    "DMLSyntaxError",
+    "QualificationError",
+    "IntegrityError",
+    "ConstraintViolation",
+    "UniquenessViolation",
+    "RequiredViolation",
+    "CardinalityViolation",
+    "__version__",
+]

@@ -1,0 +1,90 @@
+"""Command-line entry point: an IQF-style session over a SIM database.
+
+Usage::
+
+    python -m repro schema.ddl                  # REPL over an empty db
+    python -m repro schema.ddl --load data.dml  # run a DML script first
+    python -m repro schema.ddl -c "From c Retrieve x"   # one statement
+    python -m repro --university                # the paper's demo database
+
+Inside the REPL, ``.help`` lists the dot-commands (``.schema``,
+``.classes``, ``.stats``, ``.design``, ``.explain``, ``.io``, ``.quit``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.database import Database
+from repro.errors import SimError
+from repro.interfaces.iqf import IQFSession
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SIM (SIGMOD 1988) — semantic database REPL")
+    parser.add_argument("schema", nargs="?",
+                        help="DDL file defining the database schema, or a"
+                             " .simdb file saved with .save / db.save()")
+    parser.add_argument("--university", action="store_true",
+                        help="open the paper's populated UNIVERSITY demo")
+    parser.add_argument("--load", metavar="SCRIPT",
+                        help="DML script to run before the session")
+    parser.add_argument("-c", "--command", action="append", default=[],
+                        metavar="STATEMENT",
+                        help="run a statement and exit (repeatable)")
+    parser.add_argument("--constraint-mode", default="immediate",
+                        choices=["immediate", "deferred", "off"],
+                        help="VERIFY checking mode (default: immediate)")
+    parser.add_argument("--no-optimizer", action="store_true",
+                        help="always use the canonical nested-loop strategy")
+    return parser
+
+
+def open_database(args) -> Database:
+    if args.university:
+        from repro.workloads import build_university
+        return build_university(constraint_mode=args.constraint_mode,
+                                use_optimizer=not args.no_optimizer)
+    if not args.schema:
+        raise SystemExit("error: provide a DDL file or --university "
+                         "(see --help)")
+    if args.schema.endswith(".simdb"):
+        return Database.open(args.schema)
+    with open(args.schema) as handle:
+        ddl = handle.read()
+    return Database(ddl, constraint_mode=args.constraint_mode,
+                    use_optimizer=not args.no_optimizer)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        database = open_database(args)
+    except (OSError, SimError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    session = IQFSession(database)
+    if args.load:
+        try:
+            with open(args.load) as handle:
+                session.run(handle)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    if args.command:
+        for statement in args.command:
+            session.handle(statement)
+        return 0
+
+    print("SIM repl — .help for commands, .quit to leave")
+    session.run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

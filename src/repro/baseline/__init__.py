@@ -1,0 +1,13 @@
+"""Baseline systems the paper compares against conceptually.
+
+The paper's §1 argues the relational model "requires that concepts of an
+application be fragmented to suit the model", forcing artificial joins.
+:mod:`repro.baseline.relational` implements a small relational engine —
+heap tables, hash indexes, scan/select/join/outer-join operators — over
+the *same* block storage substrate as SIM, so query answers and block-I/O
+counts are directly comparable (experiment E7).
+"""
+
+from repro.baseline.relational import RelationalDatabase, load_university_relational
+
+__all__ = ["RelationalDatabase", "load_university_relational"]

@@ -1,0 +1,241 @@
+"""The public Database facade: open a schema, run DML, manage transactions.
+
+Typical use::
+
+    from repro import Database
+
+    db = Database(ddl_text)
+    db.execute('Insert person(name := "Ada", soc-sec-no := 1)')
+    result = db.query("From person Retrieve name")
+    print(result.pretty())
+
+The facade wires together the architecture of the paper's Figure 1: the
+Parser (:mod:`repro.dml`), the Directory/catalog, the LUC Mapper
+(:mod:`repro.mapper`) and the Query Driver (:mod:`repro.engine`), with an
+optional Optimizer plan (:mod:`repro.optimizer`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional, Union
+
+from repro.dml.ast import RetrieveQuery
+from repro.dml.parser import parse_dml
+from repro.dml.qualification import Qualifier
+from repro.engine.constraints import ConstraintManager
+from repro.engine.executor import QueryExecutor
+from repro.engine.output import ResultSet
+from repro.engine.updates import UpdateEngine
+from repro.errors import SimError
+from repro.mapper.physical import PhysicalDesign
+from repro.mapper.store import MapperStore
+from repro.schema.ddl_parser import parse_ddl
+from repro.schema.schema import Schema
+
+
+class Database:
+    """One SIM database: a resolved schema bound to a Mapper store."""
+
+    def __init__(self, schema: Union[str, Schema],
+                 design: Optional[PhysicalDesign] = None,
+                 constraint_mode: str = "immediate",
+                 use_optimizer: bool = True,
+                 track_history: bool = False):
+        if isinstance(schema, str):
+            schema = parse_ddl(schema)
+        elif not schema.resolved:
+            schema.resolve()
+        self.schema = schema
+        self.store = MapperStore(schema, design)
+        if track_history:
+            self.store.enable_history()
+        self.design = self.store.design
+        self.qualifier = Qualifier(schema)
+        self.executor = QueryExecutor(self.store, self.qualifier)
+        self.constraints = ConstraintManager(self.executor, constraint_mode)
+        self.updates = UpdateEngine(self.executor, self.constraints)
+        self.use_optimizer = use_optimizer
+        self._optimizer = None
+
+    # -- Statements ---------------------------------------------------------------
+
+    def execute(self, statement: Union[str, object]):
+        """Run one DML statement.
+
+        Returns a :class:`ResultSet` for Retrieve and the affected-entity
+        count for updates.
+        """
+        if isinstance(statement, str):
+            statement = parse_dml(statement)
+        if isinstance(statement, RetrieveQuery):
+            return self._run_retrieve(statement)
+        return self.updates.execute(statement)
+
+    def query(self, text: str) -> ResultSet:
+        """Run a Retrieve statement and return its result set."""
+        statement = parse_dml(text) if isinstance(text, str) else text
+        if not isinstance(statement, RetrieveQuery):
+            raise SimError("query() takes a Retrieve statement")
+        return self._run_retrieve(statement)
+
+    def _run_retrieve(self, query: RetrieveQuery) -> ResultSet:
+        tree = self.qualifier.resolve_retrieve(query)
+        plan = None
+        if self.use_optimizer:
+            plan = self.optimizer.choose_plan(query, tree)
+        return self.executor.run(query, tree, plan)
+
+    def explain(self, text: str) -> str:
+        """The optimizer's strategy report for a Retrieve statement."""
+        query = parse_dml(text) if isinstance(text, str) else text
+        if not isinstance(query, RetrieveQuery):
+            raise SimError("explain() takes a Retrieve statement")
+        tree = self.qualifier.resolve_retrieve(query)
+        return self.optimizer.explain(query, tree)
+
+    @property
+    def optimizer(self):
+        if self._optimizer is None:
+            from repro.optimizer.strategies import Optimizer
+            self._optimizer = Optimizer(self)
+        return self._optimizer
+
+    def analyze(self):
+        """Collect optimizer statistics (the ANALYZE pass; paper §5.1's
+        "statistical optimization").  Returns the TableStatistics."""
+        from repro.optimizer.statistics import analyze
+        statistics = analyze(self.store)
+        self.optimizer.table_statistics = statistics
+        return statistics
+
+    # -- Transactions ---------------------------------------------------------------
+
+    def begin(self) -> None:
+        self.store.transactions.begin()
+
+    def commit(self) -> None:
+        self.constraints.before_commit()
+        self.store.transactions.commit()
+
+    def abort(self) -> None:
+        self.constraints.reset_deferred()
+        self.store.transactions.abort()
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """``with db.transaction(): ...`` — commit on success, abort on
+        error (including deferred-constraint failures)."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.abort()
+            raise
+        else:
+            try:
+                self.commit()
+            except BaseException:
+                if self.store.transactions.in_transaction():
+                    self.abort()
+                raise
+
+    # -- Introspection -----------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        stats = dict(self.schema.statistics())
+        stats.update(self.constraints.statistics())
+        stats["io"] = repr(self.store.io_stats())
+        return stats
+
+    @property
+    def io_stats(self):
+        return self.store.io_stats()
+
+    def reset_io_stats(self) -> None:
+        self.store.reset_io_stats()
+
+    def cold_cache(self) -> None:
+        self.store.cold_cache()
+
+    # -- Temporal history (paper §6) ------------------------------------------------
+
+    @property
+    def clock(self) -> int:
+        """The logical clock (ticks once per update statement) when
+        history tracking is on."""
+        self._require_history()
+        return self.store.history.clock
+
+    def attribute_history(self, surrogate: int, attr_name: str):
+        """All recorded changes of one entity's attribute, oldest first."""
+        self._require_history()
+        return self.store.history.attribute_history(surrogate, attr_name)
+
+    def role_history(self, surrogate: int):
+        self._require_history()
+        return self.store.history.role_history(surrogate)
+
+    def value_as_of(self, surrogate: int, class_name: str, attr_name: str,
+                    tick: int):
+        """An attribute's value as it stood at the end of statement
+        ``tick`` — a single value for DVAs, a list for MV DVAs and EVAs."""
+        self._require_history()
+        attr = self.schema.get_class(class_name).attribute(attr_name)
+        journal = self.store.history
+        if attr.is_eva:
+            current = (self.store.eva_targets(surrogate, attr)
+                       if self.store.has_role(surrogate, attr.owner_name)
+                       else [])
+            return journal.collection_as_of(surrogate, attr.name, tick,
+                                            current)
+        if attr.multi_valued:
+            current = (self.store.read_dva(surrogate, attr)
+                       if self.store.has_role(surrogate, attr.owner_name)
+                       else [])
+            return journal.collection_as_of(surrogate, attr.name, tick,
+                                            current)
+        from repro.types.tvl import NULL
+        current = (self.store.read_dva(surrogate, attr)
+                   if self.store.has_role(surrogate, attr.owner_name)
+                   else NULL)
+        return journal.scalar_as_of(surrogate, attr.name, tick, current)
+
+    def had_role_at(self, surrogate: int, class_name: str,
+                    tick: int) -> bool:
+        self._require_history()
+        return self.store.history.had_role_at(
+            surrogate, class_name, tick,
+            self.store.has_role(surrogate, class_name))
+
+    def _require_history(self):
+        if self.store.history is None:
+            raise SimError(
+                "history tracking is off; open the database with "
+                "track_history=True")
+
+    def simulate_crash(self) -> dict:
+        """Lose all volatile state and recover from disk + log.
+
+        Committed transactions survive; the in-flight transaction (if any)
+        is undone from the write-ahead log's before-images.  Returns
+        recovery statistics.
+        """
+        self.constraints.reset_deferred()
+        return self.store.simulate_crash()
+
+    # -- Persistence ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist the database to a file (see :mod:`repro.persistence`)."""
+        from repro.persistence import save_database
+        save_database(self, path)
+
+    @classmethod
+    def open(cls, path: str) -> "Database":
+        """Open a database file written by :meth:`save`."""
+        from repro.persistence import open_database
+        return open_database(path)
+
+    def __repr__(self):
+        return f"<Database {self.schema.name}>"

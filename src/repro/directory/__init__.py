@@ -1,0 +1,11 @@
+"""The Directory (catalog) Manager (paper Figure 1, §6).
+
+The paper's data dictionary ADDS "is itself a SIM database"; in the same
+spirit, :func:`repro.directory.catalog.build_catalog` renders any resolved
+schema as a SIM database over a meta-schema, so the catalog can be queried
+with ordinary SIM DML.
+"""
+
+from repro.directory.catalog import META_DDL, build_catalog
+
+__all__ = ["META_DDL", "build_catalog"]

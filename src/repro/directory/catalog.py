@@ -1,0 +1,130 @@
+"""The catalog as a SIM database.
+
+``META_DDL`` defines the meta-schema — classes describing classes,
+attributes and constraints, with EVAs for ownership, inheritance, EVA
+ranges and inverse pairing.  :func:`build_catalog` populates a meta
+database from any resolved user schema; the result answers DML queries
+like::
+
+    From db-class Retrieve name Where is-base = true
+    From db-attribute Retrieve name of owner, name
+        Where kind = "eva" and mv = true
+"""
+
+from __future__ import annotations
+
+from repro.database import Database
+from repro.schema.schema import Schema
+
+META_DDL = """
+(* Meta-schema: the catalog is itself a SIM database (paper section 6). *)
+
+Class Db-Class (
+  name: string[60] unique required;
+  is-base: boolean required;
+  level: integer required;
+  subclass-count: integer;
+  superclasses: db-class inverse is subclasses mv;
+  subclasses: db-class inverse is superclasses mv;
+  attributes: db-attribute inverse is owner mv );
+
+Class Db-Attribute (
+  name: string[60] required;
+  kind: string[10] required;          (* dva, eva, subrole, surrogate *)
+  type-name: string[40];
+  required-option: boolean;
+  unique-option: boolean;
+  mv: boolean;
+  distinct-option: boolean;
+  max-cardinality: integer;
+  owner: db-class inverse is attributes;
+  range: db-class inverse is range-of;
+  inverse-attr: db-attribute inverse is inverse-attr );
+
+Class Db-Constraint (
+  name: string[60] unique required;
+  assertion: string[400];
+  message: string[200];
+  on-class: db-class inverse is constraints );
+"""
+
+
+def build_catalog(schema: Schema) -> Database:
+    """Populate a catalog database describing ``schema``."""
+    if not schema.resolved:
+        raise ValueError("catalog needs a resolved schema")
+    catalog = Database(META_DDL, constraint_mode="off", use_optimizer=False)
+    store = catalog.store
+    meta = catalog.schema
+
+    class_meta = meta.get_class("db-class")
+    attr_meta = meta.get_class("db-attribute")
+    constraint_meta = meta.get_class("db-constraint")
+    superclasses_eva = class_meta.attribute("superclasses")
+    attributes_eva = attr_meta.attribute("owner")
+    range_eva = attr_meta.attribute("range")
+    inverse_eva = attr_meta.attribute("inverse-attr")
+    on_class_eva = constraint_meta.attribute("on-class")
+
+    class_surrogate = {}
+    for sim_class in schema.classes():
+        class_surrogate[sim_class.name] = store.insert_entity("db-class", {
+            "name": sim_class.name,
+            "is-base": sim_class.is_base,
+            "level": sim_class.level,
+            "subclass-count": len(sim_class.subclass_names),
+        })
+    for sim_class in schema.classes():
+        for super_name in sim_class.superclass_names:
+            store.eva_include(class_surrogate[sim_class.name],
+                              superclasses_eva,
+                              class_surrogate[super_name])
+
+    attr_surrogate = {}
+    for sim_class in schema.classes():
+        for attr in sim_class.immediate_attributes.values():
+            if attr.is_eva:
+                kind = "eva"
+            elif attr.is_subrole:
+                kind = "subrole"
+            elif attr.is_surrogate:
+                kind = "surrogate"
+            else:
+                kind = "dva"
+            surrogate = store.insert_entity("db-attribute", {
+                "name": attr.name,
+                "kind": kind,
+                "type-name": (None if attr.is_eva
+                              else attr.data_type.ddl()[:40]),
+                "required-option": attr.options.required,
+                "unique-option": attr.options.unique,
+                "mv": attr.options.mv,
+                "distinct-option": attr.options.distinct,
+                "max-cardinality": attr.options.max_cardinality,
+            })
+            attr_surrogate[(sim_class.name, attr.name)] = surrogate
+            store.eva_include(surrogate, attributes_eva,
+                              class_surrogate[sim_class.name])
+            if attr.is_eva:
+                store.eva_include(surrogate, range_eva,
+                                  class_surrogate[attr.range_class_name])
+    # Pair inverse attributes (second pass, both must exist).
+    for sim_class in schema.classes():
+        for attr in sim_class.immediate_evas():
+            inverse = attr.inverse
+            if inverse is attr:
+                continue
+            mine = attr_surrogate[(sim_class.name, attr.name)]
+            theirs = attr_surrogate[(inverse.owner_name, inverse.name)]
+            if mine < theirs:
+                store.eva_include(mine, inverse_eva, theirs)
+
+    for constraint in schema.constraints:
+        surrogate = store.insert_entity("db-constraint", {
+            "name": constraint.name,
+            "assertion": constraint.assertion_text[:400],
+            "message": constraint.else_message[:200],
+        })
+        store.eva_include(surrogate, on_class_eva,
+                          class_surrogate[constraint.class_name])
+    return catalog

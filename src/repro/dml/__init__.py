@@ -1,0 +1,58 @@
+"""SIM DML: the English-like, non-procedural data language (paper §4).
+
+The pipeline: :mod:`repro.dml.parser` turns text into the AST of
+:mod:`repro.dml.ast`; :mod:`repro.dml.qualification` resolves every
+qualification chain against the schema (including shorthand completion and
+AS role conversion); :mod:`repro.dml.query_tree` applies the binding rules
+to build the query tree QT with its TYPE 1/2/3 node labelling (§4.4–4.5),
+which the engine then evaluates with the paper's nested-loop semantics.
+"""
+
+from repro.dml.ast import (
+    Aggregate,
+    Assignment,
+    Binary,
+    DeleteStatement,
+    EntitySelector,
+    InsertStatement,
+    IsaTest,
+    Literal,
+    ModifyStatement,
+    OrderItem,
+    Path,
+    PathStep,
+    PerspectiveRef,
+    Quantified,
+    RetrieveQuery,
+    TargetItem,
+    Unary,
+)
+from repro.dml.parser import parse_dml, parse_expression
+from repro.dml.qualification import Qualifier
+from repro.dml.query_tree import QueryTree, QTNode, build_query_tree
+
+__all__ = [
+    "Aggregate",
+    "Assignment",
+    "Binary",
+    "DeleteStatement",
+    "EntitySelector",
+    "InsertStatement",
+    "IsaTest",
+    "Literal",
+    "ModifyStatement",
+    "OrderItem",
+    "Path",
+    "PathStep",
+    "PerspectiveRef",
+    "Quantified",
+    "RetrieveQuery",
+    "TargetItem",
+    "Unary",
+    "parse_dml",
+    "parse_expression",
+    "Qualifier",
+    "QueryTree",
+    "QTNode",
+    "build_query_tree",
+]

@@ -1,0 +1,177 @@
+"""Entity access and range-variable domains.
+
+Wraps the Mapper with the semantics the DML needs:
+
+* reads through role views return NULL / no targets when the entity lacks
+  the role (AS conversion, paper §4.2);
+* TYPE 3 variables get a dummy all-null instance when their domain is
+  empty (§4.5), represented by the :data:`DUMMY` sentinel;
+* transitive closure over cyclic EVA chains (§4.7) with level numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.mapper.store import MapperStore
+from repro.types.tvl import NULL, is_null
+
+
+class _Dummy:
+    """Sentinel instance for empty TYPE 3 domains (all attributes null)."""
+
+    def __repr__(self):
+        return "DUMMY"
+
+    def __bool__(self):
+        return False
+
+
+DUMMY = _Dummy()
+
+
+class EntityAccessor:
+    """Role-aware attribute and relationship access for the engine."""
+
+    def __init__(self, store: MapperStore):
+        self.store = store
+        self.schema = store.schema
+
+    # -- Attribute access -----------------------------------------------------------
+
+    def dva(self, surrogate, attr):
+        """Read a single-valued DVA (or subrole) through a role view.
+
+        Returns NULL for the dummy instance and for entities that do not
+        currently hold the attribute's declaring role.
+        """
+        if surrogate is DUMMY or is_null(surrogate):
+            return NULL
+        if attr.is_surrogate:
+            return surrogate
+        owner = attr.owner_name
+        if not self.store.has_role(surrogate, owner):
+            return NULL
+        return self.store.read_dva(surrogate, attr)
+
+    def mv_values(self, surrogate, attr) -> List:
+        """The value multiset of an MV DVA (empty for dummy / missing role)."""
+        if surrogate is DUMMY or is_null(surrogate):
+            return []
+        if not self.store.has_role(surrogate, attr.owner_name):
+            return []
+        return self.store.read_dva(surrogate, attr)
+
+    def eva_targets(self, surrogate, eva) -> List[int]:
+        """Target surrogates of an EVA (empty for dummy / missing role).
+
+        An EVA declared ``ordered by <attr>`` (paper §6: system-maintained
+        ordering) returns its targets sorted by that range-class DVA,
+        nulls first; ties fall back to surrogate order.
+        """
+        if surrogate is DUMMY or is_null(surrogate):
+            return []
+        if not self.store.has_role(surrogate, eva.owner_name):
+            return []
+        targets = self.store.eva_targets(surrogate, eva)
+        order_attr_name = eva.options.ordered_by
+        if order_attr_name is not None and len(targets) > 1:
+            order_attr = self.schema.get_class(
+                eva.range_class_name).attribute(order_attr_name)
+
+            def key(target):
+                value = self.dva(target, order_attr)
+                if is_null(value):
+                    return (0, 0, target)
+                return (1, value, target)
+            targets = sorted(targets, key=key)
+        return targets
+
+    def has_role(self, surrogate, class_name: str):
+        if surrogate is DUMMY or is_null(surrogate):
+            return None  # unknown, not false: dummy has no identity
+        return self.store.has_role(surrogate, class_name)
+
+    # -- Transitive closure ------------------------------------------------------------
+
+    def transitive(self, surrogate, evas) -> List[Tuple[int, int]]:
+        """Breadth-first transitive closure of an EVA hop chain.
+
+        ``evas`` is one EVA or a list applied in order (§4.7: "any cyclic
+        chain of EVAs"; the single reflexive EVA is a chain one element
+        long).  Returns (target, level) pairs, level 1 for the first
+        composite hop; the start entity is excluded and cycles are cut.
+        """
+        if surrogate is DUMMY or is_null(surrogate):
+            return []
+        chain = evas if isinstance(evas, (list, tuple)) else [evas]
+
+        def hop(entities):
+            current = list(entities)
+            for eva in chain:
+                step = []
+                for entity in current:
+                    step.extend(self.eva_targets(entity, eva))
+                current = step
+            return current
+
+        results: List[Tuple[int, int]] = []
+        visited = {surrogate}
+        frontier = [surrogate]
+        level = 0
+        while frontier:
+            level += 1
+            next_frontier: List[int] = []
+            for target in hop(frontier):
+                if target in visited:
+                    continue
+                visited.add(target)
+                results.append((target, level))
+                next_frontier.append(target)
+            frontier = next_frontier
+        return results
+
+    # -- Domains ------------------------------------------------------------------------
+
+    def class_extent(self, class_name: str) -> Iterator[int]:
+        return self.store.scan_class(class_name)
+
+    def node_domain(self, node, env) -> List:
+        """The domain of a non-root query-tree node given its parent's
+        instance in ``env`` (paper §4.5: "every other domain is defined
+        based on an attribute and a given instance of the range variable of
+        its parent node")."""
+        parent_instance = env[node.parent.id]
+        if node.kind == "eva":
+            source = self._unwrap(node.parent, parent_instance)
+            if node.transitive:
+                return self.transitive(source,
+                                       node.transitive_evas or node.eva)
+            targets = self.eva_targets(source, node.eva)
+            if node.as_class:
+                # Role conversion: the variable still ranges over all
+                # targets; attribute access through the converted view
+                # yields NULL for entities lacking the role.
+                return targets
+            return targets
+        if node.kind == "mvdva":
+            source = self._unwrap(node.parent, parent_instance)
+            return self.mv_values(source, node.mv_attr)
+        raise ValueError(f"cannot enumerate domain of {node!r}")
+
+    def root_domain(self, node) -> Iterator[int]:
+        return self.class_extent(node.class_name)
+
+    @staticmethod
+    def _unwrap(node, instance):
+        """Instance value of a node (transitive instances are (value, level))."""
+        if node is not None and node.kind == "eva" and node.transitive \
+                and isinstance(instance, tuple):
+            return instance[0]
+        return instance
+
+    @staticmethod
+    def instance_value(node, instance):
+        if node.kind == "eva" and node.transitive and isinstance(instance, tuple):
+            return instance[0]
+        return instance

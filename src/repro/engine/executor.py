@@ -1,0 +1,350 @@
+"""The Retrieve executor: the paper's nested-loop semantics program (§4.5).
+
+For a labelled query tree, the executor runs::
+
+    for each X1 in domain(X1)
+      for each X2 in domain(X2)
+        ...
+          for each Xm in domain(Xm)       -- TYPE 1 and TYPE 3, DF order
+            such that
+              for some Xm+1 ... Xn        -- TYPE 2, existential
+                if <selection> then print <target list>
+
+with the two refinements the paper spells out: the domain of a TYPE 3
+variable is never empty (an all-null dummy instance is supplied), and the
+loop nesting order *is* the output order (perspective-implied ordering).
+
+Access paths for the root variables come from a plan object; the default
+plan scans class extents, and the optimizer can substitute index lookups
+(it must then account for the ordering change, §5.1).
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Dict, List, Optional, Tuple
+
+from repro.dml.ast import Aggregate, Literal, Path, RetrieveQuery
+from repro.dml.qualification import Qualifier
+from repro.dml.query_tree import TYPE1, TYPE2, TYPE3, QTNode, QueryTree
+from repro.engine.access import DUMMY, EntityAccessor
+from repro.engine.expressions import ExpressionEvaluator
+from repro.engine.output import ResultSet, build_structured
+from repro.types.dates import SimDate, SimTime
+from repro.types.tvl import NULL, UNKNOWN, is_null
+
+
+class QueryExecutor:
+    """Executes resolved Retrieve queries against a Mapper store."""
+
+    def __init__(self, store, qualifier: Optional[Qualifier] = None):
+        self.store = store
+        self.schema = store.schema
+        self.qualifier = qualifier or Qualifier(store.schema)
+        self.accessor = EntityAccessor(store)
+        self.evaluator = ExpressionEvaluator(self.accessor)
+
+    # -- Public API -----------------------------------------------------------------
+
+    def execute(self, query: RetrieveQuery, plan=None) -> ResultSet:
+        tree = self.qualifier.resolve_retrieve(query)
+        return self.run(query, tree, plan)
+
+    def run(self, query: RetrieveQuery, tree: QueryTree, plan=None
+            ) -> ResultSet:
+        """Execute a query whose tree is already resolved (optimizer path)."""
+        roots = list(tree.roots)
+        reordered = False
+        if plan is not None and getattr(plan, "root_order", None):
+            by_var = {root.var_name: root for root in roots}
+            planned = [by_var[name] for name in plan.root_order]
+            reordered = planned != roots
+            roots = planned
+        loop_nodes: List[QTNode] = []
+        for root in roots:
+            loop_nodes.extend(tree.loop_nodes(root))
+        original_nodes: List[QTNode] = []
+        for root in tree.roots:
+            original_nodes.extend(tree.loop_nodes(root))
+        columns = [item.label or item.expression.describe()
+                   for item in query.targets]
+
+        snapshots: List[Tuple[tuple, tuple]] = []
+        rows: List[tuple] = []
+        order_keys: List[tuple] = []
+        env: Dict = {}
+
+        needs_order = bool(query.order_by)
+        structured_mode = query.mode == "structure"
+        perspective_keys: List[tuple] = []
+
+        for _ in self._enumerate_loops(loop_nodes, 0, env, tree, plan):
+            if not self._selection_holds(query.where, tree, loop_nodes, env):
+                continue
+            row = tuple(self._render(self.evaluator.value(item.expression, env))
+                        for item in query.targets)
+            rows.append(row)
+            if needs_order:
+                order_keys.append(tuple(
+                    _sort_key(self.evaluator.value(order.expression, env),
+                              order.descending)
+                    for order in query.order_by))
+            if reordered:
+                # Key for restoring the perspective-implied output order
+                # (the §5.1 semantics-preservation sort the plan paid for).
+                perspective_keys.append(tuple(
+                    _instance_key(env.get(node.id))
+                    for node in original_nodes))
+            if structured_mode:
+                snapshots.append(
+                    (tuple(env.get(node.id) for node in original_nodes), row))
+
+        if reordered:
+            permutation = sorted(range(len(rows)),
+                                 key=lambda i: perspective_keys[i])
+            rows = [rows[i] for i in permutation]
+            if needs_order:
+                order_keys = [order_keys[i] for i in permutation]
+            if structured_mode:
+                snapshots = [snapshots[i] for i in permutation]
+
+        if needs_order:
+            paired = sorted(
+                zip(order_keys, range(len(rows))),
+                key=lambda pair: pair[0])
+            rows = [rows[i] for _, i in paired]
+            if structured_mode:
+                snapshots = [snapshots[i] for _, i in paired]
+
+        if query.distinct:
+            rows = _distinct(rows)
+
+        structured = None
+        if structured_mode:
+            node_targets = self._targets_by_node(query, tree, original_nodes)
+            structured = build_structured(original_nodes, node_targets,
+                                          columns, snapshots)
+        formats = []
+        if structured_mode:
+            formats = [node.describe() for node in original_nodes]
+        return ResultSet(columns, rows, structured, formats)
+
+    def select_entities(self, class_name: str, where) -> List[int]:
+        """Entities of ``class_name`` satisfying ``where`` (update/VERIFY
+        path: single perspective, existential TYPE 2 semantics)."""
+        tree = self.qualifier.resolve_selection(class_name, where)
+        root = tree.roots[0]
+        selected: List[int] = []
+        env: Dict = {}
+        for surrogate in self.accessor.class_extent(root.class_name):
+            env[root.id] = surrogate
+            if self._selection_holds(where, tree, [root], env):
+                selected.append(surrogate)
+        return selected
+
+    def predicate_holds(self, tree: QueryTree, where, surrogate) -> bool:
+        """Evaluate a pre-resolved single-perspective predicate for one
+        entity (VERIFY assertions)."""
+        root = tree.roots[0]
+        env = {root.id: surrogate}
+        return self._selection_holds(where, tree, [root], env)
+
+    # -- Loop enumeration ----------------------------------------------------------
+
+    def _enumerate_loops(self, loop_nodes: List[QTNode], index: int,
+                         env: Dict, tree: QueryTree, plan):
+        """Nested iteration over TYPE 1/TYPE 3 variables in DF order."""
+        if index == len(loop_nodes):
+            yield env
+            return
+        node = loop_nodes[index]
+        if node.kind == "root":
+            domain = self._root_domain(node, plan)
+        else:
+            domain = self.accessor.node_domain(node, env)
+
+        produced = False
+        for instance in domain:
+            produced = True
+            env[node.id] = instance
+            yield from self._enumerate_loops(loop_nodes, index + 1, env,
+                                             tree, plan)
+        if not produced and node.label == TYPE3:
+            # §4.5: "the domain of TYPE 3 variables will never be empty
+            # (when empty, adding a dummy instance all of whose attributes
+            # are null will achieve this)".
+            env[node.id] = DUMMY
+            yield from self._enumerate_loops(loop_nodes, index + 1, env,
+                                             tree, plan)
+        env.pop(node.id, None)
+
+    def _root_domain(self, node: QTNode, plan):
+        if plan is not None:
+            iterator = plan.root_iterator(node, self)
+            if iterator is not None:
+                return iterator
+        return self.accessor.root_domain(node)
+
+    # -- Selection ------------------------------------------------------------------
+
+    def _selection_holds(self, where, tree: QueryTree,
+                         loop_nodes: List[QTNode], env: Dict) -> bool:
+        """The "such that for some Xm+1..Xn" clause: existential
+        enumeration of TYPE 2 subtrees, then the 3-valued test."""
+        if where is None:
+            return True
+        exists_nodes: List[QTNode] = []
+        for node in loop_nodes:
+            exists_nodes.extend(self._type2_subtree(node))
+        if not exists_nodes:
+            return self.evaluator.is_true(where, env)
+        return self._exists(exists_nodes, 0, where, env)
+
+    def _type2_subtree(self, node: QTNode) -> List[QTNode]:
+        result: List[QTNode] = []
+
+        def collect(candidate: QTNode):
+            result.append(candidate)
+            for child in candidate.children.values():
+                collect(child)
+
+        for child in node.children.values():
+            if child.label == TYPE2:
+                collect(child)
+        return result
+
+    def _exists(self, nodes: List[QTNode], index: int, where, env: Dict
+                ) -> bool:
+        if index == len(nodes):
+            return self.evaluator.is_true(where, env)
+        node = nodes[index]
+        for instance in self.accessor.node_domain(node, env):
+            env[node.id] = instance
+            if self._exists(nodes, index + 1, where, env):
+                env.pop(node.id, None)
+                return True
+        env.pop(node.id, None)
+        return False
+
+    # -- Output helpers ----------------------------------------------------------------
+
+    def _targets_by_node(self, query: RetrieveQuery, tree: QueryTree,
+                         loop_nodes: List[QTNode]) -> Dict[int, List[int]]:
+        """Associate each target item with the loop node its value varies
+        with (for structured output formats)."""
+        by_node: Dict[int, List[int]] = {}
+        loop_ids = {node.id for node in loop_nodes}
+        first_root = tree.roots[0]
+        for index, item in enumerate(query.targets):
+            node = self._home_node(item.expression, first_root, loop_ids)
+            by_node.setdefault(node.id, []).append(index)
+        return by_node
+
+    def _home_node(self, expression, first_root: QTNode, loop_ids) -> QTNode:
+        if isinstance(expression, Path):
+            node = expression.value_node
+            while node is not None and node.id not in loop_ids:
+                node = node.parent
+            return node or first_root
+        if isinstance(expression, Aggregate):
+            if expression.anchor_node is not None \
+                    and expression.anchor_node.id in loop_ids:
+                return expression.anchor_node
+            return first_root
+        if isinstance(expression, Literal):
+            return first_root
+        # Composite expressions: attach to the deepest referenced loop node.
+        deepest = first_root
+        for path in _paths_of(expression):
+            node = path.value_node
+            while node is not None and node.id not in loop_ids:
+                node = node.parent
+            if node is not None and node.depth >= deepest.depth:
+                deepest = node
+        return deepest
+
+    @staticmethod
+    def _render(value):
+        """Row values: unwrap transitive instances, keep NULL as-is."""
+        if value is UNKNOWN:
+            return NULL
+        return value
+
+
+def _paths_of(expression):
+    from repro.dml.ast import Binary, FunctionCall, IsaTest, Quantified, Unary
+    if isinstance(expression, Path):
+        yield expression
+    elif isinstance(expression, Binary):
+        yield from _paths_of(expression.left)
+        yield from _paths_of(expression.right)
+    elif isinstance(expression, Unary):
+        yield from _paths_of(expression.operand)
+    elif isinstance(expression, IsaTest):
+        yield from _paths_of(expression.entity)
+    elif isinstance(expression, FunctionCall):
+        for arg in expression.args:
+            yield from _paths_of(arg)
+    elif isinstance(expression, Quantified):
+        yield from _paths_of(expression.argument)
+    elif isinstance(expression, Aggregate):
+        if expression.outer_path is not None:
+            yield expression.outer_path
+
+
+_TYPE_RANK = {bool: 0, int: 1, float: 1, Decimal: 1, str: 2,
+              SimDate: 3, SimTime: 4, tuple: 5}
+
+
+class _Reversed:
+    """Wrapper inverting sort order for DESC keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return other.key == self.key
+
+
+def _instance_key(instance):
+    """Total order over loop-node instances for the restore sort."""
+    if instance is None:
+        return (0, 0)
+    if isinstance(instance, tuple):      # transitive (value, level)
+        instance = instance[0]
+    if isinstance(instance, int):
+        return (1, instance)
+    return (2, str(instance))
+
+
+def _sort_key(value, descending: bool):
+    """Total order over mixed-type values; NULL sorts first (last if DESC)."""
+    if is_null(value) or value is UNKNOWN:
+        key = (0, 0)
+    else:
+        rank = _TYPE_RANK.get(type(value), 9)
+        if isinstance(value, Decimal):
+            value = float(value)
+        key = (1, rank, value)
+    return _Reversed(key) if descending else key
+
+
+def _distinct(rows: List[tuple]) -> List[tuple]:
+    seen = set()
+    unique: List[tuple] = []
+    for row in rows:
+        try:
+            marker = row
+            if marker in seen:
+                continue
+            seen.add(marker)
+        except TypeError:
+            if row in unique:
+                continue
+        unique.append(row)
+    return unique

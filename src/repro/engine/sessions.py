@@ -1,0 +1,246 @@
+"""Multi-session concurrency control.
+
+The paper's SIM leans on DMSII for concurrent transactions (§1: SIM is
+"capable of supporting commercial application systems ... that require
+very high transaction processing rates").  This module supplies the
+substrate's equivalent: multiple *sessions* over one database, isolated
+by strict two-phase locking at class granularity.
+
+Sessions are cooperative (the process is single-threaded): each statement
+runs to completion, but several sessions may hold open transactions at
+once, and the lock manager makes their interleavings serializable:
+
+* a Retrieve takes shared locks on every class its query tree touches;
+* an update takes exclusive locks on the statement class and every class
+  its cascades can reach (subclasses, EVA partners);
+* locks are held until COMMIT/ABORT (strict 2PL);
+* a conflicting request raises :class:`LockConflict` immediately (no
+  blocking — the caller retries or aborts; with single-threaded
+  cooperation, waiting would deadlock the process).
+
+Example::
+
+    alice, bob = Session(db), Session(db)
+    alice.execute('Modify course(credits := 5) Where course-no = 1')
+    bob.query('From course Retrieve title')     # LockConflict
+    alice.commit()
+    bob.query('From course Retrieve title')     # fine now
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.dml.ast import (
+    DeleteStatement,
+    InsertStatement,
+    ModifyStatement,
+    RetrieveQuery,
+)
+from repro.dml.parser import parse_dml
+from repro.errors import SimError, TransactionError
+
+
+class LockConflict(SimError):
+    """A lock request conflicts with another session's holding."""
+
+
+class LockManager:
+    """Shared/exclusive locks at class granularity."""
+
+    def __init__(self):
+        self._shared: Dict[str, Set[int]] = {}
+        self._exclusive: Dict[str, int] = {}
+
+    def acquire_shared(self, session_id: int, class_name: str) -> None:
+        holder = self._exclusive.get(class_name)
+        if holder is not None and holder != session_id:
+            raise LockConflict(
+                f"class {class_name!r} is write-locked by session "
+                f"{holder}")
+        self._shared.setdefault(class_name, set()).add(session_id)
+
+    def acquire_exclusive(self, session_id: int, class_name: str) -> None:
+        holder = self._exclusive.get(class_name)
+        if holder is not None and holder != session_id:
+            raise LockConflict(
+                f"class {class_name!r} is write-locked by session "
+                f"{holder}")
+        readers = self._shared.get(class_name, set()) - {session_id}
+        if readers:
+            raise LockConflict(
+                f"class {class_name!r} is read-locked by sessions "
+                f"{sorted(readers)}")
+        self._exclusive[class_name] = session_id
+        self._shared.setdefault(class_name, set()).add(session_id)
+
+    def release_all(self, session_id: int) -> None:
+        for readers in self._shared.values():
+            readers.discard(session_id)
+        for class_name in [c for c, holder in self._exclusive.items()
+                           if holder == session_id]:
+            del self._exclusive[class_name]
+
+    def holdings(self, session_id: int) -> Dict[str, str]:
+        held = {}
+        for class_name, holder in self._exclusive.items():
+            if holder == session_id:
+                held[class_name] = "exclusive"
+        for class_name, readers in self._shared.items():
+            if session_id in readers and class_name not in held:
+                held[class_name] = "shared"
+        return held
+
+
+class Session:
+    """One client's transactional view of a shared database.
+
+    Each session owns a transaction that opens lazily at its first
+    statement and closes at :meth:`commit` / :meth:`abort`.  Statements
+    from different sessions may interleave; strict 2PL on classes keeps
+    the interleaving serializable.
+    """
+
+    _ids = 0
+
+    def __init__(self, database):
+        Session._ids += 1
+        self.session_id = Session._ids
+        self.database = database
+        if not hasattr(database, "_lock_manager"):
+            database._lock_manager = LockManager()
+        self.locks: LockManager = database._lock_manager
+        self._transaction = None
+
+    # -- Statements -------------------------------------------------------------
+
+    def execute(self, text: str):
+        statement = parse_dml(text) if isinstance(text, str) else text
+        self._lock_for(statement)
+        self._ensure_transaction()
+        manager = self.database.store.transactions
+        previous = manager._current
+        manager._current = self._transaction
+        try:
+            if isinstance(statement, RetrieveQuery):
+                return self.database._run_retrieve(statement)
+            return self.database.updates.execute(statement)
+        finally:
+            manager._current = previous
+
+    def query(self, text: str):
+        return self.execute(text)
+
+    # -- Transaction boundaries ------------------------------------------------------
+
+    def commit(self) -> None:
+        if self._transaction is None:
+            self.locks.release_all(self.session_id)
+            return
+        manager = self.database.store.transactions
+        previous = manager._current
+        manager._current = self._transaction
+        try:
+            self.database.constraints.before_commit()
+            manager.commit()
+        finally:
+            if manager._current is self._transaction:
+                manager._current = previous
+            self._transaction = None
+            self.locks.release_all(self.session_id)
+
+    def abort(self) -> None:
+        if self._transaction is None:
+            self.locks.release_all(self.session_id)
+            return
+        manager = self.database.store.transactions
+        previous = manager._current
+        manager._current = self._transaction
+        try:
+            self.database.constraints.reset_deferred()
+            manager.abort()
+        finally:
+            if manager._current is self._transaction:
+                manager._current = previous
+            self._transaction = None
+            self.locks.release_all(self.session_id)
+
+    def holdings(self) -> Dict[str, str]:
+        return self.locks.holdings(self.session_id)
+
+    # -- Internals ----------------------------------------------------------------------
+
+    def _ensure_transaction(self) -> None:
+        if self._transaction is not None and self._transaction.active:
+            return
+        manager = self.database.store.transactions
+        if manager._current is not None and manager._current.active:
+            # Another session's transaction is current; open ours
+            # independently (the manager tracks one "current" at a time,
+            # swapped around each statement).
+            from repro.storage.transactions import Transaction
+            self._transaction = Transaction(manager)
+        else:
+            self._transaction = manager.begin()
+            manager._current = None   # detach: sessions swap in explicitly
+
+    def _lock_for(self, statement) -> None:
+        schema = self.database.schema
+        if isinstance(statement, RetrieveQuery):
+            for class_name in self._retrieve_classes(statement):
+                self.locks.acquire_shared(self.session_id, class_name)
+            return
+        if isinstance(statement, InsertStatement):
+            base = schema.get_class(statement.class_name).base_class_name
+            touched = {base, statement.class_name,
+                       *schema.graph.insertion_path(base,
+                                                    statement.class_name)}
+            touched |= self._assignment_partners(statement.class_name,
+                                                 statement.assignments)
+        elif isinstance(statement, ModifyStatement):
+            touched = {statement.class_name}
+            touched |= self._assignment_partners(statement.class_name,
+                                                 statement.assignments)
+        elif isinstance(statement, DeleteStatement):
+            # Deletion cascades to subclass roles and drops every EVA
+            # instance of the removed roles: lock all partner classes.
+            touched = {statement.class_name}
+            touched.update(schema.graph.descendants(statement.class_name))
+            for class_name in list(touched):
+                for eva in schema.get_class(class_name).immediate_evas():
+                    touched.add(eva.range_class_name)
+        else:
+            raise SimError(f"cannot lock for {statement!r}")
+        for class_name in sorted(touched):
+            self.locks.acquire_exclusive(self.session_id, class_name)
+
+    def _assignment_partners(self, class_name: str, assignments) -> set:
+        """Range classes of the EVAs an assignment list writes."""
+        schema = self.database.schema
+        sim_class = schema.get_class(class_name)
+        partners = set()
+        for assignment in assignments:
+            if not sim_class.has_attribute(assignment.attribute):
+                continue
+            attr = sim_class.attribute(assignment.attribute)
+            if attr.is_eva:
+                partners.add(attr.range_class_name)
+        return partners
+
+    def _retrieve_classes(self, query: RetrieveQuery) -> List[str]:
+        tree = self.database.qualifier.resolve_retrieve(query)
+        classes = set()
+
+        def visit(node):
+            if node.class_name:
+                classes.add(node.class_name)
+            for child in node.children.values():
+                visit(child)
+        for root in tree.roots:
+            visit(root)
+        return sorted(classes)
+
+    def __repr__(self):
+        state = "open" if self._transaction and self._transaction.active \
+            else "idle"
+        return f"<Session #{self.session_id} {state}>"

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the SIM reproduction.
+
+Every error raised by the library derives from :class:`SimError`, so client
+code can catch one base class.  The sub-hierarchy mirrors the phases of the
+system: schema definition, DML parsing, semantic analysis, integrity
+enforcement, storage, and execution.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(SimError):
+    """Invalid schema definition (bad class graph, attribute conflict...)."""
+
+
+class TypeDefinitionError(SchemaError):
+    """Invalid type definition (empty range, bad precision...)."""
+
+
+class DDLSyntaxError(SchemaError):
+    """The DDL text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DMLError(SimError):
+    """Base class for DML (query language) errors."""
+
+
+class DMLSyntaxError(DMLError):
+    """The DML text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class QualificationError(DMLError):
+    """An attribute could not be qualified to a perspective class.
+
+    Raised when a qualification chain names an unknown attribute, when a
+    shorthand qualification is ambiguous, or when an ``AS`` role conversion
+    targets a class outside the generalization hierarchy.
+    """
+
+
+class BindingError(DMLError):
+    """A range variable reference could not be resolved."""
+
+
+class TypeMismatchError(DMLError):
+    """An expression combines operands of incompatible types."""
+
+
+class IntegrityError(SimError):
+    """A DML action would violate schema-defined integrity."""
+
+
+class ConstraintViolation(IntegrityError):
+    """A VERIFY assertion failed.  Carries the assertion's ELSE message."""
+
+    def __init__(self, constraint_name: str, message: str):
+        self.constraint_name = constraint_name
+        self.user_message = message
+        super().__init__(f"verify {constraint_name} failed: {message}")
+
+
+class UniquenessViolation(IntegrityError):
+    """A UNIQUE attribute would receive a duplicate value."""
+
+
+class RequiredViolation(IntegrityError):
+    """A REQUIRED attribute would be left null."""
+
+
+class CardinalityViolation(IntegrityError):
+    """An MV attribute would exceed its MAX bound."""
+
+
+class StorageError(SimError):
+    """Low-level storage failure (bad block, missing record...)."""
+
+
+class TransactionError(StorageError):
+    """Invalid transaction state transition."""
+
+
+class ExecutionError(SimError):
+    """Runtime failure while executing a query plan."""
+
+
+class CatalogError(SimError):
+    """Directory/catalog lookup failure (unknown class, attribute...)."""

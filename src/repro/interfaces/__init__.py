@@ -1,0 +1,40 @@
+"""Interfaces around the core system (paper §1, §5).
+
+* :mod:`repro.interfaces.host` — a host-language cursor interface in the
+  spirit of the COBOL/ALGOL/Pascal bindings: open a query, fetch fully
+  structured records one at a time;
+* :mod:`repro.interfaces.iqf` — an IQF-flavoured interactive query
+  facility (REPL and script runner);
+* :mod:`repro.interfaces.dmsii` — a miniature network-model (DMSII-like)
+  database and the utility that views it as a SIM database;
+* :mod:`repro.interfaces.builder` — a fluent query/update builder (the
+  WQF stand-in).
+"""
+
+from repro.interfaces.host import HostCursor, HostSession
+from repro.interfaces.iqf import IQFSession, run_script
+from repro.interfaces.dmsii import (
+    NetworkDatabase,
+    NetworkRecordType,
+    NetworkSet,
+    import_network_database,
+)
+from repro.interfaces.builder import (
+    InsertBuilder,
+    ModifyBuilder,
+    QueryBuilder,
+)
+
+__all__ = [
+    "HostCursor",
+    "HostSession",
+    "IQFSession",
+    "run_script",
+    "NetworkDatabase",
+    "NetworkRecordType",
+    "NetworkSet",
+    "import_network_database",
+    "InsertBuilder",
+    "ModifyBuilder",
+    "QueryBuilder",
+]

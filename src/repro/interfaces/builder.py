@@ -1,0 +1,353 @@
+"""A programmatic query builder — the WQF stand-in.
+
+The paper's WQF is "a workstation-based graphically-oriented query
+language" (§1): users compose queries by picking classes, attributes and
+conditions instead of typing DML.  The equivalent for a Python host is a
+fluent builder that assembles *well-formed DML text* (so everything flows
+through the same parser, qualifier and optimizer as hand-written queries):
+
+    from repro.interfaces.builder import QueryBuilder, attr, count, path
+
+    q = (QueryBuilder("student")
+         .retrieve("name", path("name", "advisor"))
+         .where((attr("soc-sec-no") > 100) & attr("name").like("J%"))
+         .order_by("name", descending=True))
+    result = db.query(q.dml())
+
+String literals are escaped; values are rendered by type (dates, decimals,
+booleans), eliminating the quoting mistakes hand-built strings invite.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import SimError
+from repro.types.dates import SimDate, SimTime
+
+
+def render_value(value) -> str:
+    """Render a Python value as a DML literal."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, Decimal)):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (SimDate, SimTime)):
+        return f'"{value}"'
+    if isinstance(value, str):
+        return '"' + value.replace('"', '""') + '"'
+    raise SimError(f"cannot render {value!r} as a DML literal")
+
+
+class Term:
+    """A value expression: qualification path, aggregate, or literal."""
+
+    def __init__(self, text: str):
+        self.text = text
+
+    # comparisons build conditions -------------------------------------------------
+
+    def _compare(self, op: str, other) -> "Condition":
+        other_text = (other.text if isinstance(other, Term)
+                      else render_value(other))
+        return Condition(f"{self.text} {op} {other_text}")
+
+    def __eq__(self, other):                       # noqa: D105
+        return self._compare("=", other)
+
+    def __ne__(self, other):                       # noqa: D105
+        return self._compare("neq", other)
+
+    def __lt__(self, other):
+        return self._compare("<", other)
+
+    def __le__(self, other):
+        return self._compare("<=", other)
+
+    def __gt__(self, other):
+        return self._compare(">", other)
+
+    def __ge__(self, other):
+        return self._compare(">=", other)
+
+    def like(self, pattern: str) -> "Condition":
+        return Condition(f"{self.text} like {render_value(pattern)}")
+
+    def isa(self, class_name: str) -> "Condition":
+        return Condition(f"{self.text} isa {class_name}")
+
+    def eq_some(self, inner: "Term") -> "Condition":
+        return Condition(f"{self.text} = some({inner.text})")
+
+    def neq_some(self, inner: "Term") -> "Condition":
+        return Condition(f"{self.text} neq some({inner.text})")
+
+    def eq_all(self, inner: "Term") -> "Condition":
+        return Condition(f"{self.text} = all({inner.text})")
+
+    def eq_no(self, inner: "Term") -> "Condition":
+        return Condition(f"{self.text} = no({inner.text})")
+
+    # arithmetic ---------------------------------------------------------------------
+
+    def _arith(self, op: str, other, reverse=False) -> "Term":
+        other_text = (other.text if isinstance(other, Term)
+                      else render_value(other))
+        if reverse:
+            return Term(f"({other_text} {op} {self.text})")
+        return Term(f"({self.text} {op} {other_text})")
+
+    def __add__(self, other):
+        return self._arith("+", other)
+
+    def __radd__(self, other):
+        return self._arith("+", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._arith("-", other)
+
+    def __mul__(self, other):
+        return self._arith("*", other)
+
+    def __rmul__(self, other):
+        return self._arith("*", other, reverse=True)
+
+    def __truediv__(self, other):
+        return self._arith("/", other)
+
+    def of(self, *steps: str) -> "Term":
+        """Append outer qualification: count(x).of("department")."""
+        return Term(self.text + "".join(f" of {step}" for step in steps))
+
+    def __hash__(self):
+        return hash(self.text)
+
+    def __repr__(self):
+        return f"Term({self.text!r})"
+
+
+class Condition:
+    """A boolean expression; combine with ``&``, ``|``, ``~``."""
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return Condition(f"({self.text}) and ({other.text})")
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Condition(f"({self.text}) or ({other.text})")
+
+    def __invert__(self) -> "Condition":
+        return Condition(f"not ({self.text})")
+
+    def __repr__(self):
+        return f"Condition({self.text!r})"
+
+
+# -- Term factories --------------------------------------------------------------
+
+def attr(name: str) -> Term:
+    """A bare attribute (resolved by shorthand completion)."""
+    return Term(name)
+
+
+def path(*steps: str) -> Term:
+    """A qualification chain, innermost first: path("name", "advisor")."""
+    return Term(" of ".join(steps))
+
+
+def inverse(eva_name: str) -> Term:
+    return Term(f"inverse({eva_name})")
+
+
+def transitive(eva_name: str) -> Term:
+    return Term(f"transitive({eva_name})")
+
+
+def literal(value) -> Term:
+    return Term(render_value(value))
+
+
+def _aggregate(func: str, inner: Union[Term, str],
+               distinct: bool = False) -> Term:
+    inner_text = inner.text if isinstance(inner, Term) else inner
+    keyword = "distinct " if distinct else ""
+    return Term(f"{func}({keyword}{inner_text})")
+
+
+def count(inner, distinct: bool = False) -> Term:
+    return _aggregate("count", inner, distinct)
+
+
+def sum_(inner) -> Term:
+    return _aggregate("sum", inner)
+
+
+def avg(inner) -> Term:
+    return _aggregate("avg", inner)
+
+
+def min_(inner) -> Term:
+    return _aggregate("min", inner)
+
+
+def max_(inner) -> Term:
+    return _aggregate("max", inner)
+
+
+# -- The builders --------------------------------------------------------------------
+
+class QueryBuilder:
+    """Fluent Retrieve construction."""
+
+    def __init__(self, *perspectives: str):
+        self._perspectives = list(perspectives)
+        self._targets: List[str] = []
+        self._where: Optional[Condition] = None
+        self._order: List[str] = []
+        self._distinct = False
+        self._structure = False
+
+    def retrieve(self, *items: Union[str, Term]) -> "QueryBuilder":
+        for item in items:
+            self._targets.append(item.text if isinstance(item, Term)
+                                 else item)
+        return self
+
+    def where(self, condition: Condition) -> "QueryBuilder":
+        self._where = (condition if self._where is None
+                       else self._where & condition)
+        return self
+
+    def order_by(self, item: Union[str, Term],
+                 descending: bool = False) -> "QueryBuilder":
+        text = item.text if isinstance(item, Term) else item
+        self._order.append(text + (" desc" if descending else ""))
+        return self
+
+    def distinct(self) -> "QueryBuilder":
+        self._distinct = True
+        return self
+
+    def structure(self) -> "QueryBuilder":
+        self._structure = True
+        return self
+
+    def dml(self) -> str:
+        if not self._targets:
+            raise SimError("retrieve() was never called")
+        parts = []
+        if self._perspectives:
+            parts.append("From " + ", ".join(self._perspectives))
+        mode = ("Structure" if self._structure
+                else ("Table Distinct" if self._distinct else ""))
+        parts.append(("Retrieve " + mode).strip() + " "
+                     + ", ".join(self._targets))
+        if self._order:
+            parts.append("Order By " + ", ".join(self._order))
+        if self._where is not None:
+            parts.append("Where " + self._where.text)
+        return " ".join(parts)
+
+    def run(self, database):
+        return database.query(self.dml())
+
+    def __repr__(self):
+        return f"QueryBuilder({self.dml()!r})"
+
+
+class InsertBuilder:
+    """Fluent Insert construction (including FROM role extension)."""
+
+    def __init__(self, class_name: str):
+        self._class = class_name
+        self._assignments: List[str] = []
+        self._from: Optional[str] = None
+        self._from_where: Optional[Condition] = None
+
+    def set(self, attr_name: str, value) -> "InsertBuilder":
+        self._assignments.append(
+            f"{attr_name} := "
+            + (value.text if isinstance(value, Term)
+               else render_value(value)))
+        return self
+
+    def set_ref(self, attr_name: str, range_class: str,
+                condition: Condition) -> "InsertBuilder":
+        self._assignments.append(
+            f"{attr_name} := {range_class} with ({condition.text})")
+        return self
+
+    def extending(self, ancestor: str,
+                  condition: Condition) -> "InsertBuilder":
+        self._from = ancestor
+        self._from_where = condition
+        return self
+
+    def dml(self) -> str:
+        text = f"Insert {self._class}"
+        if self._from is not None:
+            text += f" From {self._from} Where {self._from_where.text}"
+        if self._assignments:
+            text += "(" + ", ".join(self._assignments) + ")"
+        return text
+
+    def run(self, database) -> int:
+        return database.execute(self.dml())
+
+
+class ModifyBuilder:
+    """Fluent Modify construction."""
+
+    def __init__(self, class_name: str):
+        self._class = class_name
+        self._assignments: List[str] = []
+        self._where: Optional[Condition] = None
+
+    def set(self, attr_name: str, value) -> "ModifyBuilder":
+        self._assignments.append(
+            f"{attr_name} := "
+            + (value.text if isinstance(value, Term)
+               else render_value(value)))
+        return self
+
+    def set_ref(self, attr_name: str, range_class: str,
+                condition: Condition) -> "ModifyBuilder":
+        self._assignments.append(
+            f"{attr_name} := {range_class} with ({condition.text})")
+        return self
+
+    def include(self, attr_name: str, range_class: str,
+                condition: Condition) -> "ModifyBuilder":
+        self._assignments.append(
+            f"{attr_name} := include {range_class} with"
+            f" ({condition.text})")
+        return self
+
+    def exclude(self, attr_name: str,
+                condition: Optional[Condition] = None) -> "ModifyBuilder":
+        text = f"{attr_name} := exclude {attr_name}"
+        if condition is not None:
+            text += f" with ({condition.text})"
+        self._assignments.append(text)
+        return self
+
+    def where(self, condition: Condition) -> "ModifyBuilder":
+        self._where = (condition if self._where is None
+                       else self._where & condition)
+        return self
+
+    def dml(self) -> str:
+        if not self._assignments:
+            raise SimError("set()/include()/exclude() was never called")
+        text = f"Modify {self._class}(" + ", ".join(self._assignments) + ")"
+        if self._where is not None:
+            text += f" Where {self._where.text}"
+        return text
+
+    def run(self, database) -> int:
+        return database.execute(self.dml())

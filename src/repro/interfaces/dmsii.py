@@ -1,0 +1,242 @@
+"""Viewing an existing network-model (DMSII-like) database as SIM (§5).
+
+"A utility program allows any existing DMSII database to be viewed as a
+SIM database.  Semantics of data not readily apparent from its DMSII
+description can be made known to SIM by the user.  For example, a
+foreign-key based relationship between DMSII structures can be defined as
+a SIM EVA."
+
+DMSII is proprietary, so :class:`NetworkDatabase` provides a faithful
+miniature of its model: record types ("data sets") with flat fields, and
+owner–member *sets* linking them.  :func:`import_network_database` builds
+the SIM schema and copies the data:
+
+* each record type becomes a base class;
+* each network set becomes an EVA/inverse pair (1:many);
+* user hints promote foreign-key fields to EVAs (the field disappears in
+  favour of the relationship) and declare key fields UNIQUE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.database import Database
+from repro.errors import SimError
+from repro.naming import canon
+from repro.schema.attribute import (
+    AttributeOptions,
+    DataValuedAttribute,
+    EntityValuedAttribute,
+)
+from repro.schema.klass import SimClass
+from repro.schema.schema import Schema
+from repro.types.domain import (
+    BooleanType,
+    DataType,
+    IntegerType,
+    NumberType,
+    RealType,
+    StringType,
+)
+
+
+@dataclass
+class NetworkRecordType:
+    """A DMSII-style data set: flat, single-valued fields."""
+
+    name: str
+    fields: Dict[str, str]          # field name -> type word
+    key_field: Optional[str] = None
+
+    def __post_init__(self):
+        self.name = canon(self.name)
+        self.fields = {canon(k): v for k, v in self.fields.items()}
+        if self.key_field is not None:
+            self.key_field = canon(self.key_field)
+
+
+@dataclass
+class NetworkSet:
+    """An owner–member set (the network model's 1:many link)."""
+
+    name: str
+    owner: str
+    member: str
+
+    def __post_init__(self):
+        self.name = canon(self.name)
+        self.owner = canon(self.owner)
+        self.member = canon(self.member)
+
+
+class NetworkDatabase:
+    """A miniature network-model database: records + sets, in memory."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self.record_types: Dict[str, NetworkRecordType] = {}
+        self.sets: Dict[str, NetworkSet] = {}
+        self._records: Dict[str, List[dict]] = {}
+        self._memberships: Dict[str, List[Tuple[int, int]]] = {}
+
+    # -- Schema ------------------------------------------------------------------
+
+    def add_record_type(self, record_type: NetworkRecordType) -> None:
+        if record_type.name in self.record_types:
+            raise SimError(f"record type {record_type.name!r} exists")
+        self.record_types[record_type.name] = record_type
+        self._records[record_type.name] = []
+
+    def add_set(self, network_set: NetworkSet) -> None:
+        if network_set.owner not in self.record_types \
+                or network_set.member not in self.record_types:
+            raise SimError(f"set {network_set.name!r} references unknown "
+                           f"record types")
+        self.sets[network_set.name] = network_set
+        self._memberships[network_set.name] = []
+
+    # -- Data ---------------------------------------------------------------------
+
+    def store(self, type_name: str, record: dict) -> int:
+        """STORE a record; returns its record number."""
+        type_name = canon(type_name)
+        record_type = self.record_types[type_name]
+        cleaned = {canon(k): v for k, v in record.items()}
+        unknown = set(cleaned) - set(record_type.fields)
+        if unknown:
+            raise SimError(f"unknown fields {sorted(unknown)} in "
+                           f"{type_name!r}")
+        self._records[type_name].append(cleaned)
+        return len(self._records[type_name]) - 1
+
+    def connect(self, set_name: str, owner_no: int, member_no: int) -> None:
+        """Insert a member record into an owner's set occurrence."""
+        self._memberships[canon(set_name)].append((owner_no, member_no))
+
+    def records(self, type_name: str) -> List[dict]:
+        return list(self._records[canon(type_name)])
+
+    def memberships(self, set_name: str) -> List[Tuple[int, int]]:
+        return list(self._memberships[canon(set_name)])
+
+
+_TYPE_WORDS: Dict[str, DataType] = {
+    "integer": IntegerType(),
+    "number": NumberType(11, 2),
+    "real": RealType(),
+    "boolean": BooleanType(),
+}
+
+
+def _field_type(word: str) -> DataType:
+    word = word.strip().lower()
+    if word.startswith("string"):
+        if "[" in word:
+            length = int(word[word.index("[") + 1:word.index("]")])
+            return StringType(length)
+        return StringType(30)
+    if word in _TYPE_WORDS:
+        return _TYPE_WORDS[word]
+    raise SimError(f"unknown network field type {word!r}")
+
+
+def import_network_database(
+        network: NetworkDatabase,
+        foreign_keys: Optional[Dict[Tuple[str, str], str]] = None,
+        unique_fields: Optional[List[Tuple[str, str]]] = None,
+) -> Database:
+    """Build a SIM database viewing ``network``.
+
+    ``foreign_keys`` — user hints mapping (record type, field) to the
+    referenced record type; each becomes a single-valued EVA named after
+    the field (with ``-ref`` appended when the field is kept as a key
+    lookup name), replacing the raw field.  The referenced type must have
+    a ``key_field`` to resolve values.
+
+    ``unique_fields`` — (record type, field) pairs declared UNIQUE.
+    """
+    foreign_keys = {(canon(t), canon(f)): canon(r)
+                    for (t, f), r in (foreign_keys or {}).items()}
+    unique_fields = {(canon(t), canon(f)) for t, f in (unique_fields or [])}
+    for record_type in network.record_types.values():
+        if record_type.key_field:
+            unique_fields.add((record_type.name, record_type.key_field))
+
+    schema = Schema(network.name)
+    for record_type in network.record_types.values():
+        sim_class = SimClass(record_type.name)
+        for field_name, type_word in record_type.fields.items():
+            if (record_type.name, field_name) in foreign_keys:
+                target = foreign_keys[(record_type.name, field_name)]
+                sim_class.add_attribute(EntityValuedAttribute(
+                    field_name, target,
+                    inverse_name=f"{field_name}-of",
+                    options=AttributeOptions()))
+                continue
+            options = AttributeOptions(
+                unique=(record_type.name, field_name) in unique_fields,
+                required=field_name == record_type.key_field)
+            sim_class.add_attribute(DataValuedAttribute(
+                field_name, _field_type(type_word), options))
+        schema.add_class(sim_class)
+
+    # Network sets become 1:many EVA pairs: member -> owner single-valued,
+    # inverse MV on the owner.
+    for network_set in network.sets.values():
+        member_class = schema.get_class(network_set.member)
+        member_class.add_attribute(EntityValuedAttribute(
+            f"{network_set.name}-owner", network_set.owner,
+            inverse_name=f"{network_set.name}-members",
+            options=AttributeOptions()))
+    schema.resolve()
+
+    database = Database(schema, constraint_mode="off")
+    store = database.store
+
+    # Copy data: record numbers -> surrogates.
+    surrogate_of: Dict[Tuple[str, int], int] = {}
+    deferred_fk: List[Tuple[int, object, str, object]] = []
+    for record_type in network.record_types.values():
+        sim_class = database.schema.get_class(record_type.name)
+        for record_no, record in enumerate(network.records(record_type.name)):
+            values = {}
+            fk_values = []
+            for field_name, value in record.items():
+                if (record_type.name, field_name) in foreign_keys:
+                    if value is not None:
+                        fk_values.append((field_name, value))
+                    continue
+                values[field_name] = value
+            surrogate = store.insert_entity(record_type.name, values)
+            surrogate_of[(record_type.name, record_no)] = surrogate
+            for field_name, value in fk_values:
+                eva = sim_class.attribute(field_name)
+                deferred_fk.append((surrogate, eva, value,
+                                    foreign_keys[(record_type.name,
+                                                  field_name)]))
+
+    # Resolve foreign keys now that every target exists.
+    for surrogate, eva, value, target_type in deferred_fk:
+        key_field = network.record_types[target_type].key_field
+        if key_field is None:
+            raise SimError(
+                f"record type {target_type!r} needs a key_field to be a "
+                f"foreign-key target")
+        matches = store.find_by_dva(target_type, key_field, value)
+        if len(matches) != 1:
+            raise SimError(
+                f"foreign key {value!r} resolves to {len(matches)} "
+                f"{target_type!r} records")
+        store.eva_include(surrogate, eva, matches[0])
+
+    # Copy set memberships.
+    for network_set in network.sets.values():
+        member_class = database.schema.get_class(network_set.member)
+        eva = member_class.attribute(f"{network_set.name}-owner")
+        for owner_no, member_no in network.memberships(network_set.name):
+            store.eva_include(
+                surrogate_of[(network_set.member, member_no)], eva,
+                surrogate_of[(network_set.owner, owner_no)])
+    return database

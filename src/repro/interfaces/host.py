@@ -1,0 +1,99 @@
+"""Host-language interface: cursor-style access to query results.
+
+The paper's InfoExec environment exposes SIM to COBOL, ALGOL and Pascal
+programs; results arrive as *fully structured* output — multiple record
+formats with level numbers (§4.5: "Such forms of output are particularly
+useful in the host language interfaces to SIM").  :class:`HostSession`
+provides the same shape for Python: open a cursor on a Retrieve statement
+and fetch one structured record at a time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.database import Database
+from repro.dml.parser import parse_dml
+from repro.engine.output import StructuredRecord
+from repro.errors import SimError
+
+
+class HostCursor:
+    """A forward-only cursor over a query's structured records."""
+
+    def __init__(self, records: List[StructuredRecord],
+                 formats: List[str]):
+        self._records = records
+        self.formats = formats
+        self._position = 0
+        self.closed = False
+
+    def fetch(self) -> Optional[StructuredRecord]:
+        """The next record, or None at end of data."""
+        self._ensure_open()
+        if self._position >= len(self._records):
+            return None
+        record = self._records[self._position]
+        self._position += 1
+        return record
+
+    def fetch_all(self) -> List[StructuredRecord]:
+        self._ensure_open()
+        remaining = self._records[self._position:]
+        self._position = len(self._records)
+        return remaining
+
+    def rewind(self) -> None:
+        self._ensure_open()
+        self._position = 0
+
+    def close(self) -> None:
+        self.closed = True
+
+    def _ensure_open(self):
+        if self.closed:
+            raise SimError("cursor is closed")
+
+    def __iter__(self):
+        while True:
+            record = self.fetch()
+            if record is None:
+                return
+            yield record
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class HostSession:
+    """A host program's connection to one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    def open_cursor(self, query_text: str) -> HostCursor:
+        """Parse and run a Retrieve in STRUCTURE mode, returning a cursor.
+
+        The statement may be written in TABLE mode; the session forces
+        structured output, as the host interfaces do.
+        """
+        statement = parse_dml(query_text)
+        if statement.kind != "retrieve":
+            raise SimError("host cursors are opened on Retrieve statements")
+        statement.mode = "structure"
+        result = self.database.execute(statement)
+        return HostCursor(result.structured, result.formats)
+
+    def call(self, statement_text: str) -> int:
+        """Run an update statement; returns the affected-entity count."""
+        statement = parse_dml(statement_text)
+        if statement.kind == "retrieve":
+            raise SimError("call() takes an update statement")
+        return self.database.execute(statement)
+
+    def transaction(self):
+        return self.database.transaction()

@@ -1,0 +1,152 @@
+"""An IQF-flavoured interactive query facility.
+
+The paper's IQF is a menu-based query product; ours is a line-oriented
+session suitable for terminals and scripts:
+
+* DML statements (terminated by ``;`` or end of line block) run against
+  the database;
+* dot-commands provide catalog and tuning information:
+  ``.schema``, ``.classes``, ``.stats``, ``.explain <query>``,
+  ``.design``, ``.io``, ``.help``.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from typing import List, Optional, TextIO
+
+from repro.database import Database
+from repro.errors import SimError
+
+
+_HELP = """Commands:
+  <DML statement>;        run Retrieve / Insert / Modify / Delete
+  .schema                 print the schema DDL
+  .classes                list classes with entity counts
+  .stats                  schema and constraint statistics
+  .design                 physical mapping decisions
+  .explain <retrieve>     optimizer strategy report
+  .analyze                collect optimizer statistics
+  .save <path>            persist the database to a file
+  .io                     block I/O counters (and reset)
+  .help                   this text
+  .quit                   leave the session
+"""
+
+
+class IQFSession:
+    """One interactive session against a database."""
+
+    def __init__(self, database: Database, out: Optional[TextIO] = None):
+        self.database = database
+        self.out = out or sys.stdout
+        self.done = False
+
+    # -- One command ----------------------------------------------------------------
+
+    def handle(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        if line.startswith("."):
+            self._command(line)
+            return
+        try:
+            result = self.database.execute(line)
+        except SimError as exc:
+            self._print(f"error: {exc}")
+            return
+        if isinstance(result, int):
+            self._print(f"{result} entities affected")
+        else:
+            self._print(result.pretty())
+            self._print(f"({len(result)} rows)")
+
+    def _command(self, line: str) -> None:
+        parts = line.split(None, 1)
+        command = parts[0].lower()
+        argument = parts[1] if len(parts) > 1 else ""
+        if command in (".quit", ".exit"):
+            self.done = True
+        elif command == ".help":
+            self._print(_HELP)
+        elif command == ".schema":
+            self._print(self.database.schema.ddl())
+        elif command == ".classes":
+            for sim_class in self.database.schema.classes():
+                count = self.database.store.class_count(sim_class.name)
+                kind = "base" if sim_class.is_base else "sub "
+                self._print(f"  {kind} {sim_class.name:<28} {count} entities")
+        elif command == ".stats":
+            for key, value in self.database.statistics().items():
+                self._print(f"  {key}: {value}")
+        elif command == ".design":
+            self._print(self.database.design.describe())
+        elif command == ".explain":
+            if not argument:
+                self._print("usage: .explain <retrieve statement>")
+                return
+            try:
+                self._print(self.database.explain(argument))
+            except SimError as exc:
+                self._print(f"error: {exc}")
+        elif command == ".analyze":
+            statistics = self.database.analyze()
+            self._print(f"analyzed {len(statistics.class_cardinality)} "
+                        f"classes, {len(statistics.attributes)} attributes,"
+                        f" {len(statistics.evas)} EVA directions")
+        elif command == ".save":
+            if not argument:
+                self._print("usage: .save <path>")
+                return
+            try:
+                self.database.save(argument)
+                self._print(f"saved to {argument}")
+            except SimError as exc:
+                self._print(f"error: {exc}")
+        elif command == ".io":
+            self._print(repr(self.database.io_stats))
+            self.database.reset_io_stats()
+        else:
+            self._print(f"unknown command {command!r}; try .help")
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.out)
+
+    # -- Loops -------------------------------------------------------------------------
+
+    def run(self, source: Optional[TextIO] = None,
+            prompt: str = "sim> ") -> None:
+        """Interactive loop; reads from ``source`` (default stdin)."""
+        source = source or sys.stdin
+        interactive = source is sys.stdin and sys.stdin.isatty()
+        buffered = ""
+        while not self.done:
+            if interactive:
+                self.out.write(prompt if not buffered else "...> ")
+                self.out.flush()
+            line = source.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            if not buffered and stripped.startswith("."):
+                self.handle(stripped)
+                continue
+            buffered += line
+            if stripped.endswith(";") or not stripped:
+                statement = buffered.strip()
+                buffered = ""
+                if statement:
+                    self.handle(statement)
+        if buffered.strip():
+            self.handle(buffered.strip())
+
+
+def run_script(database: Database, script: str) -> str:
+    """Run an IQF script (statements and dot-commands) and return the
+    transcript — used by the examples and tests."""
+    out = io.StringIO()
+    session = IQFSession(database, out)
+    session.run(io.StringIO(script))
+    return out.getvalue()

@@ -1,0 +1,146 @@
+"""Temporal data: attribute and relationship history (paper §6).
+
+The paper lists "temporal data" among SIM's work-in-progress extensions
+without a design.  We provide the natural minimal semantics over this
+substrate: an opt-in, in-memory change journal with a *logical clock*
+(one tick per DML statement), supporting
+
+* per-attribute history of an entity — every (tick, old, new) transition;
+* as-of reconstruction — the value of a DVA, MV DVA or EVA target set as
+  it stood after any past tick, rebuilt by inverting newer events;
+* role history — when an entity acquired or lost each class role.
+
+The journal is volatile observability state (like the indexes, it does
+not survive :meth:`~repro.mapper.store.MapperStore.simulate_crash`), and
+ticks are deterministic, so tests can assert exact histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.naming import canon
+from repro.types.tvl import NULL, is_null
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One journal entry.
+
+    ``kind``: "set" (single-valued DVA: old -> new), "include"/"exclude"
+    (MV DVA value or EVA target), "role+"/"role-" (class membership).
+    """
+
+    tick: int
+    kind: str
+    old: object = None
+    new: object = None
+
+    def describe(self) -> str:
+        if self.kind == "set":
+            return f"t{self.tick}: {self.old!r} -> {self.new!r}"
+        if self.kind == "include":
+            return f"t{self.tick}: include {self.new!r}"
+        if self.kind == "exclude":
+            return f"t{self.tick}: exclude {self.old!r}"
+        return f"t{self.tick}: {self.kind} {self.new}"
+
+
+class HistoryJournal:
+    """The change journal for one store."""
+
+    def __init__(self):
+        self.clock = 0
+        #: (surrogate, attr name) -> events, oldest first
+        self._attribute_events: Dict[Tuple[int, str], List[ChangeEvent]] = {}
+        #: surrogate -> role events
+        self._role_events: Dict[int, List[ChangeEvent]] = {}
+
+    def tick(self) -> int:
+        """Advance the logical clock (one DML statement boundary)."""
+        self.clock += 1
+        return self.clock
+
+    # -- Recording ---------------------------------------------------------------
+
+    def record_set(self, surrogate: int, attr_name: str, old, new) -> None:
+        self._attribute_events.setdefault(
+            (surrogate, canon(attr_name)), []).append(
+            ChangeEvent(self.clock, "set", _freeze(old), _freeze(new)))
+
+    def record_include(self, surrogate: int, attr_name: str, value) -> None:
+        self._attribute_events.setdefault(
+            (surrogate, canon(attr_name)), []).append(
+            ChangeEvent(self.clock, "include", None, _freeze(value)))
+
+    def record_exclude(self, surrogate: int, attr_name: str, value) -> None:
+        self._attribute_events.setdefault(
+            (surrogate, canon(attr_name)), []).append(
+            ChangeEvent(self.clock, "exclude", _freeze(value), None))
+
+    def record_role(self, surrogate: int, class_name: str,
+                    acquired: bool) -> None:
+        kind = "role+" if acquired else "role-"
+        self._role_events.setdefault(surrogate, []).append(
+            ChangeEvent(self.clock, kind, new=canon(class_name)))
+
+    # -- Reading -----------------------------------------------------------------
+
+    def attribute_history(self, surrogate: int,
+                          attr_name: str) -> List[ChangeEvent]:
+        return list(self._attribute_events.get(
+            (surrogate, canon(attr_name)), ()))
+
+    def role_history(self, surrogate: int) -> List[ChangeEvent]:
+        return list(self._role_events.get(surrogate, ()))
+
+    def scalar_as_of(self, surrogate: int, attr_name: str, tick: int,
+                     current):
+        """The single-valued DVA as it stood at the end of ``tick``."""
+        value = current
+        for event in reversed(self.attribute_history(surrogate, attr_name)):
+            if event.tick <= tick:
+                break
+            value = event.old
+        return value
+
+    def collection_as_of(self, surrogate: int, attr_name: str, tick: int,
+                         current) -> List:
+        """An MV DVA's values / an EVA's targets at the end of ``tick``.
+
+        Replays newer events in reverse: undoing an include removes one
+        occurrence; undoing an exclude re-adds it.
+        """
+        values = list(current)
+        for event in reversed(self.attribute_history(surrogate, attr_name)):
+            if event.tick <= tick:
+                break
+            if event.kind == "include":
+                if event.new in values:
+                    values.remove(event.new)
+            elif event.kind == "exclude":
+                values.append(event.old)
+            elif event.kind == "set":
+                values = list(event.old) if event.old else []
+        return values
+
+    def had_role_at(self, surrogate: int, class_name: str, tick: int,
+                    current: bool) -> bool:
+        held = current
+        for event in reversed(self.role_history(surrogate)):
+            if event.tick <= tick:
+                break
+            if event.new == canon(class_name):
+                held = event.kind == "role-"
+        return held
+
+    def clear(self) -> None:
+        self._attribute_events.clear()
+        self._role_events.clear()
+
+
+def _freeze(value):
+    if isinstance(value, list):
+        return tuple(value)
+    return value

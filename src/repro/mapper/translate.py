@@ -1,0 +1,98 @@
+"""Standard translation of a SIM schema into a LUC schema.
+
+Paper §5.1: "Every SIM schema has a standard translation into a LUC schema
+with a LUC for every class, subclass and multi-valued DVA."  Class LUCs
+carry the surrogate and the class's *immediate* single-valued DVAs;
+class–subclass edges become 1:1 subclass links; each MV DVA becomes a
+dependent LUC with a 1:many link from its owner; each EVA/inverse pair
+becomes one EVA relationship whose multiplicity follows the MV options on
+the two sides (§3.2.1).
+"""
+
+from __future__ import annotations
+
+from repro.mapper.luc import LUC, LUCRelationship, LUCSchema
+from repro.schema.schema import Schema
+from repro.types.domain import IntegerType, SurrogateType
+
+
+def translate_schema(schema: Schema) -> LUCSchema:
+    """Build the standard LUC translation of a resolved SIM ``schema``."""
+    if not schema.resolved:
+        raise ValueError("schema must be resolved before translation")
+    luc_schema = LUCSchema()
+
+    # Class LUCs: surrogate + immediate single-valued DVAs.
+    for sim_class in schema.classes():
+        fields = {"surrogate": SurrogateType()}
+        for attr in sim_class.immediate_attributes.values():
+            if attr.is_eva or attr.is_subrole or attr.is_surrogate:
+                continue
+            if attr.single_valued:
+                fields[attr.name] = attr.data_type
+        luc_schema.add_luc(LUC(sim_class.name, "class", sim_class.name, fields))
+
+    # MV-DVA LUCs: owner surrogate + sequence number + the value.
+    for sim_class in schema.classes():
+        for attr in sim_class.immediate_attributes.values():
+            if attr.is_eva or attr.is_subrole or not attr.multi_valued:
+                continue
+            luc_name = f"{sim_class.name}--{attr.name}"
+            fields = {
+                "owner": SurrogateType(),
+                "seq": IntegerType(),
+                "value": attr.data_type,
+            }
+            luc_schema.add_luc(LUC(luc_name, "mvdva", sim_class.name, fields,
+                                   mv_attribute_name=attr.name))
+
+    # Subclass links (always 1:1).
+    for sim_class in schema.classes():
+        for super_name in sim_class.superclass_names:
+            luc_schema.add_relationship(LUCRelationship(
+                f"link--{super_name}--{sim_class.name}", "subclass",
+                super_name, sim_class.name, "1:1"))
+
+    # MV-DVA links (1:many from the independent to the dependent LUC).
+    for luc in luc_schema.lucs():
+        if luc.kind == "mvdva":
+            luc_schema.add_relationship(LUCRelationship(
+                f"link--{luc.name}", "mvdva", luc.class_name, luc.name,
+                "1:many"))
+
+    # EVA relationships: one per EVA/inverse pair, attached to the
+    # canonical side (see canonical_eva).
+    seen = set()
+    for sim_class in schema.classes():
+        for eva in sim_class.immediate_evas():
+            canonical = canonical_eva(eva)
+            key = (canonical.owner_name, canonical.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            luc_schema.add_relationship(LUCRelationship(
+                eva_relationship_name(canonical), "eva",
+                canonical.owner_name, canonical.range_class_name,
+                canonical.relationship_kind(),
+                eva_name=canonical.name,
+                inverse_name=canonical.inverse.name))
+    return luc_schema
+
+
+def canonical_eva(eva):
+    """Pick the canonical direction of an EVA/inverse pair.
+
+    Exactly one side of each pair owns the stored relationship; we choose
+    deterministically by (owner class, attribute name).  A self-inverse EVA
+    (``spouse``) is its own canonical side.
+    """
+    inverse = eva.inverse
+    if inverse is eva:
+        return eva
+    mine = (eva.owner_name, eva.name)
+    theirs = (inverse.owner_name, inverse.name)
+    return eva if mine <= theirs else inverse
+
+
+def eva_relationship_name(canonical) -> str:
+    return f"eva--{canonical.owner_name}--{canonical.name}"

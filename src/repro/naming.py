@@ -1,0 +1,29 @@
+"""Identifier conventions shared by DDL, DML and the catalog.
+
+SIM identifiers are case-insensitive and hyphenated (``Soc-Sec-No``,
+``courses-enrolled``).  We canonicalize names to lower case with hyphens,
+treating underscores as equivalent to hyphens, so Python host code can use
+``courses_enrolled`` and DML text can use ``Courses-Enrolled``
+interchangeably.
+"""
+
+from __future__ import annotations
+
+import re
+
+_IDENT_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_-]*$")
+
+
+def canon(name: str) -> str:
+    """Canonical form of an identifier: lower case, underscores → hyphens."""
+    return name.strip().lower().replace("_", "-")
+
+
+def is_identifier(name: str) -> bool:
+    """True when ``name`` is a legal SIM identifier."""
+    return bool(_IDENT_RE.match(name.strip()))
+
+
+def pythonic(name: str) -> str:
+    """Python-attribute-friendly form: hyphens → underscores."""
+    return canon(name).replace("-", "_")

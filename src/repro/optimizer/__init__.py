@@ -1,0 +1,32 @@
+"""The Parser/Optimizer's optimization half (paper §5.1).
+
+"SIM optimizes a query by building a query graph (whose nodes are LUC
+objects), enumerating strategies, estimating the cost of processing for
+each strategy and choosing the one with the least cost."
+
+* :mod:`repro.optimizer.query_graph` — the query graph over LUC objects;
+* :mod:`repro.optimizer.cost` — the cost model: LUC and relationship
+  cardinalities, blocking factors, indexes, and the cost of accessing the
+  first and subsequent instances of a relationship;
+* :mod:`repro.optimizer.plan` — executable access plans;
+* :mod:`repro.optimizer.strategies` — strategy enumeration and selection,
+  including the semantics-preservation test for the perspective-implied
+  output ordering.
+"""
+
+from repro.optimizer.query_graph import QueryGraph, build_query_graph
+from repro.optimizer.cost import CostModel
+from repro.optimizer.plan import AccessPath, Plan
+from repro.optimizer.statistics import TableStatistics, analyze
+from repro.optimizer.strategies import Optimizer
+
+__all__ = [
+    "QueryGraph",
+    "build_query_graph",
+    "CostModel",
+    "AccessPath",
+    "Plan",
+    "Optimizer",
+    "TableStatistics",
+    "analyze",
+]

@@ -1,0 +1,74 @@
+"""Executable access plans chosen by the optimizer.
+
+A plan decides, per perspective root, how its domain is produced: a full
+extent scan (the canonical strategy, which preserves the surrogate
+ordering the DML implies) or an equality index lookup (results re-sorted
+by surrogate so the perspective-implied ordering is preserved — the
+semantics-preservation rule of §5.1 with its sort cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dml.query_tree import QTNode
+
+
+@dataclass
+class AccessPath:
+    """How one root variable's domain is produced."""
+
+    kind: str                       # "scan" | "index"
+    class_name: str
+    attr_name: Optional[str] = None
+    value: object = None
+    estimated_cost: float = 0.0
+    estimated_rows: float = 0.0
+    preserves_order: bool = True
+
+    def describe(self) -> str:
+        if self.kind == "scan":
+            return (f"scan {self.class_name} "
+                    f"(cost {self.estimated_cost:.1f})")
+        return (f"index {self.class_name}.{self.attr_name} = "
+                f"{self.value!r} (cost {self.estimated_cost:.1f})")
+
+
+@dataclass
+class Plan:
+    """A full strategy: one access path per root plus bookkeeping.
+
+    ``root_order`` — evaluation order of the perspective variables.  When
+    it differs from the FROM-list order, the transformation is not
+    semantics-preserving (§5.1): the executor re-sorts the output into the
+    perspective-implied order, and the optimizer charges that sort to the
+    strategy.
+    """
+
+    root_access: Dict[str, AccessPath] = field(default_factory=dict)
+    root_order: Optional[List[str]] = None
+    estimated_cost: float = 0.0
+    description: str = "canonical nested loops"
+
+    def root_iterator(self, node: QTNode, executor):
+        """Domain iterator for a root node, or None for the default scan."""
+        access = self.root_access.get(node.var_name)
+        if access is None or access.kind == "scan":
+            return None
+        store = executor.store
+        surrogates = store.find_by_dva(access.class_name, access.attr_name,
+                                       access.value)
+        # Re-sort by surrogate: preserves the perspective-implied ordering
+        # the index lookup broke (the plan's cost includes this sort).
+        return iter(sorted(surrogates))
+
+    def describe(self) -> str:
+        lines = [f"plan: {self.description} "
+                 f"(estimated cost {self.estimated_cost:.1f})"]
+        if self.root_order is not None:
+            lines.append("  loop order: " + " > ".join(self.root_order)
+                         + "  [re-sorted to perspective order]")
+        for var, access in self.root_access.items():
+            lines.append(f"  {var}: {access.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""The query graph: LUC objects touched by a query (paper §5.1).
+
+Nodes are LUCs (class LUCs and MV-DVA LUCs); edges are the LUC
+relationships the query traverses (subclass links implied by inherited-
+attribute access, MV-DVA links, EVA links).  The optimizer costs
+strategies against this graph, which "enables the Optimizer to do its job
+without considering physical mapping details".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dml.query_tree import QueryTree, QTNode
+
+
+@dataclass
+class QueryGraphNode:
+    luc_name: str
+    qt_node_id: int
+    kind: str                      # "class" | "mvdva"
+    label: Optional[int] = None    # the QT node's TYPE label
+
+
+@dataclass
+class QueryGraphEdge:
+    source: str
+    target: str
+    flavor: str                    # "eva" | "mvdva" | "subclass"
+    eva_name: Optional[str] = None
+    transitive: bool = False
+
+
+class QueryGraph:
+    """LUC-level view of one query."""
+
+    def __init__(self):
+        self.nodes: List[QueryGraphNode] = []
+        self.edges: List[QueryGraphEdge] = []
+
+    def add_node(self, node: QueryGraphNode) -> None:
+        self.nodes.append(node)
+
+    def add_edge(self, edge: QueryGraphEdge) -> None:
+        self.edges.append(edge)
+
+    def describe(self) -> str:
+        lines = ["query graph:"]
+        for node in self.nodes:
+            label = f"TYPE{node.label}" if node.label else "-"
+            lines.append(f"  luc {node.luc_name} [{node.kind}, {label}]")
+        for edge in self.edges:
+            extra = " transitive" if edge.transitive else ""
+            lines.append(f"  edge {edge.source} -> {edge.target} "
+                         f"({edge.flavor}{extra})")
+        return "\n".join(lines)
+
+
+def build_query_graph(tree: QueryTree) -> QueryGraph:
+    """Translate the labelled query tree into its LUC query graph."""
+    graph = QueryGraph()
+
+    def visit(node: QTNode):
+        if node.kind in ("root", "eva"):
+            graph.add_node(QueryGraphNode(
+                node.class_name, node.id, "class", node.label))
+        else:
+            luc_name = f"{node.mv_attr.owner_name}--{node.mv_attr.name}"
+            graph.add_node(QueryGraphNode(
+                luc_name, node.id, "mvdva", node.label))
+        for child in node.children.values():
+            if child.kind == "eva":
+                graph.add_edge(QueryGraphEdge(
+                    node.class_name or "value", child.class_name, "eva",
+                    eva_name=child.eva.name, transitive=child.transitive))
+            else:
+                luc_name = (f"{child.mv_attr.owner_name}--"
+                            f"{child.mv_attr.name}")
+                graph.add_edge(QueryGraphEdge(
+                    node.class_name or "value", luc_name, "mvdva"))
+            visit(child)
+
+    for root in tree.roots:
+        visit(root)
+    return graph

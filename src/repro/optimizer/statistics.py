@@ -1,0 +1,173 @@
+"""Statistical optimization (paper §5.1: "Statistical optimization is not
+fully implemented yet" — completing that roadmap item).
+
+:func:`analyze` scans a store and collects, per class:
+
+* extent cardinality and block count;
+* per single-valued DVA: distinct-value count, null fraction, and an
+  equi-depth histogram over ordered domains;
+* per EVA pair: instance count and average fan-out in both directions.
+
+The :class:`TableStatistics` object answers the selectivity questions the
+cost model asks; without ANALYZE the model falls back to the fixed
+defaults (the paper's own state).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.naming import canon
+from repro.types.tvl import is_null
+
+#: histogram buckets per attribute
+BUCKETS = 8
+
+
+@dataclass
+class AttributeStatistics:
+    """Distribution summary of one single-valued DVA on one class."""
+
+    row_count: int = 0
+    null_count: int = 0
+    distinct_count: int = 0
+    #: equi-depth bucket boundaries (sorted), for orderable domains
+    boundaries: List = field(default_factory=list)
+    #: most common value and its frequency (a 1-bucket MCV list)
+    top_value: object = None
+    top_frequency: int = 0
+
+    @property
+    def non_null(self) -> int:
+        return self.row_count - self.null_count
+
+    def equality_selectivity(self, value=None) -> float:
+        """Fraction of the extent expected to match ``attr = value``."""
+        if self.non_null == 0 or self.distinct_count == 0:
+            return 0.0
+        if value is not None and value == self.top_value:
+            return self.top_frequency / self.row_count
+        return (self.non_null / self.row_count) / self.distinct_count
+
+    def range_selectivity(self, low=None, high=None) -> float:
+        """Fraction expected in [low, high] via the equi-depth histogram."""
+        if self.non_null == 0:
+            return 0.0
+        if not self.boundaries:
+            return 0.33  # unordered domain fallback
+        buckets = len(self.boundaries) - 1
+        if buckets < 1:
+            return 1.0
+
+        def position(value, default):
+            if value is None:
+                return default
+            return bisect.bisect_left(self.boundaries, value, 1,
+                                      len(self.boundaries) - 1)
+        low_pos = position(low, 1)
+        high_pos = position(high, buckets)
+        covered = max(0, high_pos - low_pos + 1)
+        return min(1.0, covered / buckets) * (self.non_null / self.row_count)
+
+
+@dataclass
+class EvaStatistics:
+    instance_count: int = 0
+    forward_fanout: float = 0.0
+    reverse_fanout: float = 0.0
+
+
+class TableStatistics:
+    """All collected statistics for one store."""
+
+    def __init__(self):
+        self.class_cardinality: Dict[str, int] = {}
+        self.class_blocks: Dict[str, int] = {}
+        self.attributes: Dict[Tuple[str, str], AttributeStatistics] = {}
+        self.evas: Dict[Tuple[str, str], EvaStatistics] = {}
+        self.analyzed = False
+
+    def attribute(self, class_name: str,
+                  attr_name: str) -> Optional[AttributeStatistics]:
+        return self.attributes.get((canon(class_name), canon(attr_name)))
+
+    def eva(self, owner: str, name: str) -> Optional[EvaStatistics]:
+        return self.evas.get((canon(owner), canon(name)))
+
+
+def analyze(store) -> TableStatistics:
+    """Scan the store and build fresh statistics (the ANALYZE pass)."""
+    statistics = TableStatistics()
+    schema = store.schema
+
+    for sim_class in schema.classes():
+        name = sim_class.name
+        surrogates = list(store.scan_class(name))
+        statistics.class_cardinality[name] = len(surrogates)
+        statistics.class_blocks[name] = store.class_block_count(name)
+
+        for attr in sim_class.immediate_attributes.values():
+            if attr.is_eva or attr.is_subrole or attr.is_surrogate \
+                    or attr.multi_valued:
+                continue
+            values = [store.read_dva(surrogate, attr)
+                      for surrogate in surrogates]
+            attr_stats = AttributeStatistics(row_count=len(values))
+            non_null = [v for v in values if not is_null(v)]
+            attr_stats.null_count = len(values) - len(non_null)
+            counts: Dict[object, int] = {}
+            for value in non_null:
+                counts[value] = counts.get(value, 0) + 1
+            attr_stats.distinct_count = len(counts)
+            if counts:
+                top = max(counts.items(), key=lambda pair: pair[1])
+                attr_stats.top_value, attr_stats.top_frequency = top
+            try:
+                ordered = sorted(non_null)
+            except TypeError:
+                ordered = []
+            if ordered:
+                attr_stats.boundaries = _equi_depth(ordered, BUCKETS)
+            statistics.attributes[(name, attr.name)] = attr_stats
+
+    seen = set()
+    for sim_class in schema.classes():
+        for eva in sim_class.immediate_evas():
+            info = store.eva_info(eva)
+            key = (info.canonical.owner_name, info.canonical.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            eva_stats = EvaStatistics(instance_count=info.instance_count)
+            domain_count = max(
+                1, statistics.class_cardinality.get(
+                    info.canonical.owner_name, 1))
+            range_count = max(
+                1, statistics.class_cardinality.get(
+                    info.canonical.range_class_name, 1))
+            eva_stats.forward_fanout = info.instance_count / domain_count
+            eva_stats.reverse_fanout = info.instance_count / range_count
+            statistics.evas[key] = eva_stats
+            inverse = info.canonical.inverse
+            if inverse is not info.canonical:
+                mirror = EvaStatistics(
+                    instance_count=info.instance_count,
+                    forward_fanout=eva_stats.reverse_fanout,
+                    reverse_fanout=eva_stats.forward_fanout)
+                statistics.evas[(inverse.owner_name, inverse.name)] = mirror
+    statistics.analyzed = True
+    return statistics
+
+
+def _equi_depth(ordered: List, buckets: int) -> List:
+    """Equi-depth bucket boundaries (first element, cut points, last)."""
+    if len(ordered) < 2:
+        return [ordered[0], ordered[-1]] if ordered else []
+    boundaries = [ordered[0]]
+    for bucket in range(1, buckets):
+        index = min(len(ordered) - 1, (len(ordered) * bucket) // buckets)
+        boundaries.append(ordered[index])
+    boundaries.append(ordered[-1])
+    return boundaries

@@ -1,0 +1,184 @@
+"""Strategy enumeration and selection (paper §5.1).
+
+For every perspective root the optimizer enumerates the applicable access
+paths (extent scan; equality index lookups derived from top-level WHERE
+conjuncts of the form ``<attr of root> = <literal>``), extends each with
+the traversal cost of the query tree's EVA/MV-DVA edges (existential
+TYPE 2 subtrees are costed with early-exit fanout), applies the
+semantics-preservation rule (an index path breaks the surrogate ordering;
+re-sorting its matches is added to its cost), and picks the cheapest
+combination.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.dml.ast import Binary, Literal, Path, RetrieveQuery
+from repro.dml.query_tree import TYPE2, QTNode, QueryTree
+from repro.optimizer.cost import CostModel
+from repro.optimizer.plan import AccessPath, Plan
+from repro.optimizer.query_graph import build_query_graph
+
+
+class Optimizer:
+    """Chooses an access plan for Retrieve queries."""
+
+    def __init__(self, database):
+        self.database = database
+        self.store = database.store
+        self.schema = database.schema
+        #: collected by Database.analyze(); None = fixed-default estimates
+        self.table_statistics = None
+
+    # -- Public API ---------------------------------------------------------------
+
+    def choose_plan(self, query: RetrieveQuery, tree: QueryTree) -> Plan:
+        strategies = self.enumerate_strategies(query, tree)
+        return min(strategies, key=lambda plan: plan.estimated_cost)
+
+    def explain(self, query: RetrieveQuery, tree: QueryTree) -> str:
+        graph = build_query_graph(tree)
+        strategies = sorted(self.enumerate_strategies(query, tree),
+                            key=lambda plan: plan.estimated_cost)
+        lines = [graph.describe(), ""]
+        lines.append(f"{len(strategies)} strategies considered:")
+        for rank, plan in enumerate(strategies):
+            marker = "->" if rank == 0 else "  "
+            lines.append(f"{marker} {plan.describe()}")
+        return "\n".join(lines)
+
+    # -- Strategy enumeration -------------------------------------------------------
+
+    def enumerate_strategies(self, query: RetrieveQuery,
+                             tree: QueryTree) -> List[Plan]:
+        cost_model = CostModel(self.store, self.table_statistics)
+        per_root: List[List[AccessPath]] = []
+        for root in tree.roots:
+            per_root.append(self._root_alternatives(query, root, cost_model))
+
+        # Loop orders: the FROM order (semantics-preserving) plus, for
+        # multi-perspective queries, every permutation — non-preserving
+        # orders are charged the output re-sort (§5.1).
+        original = list(tree.roots)
+        if len(original) > 1 and len(original) <= 4:
+            orders = [list(p) for p in itertools.permutations(original)]
+        else:
+            orders = [original]
+
+        plans: List[Plan] = []
+        for combination in itertools.product(*per_root):
+            access_of = {root.var_name: access
+                         for root, access in zip(tree.roots, combination)}
+            for order in orders:
+                plan = Plan()
+                plan.root_access = dict(access_of)
+                preserves = order == original
+                if not preserves:
+                    plan.root_order = [root.var_name for root in order]
+                total = self._nested_cost(order, access_of, cost_model)
+                result_rows = 1.0
+                for access in combination:
+                    result_rows *= max(access.estimated_rows, 1.0)
+                if not preserves:
+                    total += cost_model.sort_cost(result_rows)
+                for access in combination:
+                    if not access.preserves_order:
+                        total += cost_model.sort_cost(access.estimated_rows)
+                plan.estimated_cost = total
+                plan.description = " x ".join(
+                    access_of[root.var_name].kind for root in order)
+                if not preserves:
+                    plan.description += " (reordered)"
+                plans.append(plan)
+        return plans
+
+    def _nested_cost(self, order, access_of, cost_model: CostModel) -> float:
+        """Cost of the nested cross-product loops in the given order.
+
+        Inner roots are re-evaluated once per outer combination; a rescan
+        is free when the class's blocks fit comfortably in the buffer
+        pool, else it pays its access cost again.
+        """
+        pool = self.store.design.pool_capacity
+        total = 0.0
+        multiplier = 1.0
+        for root in order:
+            access = access_of[root.var_name]
+            blocks = cost_model.class_blocks(access.class_name)
+            rescan = 0.0 if blocks <= pool // 2 else access.estimated_cost
+            total += access.estimated_cost + max(multiplier - 1.0, 0.0) * rescan
+            total += multiplier * self._subtree_cost(
+                root, access.estimated_rows, cost_model)
+            multiplier *= max(access.estimated_rows, 1.0)
+        return total
+
+    def _root_alternatives(self, query: RetrieveQuery, root: QTNode,
+                           cost_model: CostModel) -> List[AccessPath]:
+        class_name = root.class_name
+        cardinality = cost_model.class_cardinality(class_name)
+        alternatives = [AccessPath(
+            "scan", class_name,
+            estimated_cost=cost_model.scan_cost(class_name),
+            estimated_rows=float(cardinality),
+            preserves_order=True)]
+        for attr_name, value in self._equality_conjuncts(query, root):
+            if not self.store.has_index_on(class_name, attr_name):
+                continue
+            attr = self.schema.get_class(class_name).attribute(attr_name)
+            lookup_cost, matches = cost_model.index_lookup_cost(
+                class_name, attr_name, attr.options.unique, value)
+            alternatives.append(AccessPath(
+                "index", class_name, attr_name, value,
+                estimated_cost=lookup_cost,
+                estimated_rows=matches,
+                preserves_order=False))
+        return alternatives
+
+    def _equality_conjuncts(self, query: RetrieveQuery, root: QTNode
+                            ) -> List[Tuple[str, object]]:
+        """Top-level AND-ed conjuncts ``<root attr> = <literal>``."""
+        conjuncts: List[Tuple[str, object]] = []
+
+        def walk(expression):
+            if isinstance(expression, Binary):
+                if expression.op == "and":
+                    walk(expression.left)
+                    walk(expression.right)
+                    return
+                if expression.op == "=":
+                    sides = [(expression.left, expression.right),
+                             (expression.right, expression.left)]
+                    for path_side, literal_side in sides:
+                        if (isinstance(path_side, Path)
+                                and isinstance(literal_side, Literal)
+                                and path_side.anchor_node is root
+                                and not path_side.chain_nodes
+                                and path_side.terminal_attr is not None):
+                            conjuncts.append((path_side.terminal_attr.name,
+                                              literal_side.value))
+
+        if query.where is not None:
+            walk(query.where)
+        return conjuncts
+
+    def _subtree_cost(self, node: QTNode, rows: float,
+                      cost_model: CostModel) -> float:
+        """Traversal cost of a root's subtree given ``rows`` source rows."""
+        total = 0.0
+        for child in node.children.values():
+            existential = child.label == TYPE2
+            if child.kind == "eva":
+                total += cost_model.traversal_cost(child.eva, rows,
+                                                   existential)
+                fanout = max(cost_model.eva_fanout(child.eva), 0.0)
+                child_rows = rows * (min(fanout, 1.0) if existential
+                                     else fanout)
+            else:
+                # MV DVA: values come from the owner record (array) or a
+                # dependent unit; charge one block per source visit.
+                total += rows * 0.5
+                child_rows = rows
+            total += self._subtree_cost(child, child_rows, cost_model)
+        return total

@@ -1,0 +1,33 @@
+"""Schema definition: classes, attributes, the generalization DAG, VERIFY.
+
+This package implements §3 of the paper: base classes and subclasses, DVAs
+and EVAs with options and inverses, subroles, surrogates and integrity
+assertions, plus the DDL parser for the concrete syntax used in §7.
+"""
+
+from repro.schema.attribute import (
+    AttributeOptions,
+    Attribute,
+    DataValuedAttribute,
+    EntityValuedAttribute,
+    SubroleAttribute,
+    SurrogateAttribute,
+)
+from repro.schema.klass import SimClass, VerifyConstraint
+from repro.schema.graph import GeneralizationGraph
+from repro.schema.schema import Schema
+from repro.schema.ddl_parser import parse_ddl
+
+__all__ = [
+    "AttributeOptions",
+    "Attribute",
+    "DataValuedAttribute",
+    "EntityValuedAttribute",
+    "SubroleAttribute",
+    "SurrogateAttribute",
+    "SimClass",
+    "VerifyConstraint",
+    "GeneralizationGraph",
+    "Schema",
+    "parse_ddl",
+]

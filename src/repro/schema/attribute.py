@@ -1,0 +1,211 @@
+"""Attributes: DVAs, EVAs, subroles, surrogates, and attribute options.
+
+Paper §3.2: a DVA associates each entity with a value (or multiset of
+values) from a value domain; an EVA relates entities to entities of a range
+class and always has a system-maintained inverse.  §3.2.1 defines the
+options REQUIRED, UNIQUE, MV, DISTINCT and MAX; combined on an EVA and its
+inverse they express 1:1, 1:many and many:many relationships with partial
+or total dependency and bounded cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SchemaError
+from repro.naming import canon
+from repro.types.domain import DataType, SubroleType, SurrogateType
+
+
+@dataclass(frozen=True)
+class AttributeOptions:
+    """The option set from paper §3.2.1.
+
+    ``required`` — value may not be null.
+    ``unique`` — no two entities of the class share a non-null value.
+    ``mv`` — multi-valued; by default attributes are single-valued.
+    ``distinct`` — an MV attribute holds a set rather than a multiset.
+    ``max_cardinality`` — upper bound on the number of values of an MV
+    attribute (None = unbounded, the default).
+    """
+
+    required: bool = False
+    unique: bool = False
+    mv: bool = False
+    distinct: bool = False
+    max_cardinality: Optional[int] = None
+    #: system-maintained ordering (paper §6 future work): for an MV EVA,
+    #: the name of a range-class DVA whose value orders the targets
+    ordered_by: Optional[str] = None
+
+    def __post_init__(self):
+        if self.distinct and not self.mv:
+            raise SchemaError("DISTINCT applies only to multi-valued attributes")
+        if self.max_cardinality is not None:
+            if not self.mv:
+                raise SchemaError("MAX applies only to multi-valued attributes")
+            if self.max_cardinality <= 0:
+                raise SchemaError(f"MAX must be positive, got {self.max_cardinality}")
+        if self.unique and self.mv:
+            # The paper leaves UNIQUE+MV undefined; we reject the combination
+            # to keep uniqueness enforcement well-defined.
+            raise SchemaError("UNIQUE is not supported on multi-valued attributes")
+        if self.ordered_by is not None:
+            if not self.mv:
+                raise SchemaError("ORDERED BY applies only to multi-valued "
+                                  "attributes")
+            object.__setattr__(self, "ordered_by", canon(self.ordered_by))
+
+    def ddl(self) -> str:
+        """Render the options in DDL order (bare options then MV parenthetical)."""
+        words = []
+        if self.unique:
+            words.append("unique")
+        if self.required:
+            words.append("required")
+        if self.mv:
+            inner = []
+            if self.max_cardinality is not None:
+                inner.append(f"max {self.max_cardinality}")
+            if self.distinct:
+                inner.append("distinct")
+            if self.ordered_by is not None:
+                inner.append(f"ordered by {self.ordered_by}")
+            words.append("mv" + (f" ({', '.join(inner)})" if inner else ""))
+        return " ".join(words)
+
+
+class Attribute:
+    """Base class for attributes.  Immutable once the schema is resolved.
+
+    ``owner`` (the class the attribute is immediately declared in) is filled
+    in during schema resolution, as is any derived metadata.
+    """
+
+    is_eva = False
+    is_subrole = False
+    is_surrogate = False
+    system_maintained = False
+
+    def __init__(self, name: str, options: Optional[AttributeOptions] = None):
+        self.name = canon(name)
+        self.options = options or AttributeOptions()
+        self.owner_name: Optional[str] = None  # set during resolution
+
+    @property
+    def single_valued(self) -> bool:
+        return not self.options.mv
+
+    @property
+    def multi_valued(self) -> bool:
+        return self.options.mv
+
+    def ddl(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self):
+        owner = f"{self.owner_name}." if self.owner_name else ""
+        return f"<{type(self).__name__} {owner}{self.name}>"
+
+
+class DataValuedAttribute(Attribute):
+    """A DVA: property of an entity drawn from a value domain (paper §3.2)."""
+
+    def __init__(self, name: str, data_type: DataType,
+                 options: Optional[AttributeOptions] = None,
+                 type_name: Optional[str] = None):
+        super().__init__(name, options)
+        self.data_type = data_type
+        #: name of the named type used in DDL, when one was used
+        self.type_name = canon(type_name) if type_name else None
+
+    def ddl(self) -> str:
+        type_text = self.type_name if self.type_name else self.data_type.ddl()
+        opts = self.options.ddl()
+        return f"{self.name}: {type_text}" + (f" {opts}" if opts else "")
+
+
+class EntityValuedAttribute(Attribute):
+    """An EVA: binary relationship from its owner class to a range class.
+
+    ``inverse_name`` names the system-maintained inverse EVA on the range
+    class.  When the user does not name an inverse in DDL, schema resolution
+    synthesizes one (``inverse-of-<name>``), so the invariant "every EVA has
+    an inverse and they stay synchronized" (paper §3.2) holds universally.
+    """
+
+    is_eva = True
+
+    def __init__(self, name: str, range_class_name: str,
+                 inverse_name: Optional[str] = None,
+                 options: Optional[AttributeOptions] = None):
+        super().__init__(name, options)
+        self.range_class_name = canon(range_class_name)
+        self.inverse_name = canon(inverse_name) if inverse_name else None
+        #: True for inverses the system synthesized rather than the user named
+        self.synthesized_inverse = False
+        #: filled in by resolution: the EVA object on the range class
+        self.inverse: Optional["EntityValuedAttribute"] = None
+
+    def relationship_kind(self) -> str:
+        """'1:1', '1:many', 'many:1' or 'many:many', from both sides' MV flags."""
+        assert self.inverse is not None, "schema not resolved"
+        mine = "many" if self.multi_valued else "1"
+        theirs = "many" if self.inverse.multi_valued else "1"
+        # Read from the owner's point of view: ADVISOR (sv) with MV inverse
+        # ADVISEES is many:1 — many students relate to one instructor.
+        return f"{theirs}:{mine}"
+
+    def ddl(self) -> str:
+        text = f"{self.name}: {self.range_class_name}"
+        if self.inverse_name:
+            text += f" inverse is {self.inverse_name}"
+        opts = self.options.ddl()
+        return text + (f" {opts}" if opts else "")
+
+
+class SubroleAttribute(DataValuedAttribute):
+    """A subrole attribute (paper §3.2): system-maintained, read-only.
+
+    Every class that has subclasses must declare one; its value set is the
+    names of the class's *immediate* subclasses and its value for an entity
+    is the set of roles the entity holds.  Declared MV here because an
+    entity can hold several immediate roles at once (e.g. a PERSON who is
+    both STUDENT and INSTRUCTOR).
+    """
+
+    is_subrole = True
+    system_maintained = True
+
+    def __init__(self, name: str, subrole_type: SubroleType, mv: bool = True):
+        options = AttributeOptions(mv=mv, distinct=mv)
+        super().__init__(name, subrole_type, options)
+
+    @property
+    def subclass_names(self):
+        return self.data_type.subclass_names
+
+    def ddl(self) -> str:
+        return f"{self.name}: {self.data_type.ddl()}" + (" mv" if self.options.mv else "")
+
+
+class SurrogateAttribute(DataValuedAttribute):
+    """The system-maintained surrogate of a base class (paper §3.1).
+
+    Unique, non-null, immutable; inherited by every subclass in the
+    hierarchy.  By default the system generates values; a user-declared
+    UNIQUE REQUIRED attribute may be designated as the surrogate instead
+    (§5.2), which we model with ``user_defined=True``.
+    """
+
+    is_surrogate = True
+    system_maintained = True
+
+    def __init__(self, name: str = "surrogate", user_defined: bool = False):
+        options = AttributeOptions(required=True, unique=True)
+        super().__init__(name, SurrogateType(), options)
+        self.user_defined = user_defined
+
+    def ddl(self) -> str:
+        return f"{self.name}: surrogate unique required"

@@ -1,0 +1,361 @@
+"""Parser for SIM DDL, covering the concrete syntax of the paper's §7.
+
+Accepted statements::
+
+    Type <name> = <type-spec> ;
+    Class <name> ( <attribute> ; ... ) ;
+    Subclass <name> of <super> [and <super>]... ( <attribute> ; ... ) ;
+    Verify <name> on <class> assert <selection expression>
+        else "<message>" ;
+    Derive <name> on <class> as <expression> ;          -- paper §6
+    View <name> of <class> [ where <selection expr> ] ;  -- paper §6
+
+Attribute declarations::
+
+    <name> : <type-spec> [options]                  -- DVA
+    <name> : subrole ( <class>, ... ) [mv]          -- subrole attribute
+    <name> : <class> [inverse is <name>] [options]  -- EVA
+
+Options are ``unique``, ``required`` and ``mv [(max <n>] [, distinct)]``,
+with commas between options optional (the paper itself uses both
+``integer, unique, required`` and ``id-number unique required``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import DDLSyntaxError
+from repro.lexer import IDENT, NUMBER, STRING, SYMBOL, Token, TokenStream, tokenize
+from repro.naming import canon
+from repro.schema.attribute import (
+    AttributeOptions,
+    DataValuedAttribute,
+    EntityValuedAttribute,
+    SubroleAttribute,
+)
+from repro.schema.klass import SimClass, VerifyConstraint
+from repro.schema.schema import Schema
+from repro.types.domain import (
+    BooleanType,
+    DataType,
+    DateType,
+    IntegerType,
+    NumberType,
+    RealType,
+    StringType,
+    SubroleType,
+    SymbolicType,
+    TimeType,
+)
+
+_OPTION_WORDS = {"unique", "required", "mv"}
+_BUILTIN_TYPE_WORDS = {
+    "integer", "number", "real", "string", "boolean", "date", "time"}
+
+
+def parse_ddl(text: str, schema: Optional[Schema] = None,
+              resolve: bool = True) -> Schema:
+    """Parse DDL ``text`` into a :class:`Schema`.
+
+    When ``schema`` is given, definitions are added to it (it must not be
+    resolved yet); otherwise a fresh schema is created.  With ``resolve``
+    (the default) the schema is resolved before being returned, so the
+    result is immediately usable by a database.
+    """
+    parser = _DDLParser(text, schema or Schema())
+    parsed = parser.parse()
+    if resolve:
+        parsed.resolve()
+    return parsed
+
+
+class _DDLParser:
+    def __init__(self, text: str, schema: Schema):
+        self.stream = TokenStream(tokenize(text, DDLSyntaxError), DDLSyntaxError)
+        self.schema = schema
+
+    def parse(self) -> Schema:
+        while not self.stream.at_end():
+            if self.stream.accept_keyword("type"):
+                self._type_declaration()
+            elif self.stream.accept_keyword("class"):
+                self._class_declaration(is_base=True)
+            elif self.stream.accept_keyword("subclass"):
+                self._class_declaration(is_base=False)
+            elif self.stream.accept_keyword("verify"):
+                self._verify_declaration()
+            elif self.stream.accept_keyword("derive"):
+                self._derive_declaration()
+            elif (self.stream.check_keyword("view")
+                  and self.stream.peek().kind == IDENT):
+                self.stream.advance()
+                self._view_declaration()
+            elif self.stream.accept_symbol(";"):
+                continue
+            else:
+                self.stream.fail(
+                    "expected TYPE, CLASS, SUBCLASS or VERIFY declaration")
+        return self.schema
+
+    # -- Declarations -----------------------------------------------------------
+
+    def _type_declaration(self) -> None:
+        name = self.stream.expect_ident("type name").value
+        self.stream.expect_symbol("=")
+        data_type = self._type_spec()
+        self.stream.expect_symbol(";")
+        self.schema.define_type(name, data_type)
+
+    def _class_declaration(self, is_base: bool) -> None:
+        name = self.stream.expect_ident("class name").value
+        supers: List[str] = []
+        if not is_base:
+            self.stream.expect_keyword("of")
+            supers.append(self.stream.expect_ident("superclass name").value)
+            while self.stream.accept_keyword("and"):
+                supers.append(self.stream.expect_ident("superclass name").value)
+        sim_class = SimClass(name, supers)
+        self.stream.expect_symbol("(")
+        while not self.stream.check_symbol(")"):
+            self._attribute(sim_class)
+            # Attribute separator: ';' canonically; ',' tolerated (the
+            # paper's own listing mixes them).
+            while self.stream.accept_symbol(";") or self.stream.accept_symbol(","):
+                pass
+        self.stream.expect_symbol(")")
+        self.stream.accept_symbol(";")
+        self.schema.add_class(sim_class)
+
+    def _verify_declaration(self) -> None:
+        name = self.stream.expect_ident("constraint name").value
+        self.stream.expect_keyword("on")
+        class_name = self.stream.expect_ident("class name").value
+        self.stream.expect_keyword("assert")
+        assertion = self._capture_until_else()
+        self.stream.expect_keyword("else")
+        message_token = self.stream.advance()
+        if message_token.kind != STRING:
+            self.stream.fail("expected the ELSE message string")
+        self.stream.accept_symbol(";")
+        self.schema.add_constraint(
+            VerifyConstraint(name, class_name, assertion, message_token.value))
+
+    def _derive_declaration(self) -> None:
+        name = self.stream.expect_ident("derived attribute name").value
+        self.stream.expect_keyword("on")
+        class_name = self.stream.expect_ident("class name").value
+        self.stream.expect_keyword("as")
+        expression = self._capture_until(";")
+        self.stream.accept_symbol(";")
+        self.schema.define_derived(name, class_name, expression)
+
+    def _view_declaration(self) -> None:
+        name = self.stream.expect_ident("view name").value
+        self.stream.expect_keyword("of")
+        class_name = self.stream.expect_ident("class name").value
+        where_text = None
+        if self.stream.accept_keyword("where"):
+            where_text = self._capture_until(";")
+        self.stream.accept_symbol(";")
+        self.schema.define_view(name, class_name, where_text)
+
+    def _capture_until(self, terminator: str) -> str:
+        """Collect raw expression text up to an unnested terminator symbol
+        (re-lexed later by the DML parser)."""
+        pieces: List[str] = []
+        depth = 0
+        while True:
+            token = self.stream.current
+            if token.kind == SYMBOL and token.value == "(":
+                depth += 1
+            elif token.kind == SYMBOL and token.value == ")":
+                depth -= 1
+            elif (depth == 0 and token.kind == SYMBOL
+                  and token.value == terminator):
+                break
+            elif token.kind == "EOF":
+                break
+            self.stream.advance()
+            if token.kind == STRING:
+                pieces.append('"' + token.value.replace('"', '""') + '"')
+            else:
+                pieces.append(token.value)
+        if not pieces:
+            self.stream.fail("expected an expression")
+        return " ".join(pieces)
+
+    def _capture_until_else(self) -> str:
+        """Collect the raw assertion expression text up to the ELSE keyword.
+
+        The expression is re-lexed later by the DML parser, so a
+        token-joined reconstruction is sufficient.
+        """
+        pieces: List[str] = []
+        depth = 0
+        while True:
+            token = self.stream.current
+            if token.kind == SYMBOL and token.value == "(":
+                depth += 1
+            elif token.kind == SYMBOL and token.value == ")":
+                depth -= 1
+            elif depth == 0 and token.is_keyword("else"):
+                break
+            elif token.kind == "EOF":
+                self.stream.fail("VERIFY assertion missing ELSE clause")
+            self.stream.advance()
+            if token.kind == STRING:
+                pieces.append('"' + token.value.replace('"', '""') + '"')
+            else:
+                pieces.append(token.value)
+        return " ".join(pieces)
+
+    # -- Attributes -----------------------------------------------------------
+
+    def _attribute(self, sim_class: SimClass) -> None:
+        name = self.stream.expect_ident("attribute name").value
+        self.stream.expect_symbol(":")
+        head = self.stream.expect_ident("attribute type")
+        word = head.value.lower()
+
+        if word == "subrole":
+            self.stream.expect_symbol("(")
+            values = [self.stream.expect_ident("subclass name").value]
+            while self.stream.accept_symbol(","):
+                values.append(self.stream.expect_ident("subclass name").value)
+            self.stream.expect_symbol(")")
+            mv = bool(self.stream.accept_keyword("mv"))
+            sim_class.add_attribute(
+                SubroleAttribute(name, SubroleType(values), mv=mv))
+            return
+
+        if word in _BUILTIN_TYPE_WORDS:
+            data_type = self._builtin_type(word)
+            options = self._options()
+            sim_class.add_attribute(
+                DataValuedAttribute(name, data_type, options))
+            return
+
+        if canon(head.value) in self.schema.types:
+            data_type = self.schema.types.lookup(head.value)
+            options = self._options()
+            sim_class.add_attribute(
+                DataValuedAttribute(name, data_type, options,
+                                    type_name=head.value))
+            return
+
+        # Otherwise it names a class (possibly forward-declared): an EVA.
+        inverse_name = None
+        if self.stream.check_keyword("inverse"):
+            self.stream.advance()
+            self.stream.expect_keyword("is")
+            inverse_name = self.stream.expect_ident("inverse name").value
+        options = self._options()
+        sim_class.add_attribute(
+            EntityValuedAttribute(name, head.value, inverse_name, options))
+
+    def _options(self) -> AttributeOptions:
+        required = unique = mv = distinct = False
+        max_cardinality: Optional[int] = None
+        ordered_by: Optional[str] = None
+        while True:
+            # commas between options are optional
+            mark = self.stream.save()
+            if self.stream.accept_symbol(","):
+                if not self.stream.check_keyword(*_OPTION_WORDS):
+                    self.stream.restore(mark)
+                    break
+            if self.stream.accept_keyword("required"):
+                required = True
+            elif self.stream.accept_keyword("unique"):
+                unique = True
+            elif self.stream.accept_keyword("mv"):
+                mv = True
+                if self.stream.accept_symbol("("):
+                    while True:
+                        if self.stream.accept_keyword("distinct"):
+                            distinct = True
+                        elif self.stream.accept_keyword("max"):
+                            max_cardinality = self.stream.expect_integer()
+                        elif self.stream.accept_keyword("ordered"):
+                            self.stream.expect_keyword("by")
+                            ordered_by = self.stream.expect_ident(
+                                "ordering attribute").value
+                        else:
+                            self.stream.fail(
+                                "expected MAX, DISTINCT or ORDERED BY")
+                        if not self.stream.accept_symbol(","):
+                            break
+                    self.stream.expect_symbol(")")
+            else:
+                break
+        try:
+            return AttributeOptions(required=required, unique=unique, mv=mv,
+                                    distinct=distinct,
+                                    max_cardinality=max_cardinality,
+                                    ordered_by=ordered_by)
+        except Exception as exc:
+            self.stream.fail(str(exc))
+
+    # -- Type specs --------------------------------------------------------------
+
+    def _type_spec(self) -> DataType:
+        head = self.stream.expect_ident("type")
+        word = head.value.lower()
+        if word == "symbolic":
+            self.stream.expect_symbol("(")
+            values = [self.stream.expect_ident("symbolic value").value]
+            while self.stream.accept_symbol(","):
+                values.append(self.stream.expect_ident("symbolic value").value)
+            self.stream.expect_symbol(")")
+            return SymbolicType(values)
+        if word in _BUILTIN_TYPE_WORDS:
+            return self._builtin_type(word)
+        if canon(head.value) in self.schema.types:
+            return self.schema.types.lookup(head.value)
+        self.stream.fail(f"unknown type {head.value!r}")
+
+    def _builtin_type(self, word: str) -> DataType:
+        if word == "integer":
+            if self.stream.accept_symbol("("):
+                ranges = [self._integer_range()]
+                while self.stream.accept_symbol(","):
+                    ranges.append(self._integer_range())
+                self.stream.expect_symbol(")")
+                return IntegerType(ranges)
+            return IntegerType()
+        if word == "number":
+            if self.stream.accept_symbol("["):
+                precision = self.stream.expect_integer()
+                scale = 0
+                if self.stream.accept_symbol(","):
+                    scale = self.stream.expect_integer()
+                self.stream.expect_symbol("]")
+                return NumberType(precision, scale)
+            return NumberType()
+        if word == "string":
+            if self.stream.accept_symbol("["):
+                length = self.stream.expect_integer()
+                self.stream.expect_symbol("]")
+                return StringType(length)
+            return StringType()
+        if word == "real":
+            return RealType()
+        if word == "boolean":
+            return BooleanType()
+        if word == "date":
+            return DateType()
+        if word == "time":
+            return TimeType()
+        self.stream.fail(f"unknown builtin type {word!r}")  # pragma: no cover
+
+    def _integer_range(self) -> Tuple[int, int]:
+        low = self._signed_integer()
+        self.stream.expect_symbol("..")
+        high = self._signed_integer()
+        return (low, high)
+
+    def _signed_integer(self) -> int:
+        negative = bool(self.stream.accept_symbol("-"))
+        value = self.stream.expect_integer()
+        return -value if negative else value

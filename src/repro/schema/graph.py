@@ -1,0 +1,190 @@
+"""The generalization graph: DAG validation and traversal.
+
+Paper §3.1: "Interclass connections are usually represented as a directed
+graph whose nodes are the classes and whose edges denote
+superclass-to-subclass connections.  SIM requires that this graph be
+acyclic and the set of ancestors of any node contain at most one base
+class."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.errors import SchemaError
+from repro.naming import canon
+
+
+class GeneralizationGraph:
+    """Directed acyclic graph of classes; edges run superclass → subclass."""
+
+    def __init__(self):
+        self._supers: Dict[str, List[str]] = {}
+        self._subs: Dict[str, List[str]] = {}
+
+    def add_class(self, name: str, superclass_names: Sequence[str]) -> None:
+        key = canon(name)
+        if key in self._supers:
+            raise SchemaError(f"class {name!r} declared twice")
+        self._supers[key] = [canon(s) for s in superclass_names]
+        self._subs.setdefault(key, [])
+
+    def finalize(self) -> None:
+        """Wire subclass edges and validate the DAG invariants."""
+        for name, supers in self._supers.items():
+            for sup in supers:
+                if sup not in self._supers:
+                    raise SchemaError(
+                        f"class {name!r} names unknown superclass {sup!r}")
+                if sup == name:
+                    raise SchemaError(f"class {name!r} is its own superclass")
+                self._subs[sup].append(name)
+        self._check_acyclic()
+        self._check_single_base_ancestor()
+
+    # -- Validation -----------------------------------------------------------
+
+    def _check_acyclic(self) -> None:
+        # Kahn's algorithm; anything left over sits on a cycle.
+        indegree = {n: len(s) for n, s in self._supers.items()}
+        frontier = [n for n, d in indegree.items() if d == 0]
+        seen = 0
+        while frontier:
+            node = frontier.pop()
+            seen += 1
+            for sub in self._subs[node]:
+                indegree[sub] -= 1
+                if indegree[sub] == 0:
+                    frontier.append(sub)
+        if seen != len(self._supers):
+            cyclic = sorted(n for n, d in indegree.items() if d > 0)
+            raise SchemaError(f"generalization graph has a cycle through {cyclic}")
+
+    def _check_single_base_ancestor(self) -> None:
+        for name in self._supers:
+            bases = {a for a in self.ancestors(name) if not self._supers[a]}
+            if not self._supers[name]:
+                bases.add(name)
+            if len(bases) > 1:
+                raise SchemaError(
+                    f"class {name!r} has more than one base-class ancestor: "
+                    f"{sorted(bases)}")
+
+    # -- Traversal --------------------------------------------------------------
+
+    def classes(self) -> List[str]:
+        return list(self._supers)
+
+    def superclasses(self, name: str) -> List[str]:
+        return list(self._supers[canon(name)])
+
+    def subclasses(self, name: str) -> List[str]:
+        return list(self._subs[canon(name)])
+
+    def ancestors(self, name: str) -> List[str]:
+        """All proper ancestors, deterministic order (BFS, declaration order)."""
+        result: List[str] = []
+        seen: Set[str] = set()
+        queue = list(self._supers[canon(name)])
+        while queue:
+            node = queue.pop(0)
+            if node in seen:
+                continue
+            seen.add(node)
+            result.append(node)
+            queue.extend(self._supers[node])
+        return result
+
+    def descendants(self, name: str) -> List[str]:
+        """All proper descendants, deterministic order (BFS)."""
+        result: List[str] = []
+        seen: Set[str] = set()
+        queue = list(self._subs[canon(name)])
+        while queue:
+            node = queue.pop(0)
+            if node in seen:
+                continue
+            seen.add(node)
+            result.append(node)
+            queue.extend(self._subs[node])
+        return result
+
+    def base_class_of(self, name: str) -> str:
+        """The unique base-class ancestor of ``name`` (itself if base)."""
+        key = canon(name)
+        if not self._supers[key]:
+            return key
+        for ancestor in self.ancestors(key):
+            if not self._supers[ancestor]:
+                return ancestor
+        raise SchemaError(f"class {name!r} has no base-class ancestor")
+
+    def is_ancestor(self, ancestor: str, descendant: str) -> bool:
+        ancestor = canon(ancestor)
+        descendant = canon(descendant)
+        return ancestor == descendant or ancestor in self.ancestors(descendant)
+
+    def same_hierarchy(self, left: str, right: str) -> bool:
+        """True when the classes share their base class (role conversion legal)."""
+        return self.base_class_of(left) == self.base_class_of(right)
+
+    def level(self, name: str) -> int:
+        """Longest superclass-path length from the base class (base = 0)."""
+        supers = self._supers[canon(name)]
+        if not supers:
+            return 0
+        return 1 + max(self.level(s) for s in supers)
+
+    def hierarchy_depth(self, base_name: str) -> int:
+        """Levels of generalization under a base class, counting the base as 1."""
+        base = canon(base_name)
+        depth = 1
+        for d in self.descendants(base):
+            depth = max(depth, self.level(d) + 1)
+        return depth
+
+    def topological_order(self) -> List[str]:
+        """Superclasses before subclasses; stable w.r.t. declaration order."""
+        indegree = {n: len(s) for n, s in self._supers.items()}
+        order: List[str] = []
+        frontier = [n for n in self._supers if indegree[n] == 0]
+        while frontier:
+            node = frontier.pop(0)
+            order.append(node)
+            for sub in self._subs[node]:
+                indegree[sub] -= 1
+                if indegree[sub] == 0:
+                    frontier.append(sub)
+        return order
+
+    def is_tree_hierarchy(self, base_name: str) -> bool:
+        """True when every descendant of ``base_name`` has exactly one superclass.
+
+        §5.2 maps tree-shaped hierarchies into one storage unit with
+        variable-format records; multiple-inheritance subclasses get their
+        own unit.
+        """
+        return all(len(self._supers[d]) == 1
+                   for d in self.descendants(canon(base_name)))
+
+    def insertion_path(self, from_class: str, to_class: str) -> List[str]:
+        """Classes whose roles must be added when extending ``from_class``
+        down to ``to_class`` — every ancestor of ``to_class`` strictly below
+        ``from_class``, plus ``to_class`` itself, superclasses first.
+
+        Implements the INSERT...FROM rule (paper §4.8): "all superclass
+        roles of <class name1> up to but not including <class name2> will be
+        automatically inserted as needed."
+        """
+        from_key, to_key = canon(from_class), canon(to_class)
+        if not self.is_ancestor(from_key, to_key):
+            raise SchemaError(
+                f"{from_class!r} is not an ancestor of {to_class!r}")
+        # Exclude from_class and everything above it; keep every other
+        # ancestor (e.g. INSERT teaching-assistant FROM student still adds
+        # the INSTRUCTOR role) plus to_class itself.
+        excluded = {from_key, *self.ancestors(from_key)}
+        needed = [a for a in self.ancestors(to_key) if a not in excluded]
+        needed.append(to_key)
+        order = {name: i for i, name in enumerate(self.topological_order())}
+        return sorted(set(needed), key=lambda n: order[n])

@@ -1,0 +1,194 @@
+"""Classes (base classes and subclasses) and VERIFY constraints.
+
+Paper §3.1: the primary unit of data encapsulation is the class.  A base
+class is independent; a subclass is defined on one or more superclasses.
+Interclass connections form a DAG whose edges are superclass→subclass
+connections; the ancestors of any node contain at most one base class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.naming import canon
+from repro.schema.attribute import (
+    Attribute,
+    DataValuedAttribute,
+    EntityValuedAttribute,
+    SubroleAttribute,
+    SurrogateAttribute,
+)
+
+
+class VerifyConstraint:
+    """A class-level integrity assertion (paper §3.3, §7).
+
+    ``Verify v1 on Student assert <selection expression> else "message"``
+
+    The assertion text is any DML selection expression with the class as
+    perspective; it is parsed when the schema is attached to a database
+    (the DML parser needs a resolved schema).  Entities for which the
+    assertion does not hold make the violating DML action fail with the
+    ELSE message.
+    """
+
+    def __init__(self, name: str, class_name: str, assertion_text: str,
+                 else_message: str):
+        self.name = canon(name)
+        self.class_name = canon(class_name)
+        self.assertion_text = assertion_text.strip()
+        self.else_message = else_message
+
+    def ddl(self) -> str:
+        return (f"verify {self.name} on {self.class_name}\n"
+                f"  assert {self.assertion_text}\n"
+                f"  else \"{self.else_message}\";")
+
+    def __repr__(self):
+        return f"<VerifyConstraint {self.name} on {self.class_name}>"
+
+
+class DerivedAttribute:
+    """A derived (computed) attribute — paper §6's "derived attributes".
+
+    ``Derive compensation on instructor as salary + bonus;``
+
+    Readable wherever a single-valued DVA is; never stored, never
+    assignable.  The expression is any DML value expression with the class
+    as perspective, parsed when first used.
+    """
+
+    system_maintained = True
+    is_eva = False
+    is_subrole = False
+    is_surrogate = False
+
+    def __init__(self, name: str, class_name: str, expression_text: str):
+        self.name = canon(name)
+        self.class_name = canon(class_name)
+        self.expression_text = expression_text.strip()
+
+    def ddl(self) -> str:
+        return (f"derive {self.name} on {self.class_name} as "
+                f"{self.expression_text};")
+
+    def __repr__(self):
+        return f"<DerivedAttribute {self.class_name}.{self.name}>"
+
+
+class ViewDefinition:
+    """A named subcollection view — paper §6's "view mechanism".
+
+    ``View honor-roll of student where <selection expression>;``
+
+    A view is usable as a perspective anywhere its class is; its extent is
+    the class extent filtered by the predicate.  All attributes (and
+    derived attributes) of the class are visible through the view.
+    """
+
+    def __init__(self, name: str, class_name: str,
+                 where_text: Optional[str] = None):
+        self.name = canon(name)
+        self.class_name = canon(class_name)
+        self.where_text = where_text.strip() if where_text else None
+
+    def ddl(self) -> str:
+        text = f"view {self.name} of {self.class_name}"
+        if self.where_text:
+            text += f" where {self.where_text}"
+        return text + ";"
+
+    def __repr__(self):
+        return f"<ViewDefinition {self.name} of {self.class_name}>"
+
+
+class SimClass:
+    """A SIM class: named collection of entities with immediate attributes.
+
+    After :meth:`repro.schema.schema.Schema.resolve` runs, the derived
+    fields (``base_class_name``, ``all_attributes``, ``subrole_attribute``,
+    ``subclass_names``...) are populated.
+    """
+
+    def __init__(self, name: str, superclass_names: Sequence[str] = (),
+                 attributes: Sequence[Attribute] = ()):
+        self.name = canon(name)
+        self.superclass_names: List[str] = [canon(s) for s in superclass_names]
+        if len(set(self.superclass_names)) != len(self.superclass_names):
+            raise SchemaError(f"duplicate superclass in {self.name}")
+        self.immediate_attributes: Dict[str, Attribute] = {}
+        for attribute in attributes:
+            self.add_attribute(attribute)
+
+        # --- Derived during resolution -------------------------------------
+        #: name of the unique base-class ancestor (== self.name for a base class)
+        self.base_class_name: Optional[str] = None
+        #: all attributes visible on this class, immediate and inherited
+        self.all_attributes: Dict[str, Attribute] = {}
+        #: names of immediate subclasses
+        self.subclass_names: List[str] = []
+        #: the subrole attribute declared on this class, if any
+        self.subrole_attribute: Optional[SubroleAttribute] = None
+        #: the surrogate attribute (declared on the base class, inherited)
+        self.surrogate_attribute: Optional[SurrogateAttribute] = None
+        #: VERIFY constraints whose perspective is this class
+        self.constraints: List[VerifyConstraint] = []
+        #: depth in the hierarchy (base class = 0, longest path)
+        self.level: int = 0
+
+    # -- Construction -------------------------------------------------------
+
+    @property
+    def is_base(self) -> bool:
+        return not self.superclass_names
+
+    def add_attribute(self, attribute: Attribute) -> None:
+        if attribute.name in self.immediate_attributes:
+            raise SchemaError(
+                f"attribute {attribute.name!r} declared twice in {self.name!r}")
+        attribute.owner_name = self.name
+        self.immediate_attributes[attribute.name] = attribute
+
+    # -- Lookup (valid after resolution) -------------------------------------
+
+    def attribute(self, name: str) -> Attribute:
+        """Immediate or inherited attribute lookup (paper: interchangeable)."""
+        key = canon(name)
+        try:
+            return self.all_attributes[key]
+        except KeyError:
+            raise SchemaError(
+                f"class {self.name!r} has no attribute {name!r}") from None
+
+    def has_attribute(self, name: str) -> bool:
+        return canon(name) in self.all_attributes
+
+    def evas(self) -> List[EntityValuedAttribute]:
+        """All visible EVAs, immediate and inherited."""
+        return [a for a in self.all_attributes.values() if a.is_eva]
+
+    def immediate_evas(self) -> List[EntityValuedAttribute]:
+        return [a for a in self.immediate_attributes.values() if a.is_eva]
+
+    def dvas(self) -> List[DataValuedAttribute]:
+        """All visible DVAs (excluding the surrogate), immediate and inherited."""
+        return [a for a in self.all_attributes.values()
+                if not a.is_eva and not a.is_surrogate]
+
+    def ddl(self) -> str:
+        """Render the class declaration in §7 DDL syntax."""
+        keyword = "class" if self.is_base else "subclass"
+        header = f"{keyword} {self.name}"
+        if not self.is_base:
+            header += " of " + " and ".join(self.superclass_names)
+        body = ";\n  ".join(
+            a.ddl() for a in self.immediate_attributes.values()
+            if not (a.is_surrogate and not getattr(a, "user_defined", False))
+            and not getattr(a, "synthesized_inverse", False)
+        )
+        return f"{header} (\n  {body} );"
+
+    def __repr__(self):
+        kind = "base" if self.is_base else f"subclass of {self.superclass_names}"
+        return f"<SimClass {self.name} ({kind})>"

@@ -1,0 +1,185 @@
+"""Simulated disk and LRU buffer pool with block-I/O accounting.
+
+All physical I/O in the system flows through one :class:`BufferPool`; its
+:class:`IOStats` are the measurements our benchmarks report.  This follows
+the paper's own cost vocabulary (§5.1): "the I/O cost of accessing the
+first instance of a relationship will be 0 if the relationship is
+implemented by clustering and 1 block access if it is implemented by
+absolute addresses".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+
+@dataclass
+class IOStats:
+    """Counters for one disk/buffer-pool pair."""
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.logical_reads, self.physical_reads,
+                       self.physical_writes)
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        return IOStats(self.logical_reads - earlier.logical_reads,
+                       self.physical_reads - earlier.physical_reads,
+                       self.physical_writes - earlier.physical_writes)
+
+    def reset(self) -> None:
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+
+    def __repr__(self):
+        return (f"IOStats(logical={self.logical_reads}, "
+                f"physical_reads={self.physical_reads}, "
+                f"physical_writes={self.physical_writes})")
+
+
+class Block:
+    """One disk block: a list of record slots.
+
+    ``slots[i]`` is ``None`` for a deleted record, otherwise a tuple
+    ``(format_id, values_dict)``.  ``used`` tracks occupied width so files
+    can decide whether another record fits.
+    """
+
+    __slots__ = ("slots", "used")
+
+    def __init__(self):
+        self.slots: List[Optional[tuple]] = []
+        self.used: int = 0
+
+    def copy(self) -> "Block":
+        clone = Block()
+        for entry in self.slots:
+            if entry is None:
+                clone.slots.append(None)
+            else:
+                fmt, values = entry
+                clone.slots.append((fmt, dict(values)))
+        clone.used = self.used
+        return clone
+
+
+class Disk:
+    """The simulated disk: a map from (file_id, block_no) to block images.
+
+    Reading and writing a block each count one physical I/O.  Blocks are
+    deep-copied across the "device boundary" so a buffered block and its
+    disk image are genuinely distinct, as on real hardware.
+    """
+
+    def __init__(self):
+        self._blocks: Dict[Tuple[int, int], Block] = {}
+        self.stats = IOStats()
+
+    def read(self, file_id: int, block_no: int) -> Block:
+        key = (file_id, block_no)
+        self.stats.physical_reads += 1
+        image = self._blocks.get(key)
+        if image is None:
+            return Block()
+        return image.copy()
+
+    def write(self, file_id: int, block_no: int, block: Block) -> None:
+        self.stats.physical_writes += 1
+        self._blocks[(file_id, block_no)] = block.copy()
+
+    def exists(self, file_id: int, block_no: int) -> bool:
+        return (file_id, block_no) in self._blocks
+
+    def block_count(self, file_id: int) -> int:
+        return sum(1 for fid, _ in self._blocks if fid == file_id)
+
+
+class BufferPool:
+    """LRU cache of blocks in front of a :class:`Disk`.
+
+    ``capacity`` is in blocks (minimum 1).  Cold-cache measurements call
+    :meth:`invalidate` between runs instead of disabling buffering.
+    """
+
+    def __init__(self, disk: Disk, capacity: int = 256):
+        if capacity < 1:
+            raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        #: optional write-ahead log; forced before any data-block write
+        self.wal = None
+        self._frames: "OrderedDict[Tuple[int,int], Block]" = OrderedDict()
+        self._dirty: set = set()
+        self.stats = IOStats()
+
+    # -- Block access -----------------------------------------------------------
+
+    def get(self, file_id: int, block_no: int) -> Block:
+        """Fetch a block for reading or in-place mutation.
+
+        The caller must call :meth:`mark_dirty` after mutating.
+        """
+        key = (file_id, block_no)
+        self.stats.logical_reads += 1
+        block = self._frames.get(key)
+        if block is not None:
+            self._frames.move_to_end(key)
+            return block
+        block = self.disk.read(file_id, block_no)
+        self.stats.physical_reads += 1
+        self._install(key, block)
+        return block
+
+    def mark_dirty(self, file_id: int, block_no: int) -> None:
+        key = (file_id, block_no)
+        if key not in self._frames:
+            raise StorageError(f"block {key} not resident; cannot dirty it")
+        self._dirty.add(key)
+
+    def _install(self, key: Tuple[int, int], block: Block) -> None:
+        self._frames[key] = block
+        self._evict_down_to(self.capacity)
+
+    def _evict_down_to(self, capacity: int) -> None:
+        while len(self._frames) > capacity:
+            victim_key, victim = self._frames.popitem(last=False)
+            if victim_key in self._dirty:
+                if self.wal is not None:
+                    self.wal.force()   # the WAL rule: log before data
+                self.disk.write(*victim_key, victim)
+                self.stats.physical_writes += 1
+                self._dirty.discard(victim_key)
+
+    # -- Maintenance --------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write all dirty blocks back to disk (keeps them resident)."""
+        if self.wal is not None and self._dirty:
+            self.wal.force()
+        for key in sorted(self._dirty):
+            self.disk.write(*key, self._frames[key])
+            self.stats.physical_writes += 1
+        self._dirty.clear()
+
+    def invalidate(self) -> None:
+        """Drop every frame (flushing dirty ones) — a cold cache."""
+        self.flush()
+        self._frames.clear()
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 1:
+            raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._evict_down_to(capacity)
+
+    @property
+    def resident_blocks(self) -> int:
+        return len(self._frames)

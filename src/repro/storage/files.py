@@ -1,0 +1,242 @@
+"""Record files: slotted blocks of fixed-width, variable-format records.
+
+A :class:`RecordFile` corresponds to one "storage unit" of §5.2.  It may
+mix several record formats in one file (variable-format records), tracks
+free space per block, and supports *clustered* insertion (place a record
+in the same block as a related record when it fits) — the mapping option
+whose first-instance access cost the paper quotes as 0 I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.records import RecordFormat, RID
+
+
+class RecordFile:
+    """One storage unit: an extendable sequence of slotted blocks.
+
+    Records are addressed by :class:`RID` and never move once inserted
+    (no compaction), so RIDs are stable and can serve as "absolute
+    addresses" (§5.2 pointer mapping) and "direct keys" (record numbers).
+    """
+
+    def __init__(self, file_id: int, name: str, pool: BufferPool,
+                 block_size: int = 1024):
+        if block_size < 64:
+            raise StorageError(f"block size {block_size} too small")
+        self.file_id = file_id
+        self.name = name
+        self.pool = pool
+        self.block_size = block_size
+        #: fraction of each block held back from ordinary inserts so that
+        #: clustered (near=...) inserts still find room next to their
+        #: anchor record (0.0 = no reservation)
+        self.cluster_reserve = 0.0
+        #: optional write-ahead log and transaction-context provider
+        #: (callable returning (txn_id, rolling_back)); wired by the Mapper
+        self.wal = None
+        self.txn_context = None
+        self.formats: Dict[int, RecordFormat] = {}
+        # In-memory extent metadata (a real system keeps this in a file
+        # header block; we charge no I/O for it).
+        self._block_count = 0
+        self._free_space: List[int] = []   # free bytes per block
+        self._record_count = 0
+
+    # -- Format registry ----------------------------------------------------------
+
+    def register_format(self, record_format: RecordFormat) -> RecordFormat:
+        if record_format.format_id in self.formats:
+            raise StorageError(
+                f"format #{record_format.format_id} already registered in "
+                f"{self.name!r}")
+        if record_format.width > self.block_size:
+            raise StorageError(
+                f"record format {record_format.name!r} (width "
+                f"{record_format.width}) exceeds block size {self.block_size}")
+        self.formats[record_format.format_id] = record_format
+        return record_format
+
+    def blocking_factor(self, format_id: int) -> int:
+        """Records of this format per block, if stored homogeneously."""
+        return max(1, self.block_size // self.formats[format_id].width)
+
+    # -- Insert / read / update / delete -------------------------------------------
+
+    def insert(self, format_id: int, values: Dict[str, object],
+               near: Optional[RID] = None) -> RID:
+        """Insert a record; with ``near``, try to cluster next to that RID."""
+        record_format = self._format(format_id)
+        width = record_format.width
+        block_no = self._choose_block(width, near)
+        block = self.pool.get(self.file_id, block_no)
+        block.slots.append((format_id, dict(values)))
+        block.used += width
+        self._free_space[block_no] = self.block_size - block.used
+        self.pool.mark_dirty(self.file_id, block_no)
+        self._record_count += 1
+        rid = RID(block_no, len(block.slots) - 1)
+        self._log(rid, None, (format_id, values))
+        return rid
+
+    def _choose_block(self, width: int, near: Optional[RID]) -> int:
+        if near is not None and near.block < self._block_count:
+            # Clustered inserts may dip into the reserved space.
+            if self._free_space[near.block] >= width:
+                return near.block
+        # Ordinary inserts respect the cluster reservation.
+        reserve = int(self.block_size * self.cluster_reserve)
+        usable = lambda block_no: self._free_space[block_no] - reserve
+        # First fit over existing blocks, preferring the tail for locality.
+        if self._block_count and usable(self._block_count - 1) >= width:
+            return self._block_count - 1
+        for block_no in range(self._block_count):
+            if usable(block_no) >= width:
+                return block_no
+        self._block_count += 1
+        self._free_space.append(self.block_size)
+        return self._block_count - 1
+
+    def read(self, rid: RID) -> Tuple[int, Dict[str, object]]:
+        """Read one record; returns (format_id, values copy)."""
+        block = self._block_of(rid)
+        entry = self._entry(block, rid)
+        format_id, values = entry
+        return format_id, dict(values)
+
+    def update(self, rid: RID, values: Dict[str, object]) -> None:
+        """Overwrite the named fields of a record in place."""
+        block = self._block_of(rid)
+        entry = self._entry(block, rid)
+        format_id, stored = entry
+        record_format = self._format(format_id)
+        before = dict(stored)
+        for name, value in values.items():
+            if name not in record_format.fields:
+                raise StorageError(
+                    f"format {record_format.name!r} has no field {name!r}")
+            stored[name] = value
+        self.pool.mark_dirty(self.file_id, rid.block)
+        self._log(rid, (format_id, before), (format_id, stored))
+
+    def delete(self, rid: RID) -> Dict[str, object]:
+        """Tombstone a record; returns its final values (for undo)."""
+        block = self._block_of(rid)
+        entry = self._entry(block, rid)
+        format_id, values = entry
+        block.slots[rid.slot] = None
+        width = self._format(format_id).width
+        block.used -= width
+        self._free_space[rid.block] = self.block_size - block.used
+        self.pool.mark_dirty(self.file_id, rid.block)
+        self._record_count -= 1
+        self._log(rid, (format_id, values), None)
+        return dict(values)
+
+    def undelete(self, rid: RID, format_id: int,
+                 values: Dict[str, object]) -> None:
+        """Restore a tombstoned record (transaction undo path)."""
+        block = self._block_of(rid)
+        if rid.slot >= len(block.slots) or block.slots[rid.slot] is not None:
+            raise StorageError(f"cannot undelete occupied slot {rid}")
+        block.slots[rid.slot] = (format_id, dict(values))
+        width = self._format(format_id).width
+        block.used += width
+        self._free_space[rid.block] = self.block_size - block.used
+        self.pool.mark_dirty(self.file_id, rid.block)
+        self._record_count += 1
+        self._log(rid, None, (format_id, values))
+
+    def exists(self, rid: RID) -> bool:
+        if rid.block >= self._block_count:
+            return False
+        block = self.pool.get(self.file_id, rid.block)
+        return (rid.slot < len(block.slots)
+                and block.slots[rid.slot] is not None)
+
+    def _log(self, rid: RID, before, after) -> None:
+        """Write-ahead log hook for one slot mutation."""
+        if self.wal is None:
+            return
+        txn_id, rolling_back = (self.txn_context()
+                                if self.txn_context else (None, False))
+        self.wal.log_update(txn_id, self.file_id, rid.block, rid.slot,
+                            before, after, compensation=rolling_back)
+
+    # -- Rebuild after crash -------------------------------------------------------
+
+    def rebuild_metadata(self, disk) -> None:
+        """Recompute block count, per-block used space and the free-space
+        map from the disk image (after crash recovery's undo surgery)."""
+        max_block = -1
+        for (file_id, block_no) in list(disk._blocks):
+            if file_id == self.file_id:
+                max_block = max(max_block, block_no)
+        self._block_count = max_block + 1
+        self._free_space = []
+        self._record_count = 0
+        for block_no in range(self._block_count):
+            block = disk.read(self.file_id, block_no)
+            used = 0
+            for entry in block.slots:
+                if entry is None:
+                    continue
+                format_id, _ = entry
+                used += self.formats[format_id].width
+                self._record_count += 1
+            block.used = used
+            disk.write(self.file_id, block_no, block)
+            self._free_space.append(self.block_size - used)
+
+    # -- Scanning ---------------------------------------------------------------
+
+    def scan(self, format_id: Optional[int] = None
+             ) -> Iterator[Tuple[RID, int, Dict[str, object]]]:
+        """Iterate records in block order; optionally one format only.
+
+        Each visited block costs one logical (and possibly physical) read.
+        """
+        for block_no in range(self._block_count):
+            block = self.pool.get(self.file_id, block_no)
+            for slot, entry in enumerate(block.slots):
+                if entry is None:
+                    continue
+                fmt, values = entry
+                if format_id is not None and fmt != format_id:
+                    continue
+                yield RID(block_no, slot), fmt, dict(values)
+
+    # -- Metadata ------------------------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    @property
+    def block_count(self) -> int:
+        return self._block_count
+
+    def _format(self, format_id: int) -> RecordFormat:
+        try:
+            return self.formats[format_id]
+        except KeyError:
+            raise StorageError(
+                f"unknown record format #{format_id} in {self.name!r}") from None
+
+    def _block_of(self, rid: RID):
+        if rid.block >= self._block_count:
+            raise StorageError(f"{self.name!r}: block {rid.block} out of range")
+        return self.pool.get(self.file_id, rid.block)
+
+    def _entry(self, block, rid: RID):
+        if rid.slot >= len(block.slots) or block.slots[rid.slot] is None:
+            raise StorageError(f"{self.name!r}: no record at {rid}")
+        return block.slots[rid.slot]
+
+    def __repr__(self):
+        return (f"<RecordFile #{self.file_id} {self.name} "
+                f"records={self._record_count} blocks={self._block_count}>")

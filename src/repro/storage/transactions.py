@@ -1,0 +1,144 @@
+"""Undo-log transactions with savepoints.
+
+The paper relies on DMSII for transaction management (§1).  Our substrate
+provides single-writer transactions: every mutating operation registers an
+undo closure; ABORT replays undos in reverse; COMMIT discards them and
+flushes the buffer pool.  Savepoints support partial rollback, which the
+update engine uses to make each DML statement atomic with respect to
+integrity failures (a failed VERIFY rolls back only that statement).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import TransactionError
+
+
+class Transaction:
+    """One open transaction: a stack of undo closures."""
+
+    _ids = 0
+
+    def __init__(self, manager: "TransactionManager"):
+        Transaction._ids += 1
+        self.transaction_id = Transaction._ids
+        self._manager = manager
+        self._undo_log: List[Callable[[], None]] = []
+        self.active = True
+        self._rolling_back = False
+
+    def record_undo(self, undo: Callable[[], None]) -> None:
+        if not self.active:
+            raise TransactionError("transaction is not active")
+        if self._rolling_back:
+            # Undo actions run through the same mutators that normally
+            # register undos; recording those would keep the log from ever
+            # draining.  Compensation during rollback is not undoable.
+            return
+        self._undo_log.append(undo)
+
+    def savepoint(self) -> int:
+        """Return a mark usable with :meth:`rollback_to`."""
+        if not self.active:
+            raise TransactionError("transaction is not active")
+        return len(self._undo_log)
+
+    def rollback_to(self, mark: int) -> None:
+        """Undo everything recorded after ``mark`` (statement-level abort)."""
+        if not self.active:
+            raise TransactionError("transaction is not active")
+        if mark > len(self._undo_log):
+            raise TransactionError(f"invalid savepoint {mark}")
+        self._rolling_back = True
+        try:
+            while len(self._undo_log) > mark:
+                self._undo_log.pop()()
+        finally:
+            self._rolling_back = False
+
+    def _commit(self) -> None:
+        self._undo_log.clear()
+        self.active = False
+
+    def _abort(self) -> None:
+        self._rolling_back = True
+        try:
+            while self._undo_log:
+                self._undo_log.pop()()
+        finally:
+            self._rolling_back = False
+        self.active = False
+
+    def __repr__(self):
+        state = "active" if self.active else "closed"
+        return f"<Transaction #{self.transaction_id} {state}, " \
+               f"{len(self._undo_log)} undo entries>"
+
+
+class TransactionManager:
+    """Hands out one transaction at a time (single-writer discipline).
+
+    ``flush_on_commit`` — when a buffer pool is attached, commit flushes
+    dirty blocks so committed state is durable on the simulated disk.
+    """
+
+    def __init__(self, pool=None, wal=None):
+        self._pool = pool
+        self._wal = wal
+        self._current: Optional[Transaction] = None
+        self.commits = 0
+        self.aborts = 0
+
+    @property
+    def current(self) -> Optional[Transaction]:
+        return self._current
+
+    def begin(self) -> Transaction:
+        if self._current is not None and self._current.active:
+            raise TransactionError("a transaction is already active")
+        self._current = Transaction(self)
+        return self._current
+
+    def commit(self) -> None:
+        transaction = self._require_active()
+        transaction._commit()
+        self._current = None
+        self.commits += 1
+        if self._wal is not None:
+            # Commit record + log force first, then data pages (force
+            # policy: committed work never needs redo).
+            self._wal.log_commit(transaction.transaction_id)
+        if self._pool is not None:
+            self._pool.flush()
+
+    def abort(self) -> None:
+        transaction = self._require_active()
+        transaction._abort()
+        self._current = None
+        self.aborts += 1
+
+    def in_transaction(self) -> bool:
+        return self._current is not None and self._current.active
+
+    def record_undo(self, undo: Callable[[], None]) -> None:
+        """Record an undo in the active transaction, if any.
+
+        Outside a transaction the operation is auto-committed: there is
+        nothing to undo to, so the closure is dropped.
+        """
+        if self.in_transaction():
+            self._current.record_undo(undo)
+
+    def txn_context(self):
+        """(txn id, rolling-back?) of the active transaction, for the WAL
+        hooks (compensations during rollback become CLRs)."""
+        if self._current is not None and self._current.active:
+            return (self._current.transaction_id,
+                    self._current._rolling_back)
+        return (None, False)
+
+    def _require_active(self) -> Transaction:
+        if self._current is None or not self._current.active:
+            raise TransactionError("no active transaction")
+        return self._current

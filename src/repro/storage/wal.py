@@ -1,0 +1,153 @@
+"""Write-ahead logging and crash recovery.
+
+The paper delegates "transaction ... management" to DMSII (§1); a
+credible substrate therefore needs durability, not just in-memory undo.
+This module adds physical, slot-level write-ahead logging:
+
+* every record mutation appends an UPDATE log record carrying before- and
+  after-images of the slot;
+* the log tail is *forced* to the simulated disk before any data block is
+  written (the WAL rule — hooked into buffer-pool eviction and flush);
+* COMMIT appends a commit record, forces the log, then flushes data pages
+  (a force policy, so committed work needs no redo);
+* compensations performed while rolling back are logged as CLRs
+  (compensation log records), which recovery never undoes.
+
+Recovery (after :meth:`repro.mapper.store.MapperStore.simulate_crash`)
+replays the *disk-resident* log backwards, restoring the before-image of
+every non-CLR update belonging to a transaction without a commit record —
+exactly the steal/force discipline's undo pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+UPDATE = "update"
+COMMIT = "commit"
+CLR = "clr"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log entry.  ``payload`` for UPDATE/CLR is
+    (file_id, block_no, slot, before_entry, after_entry); entries are
+    ``None`` (empty slot) or ``(format_id, values_dict)``."""
+
+    lsn: int
+    txn_id: Optional[int]
+    kind: str
+    payload: Optional[tuple] = None
+
+
+class WriteAheadLog:
+    """An append-only log with an explicitly forced (durable) prefix."""
+
+    def __init__(self):
+        self._records: List[LogRecord] = []
+        self._durable_upto = 0       # count of records safely "on disk"
+        self._next_lsn = 1
+        #: physical writes charged for log forces (one per non-empty force)
+        self.forces = 0
+        self.appended = 0
+
+    # -- Writing -----------------------------------------------------------------
+
+    def append(self, txn_id: Optional[int], kind: str,
+               payload: Optional[tuple] = None) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._records.append(LogRecord(lsn, txn_id, kind, payload))
+        self.appended += 1
+        return lsn
+
+    def log_update(self, txn_id: Optional[int], file_id: int, block_no: int,
+                   slot: int, before, after, compensation: bool) -> int:
+        before = _snapshot(before)
+        after = _snapshot(after)
+        kind = CLR if compensation else UPDATE
+        return self.append(txn_id, kind,
+                           (file_id, block_no, slot, before, after))
+
+    def log_commit(self, txn_id: int) -> int:
+        lsn = self.append(txn_id, COMMIT)
+        self.force()
+        return lsn
+
+    def force(self) -> None:
+        """Make the whole tail durable (the WAL rule's flush)."""
+        if self._durable_upto < len(self._records):
+            self._durable_upto = len(self._records)
+            self.forces += 1
+
+    # -- Crash / recovery ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Drop the volatile tail, keeping only the forced prefix."""
+        self._records = self._records[:self._durable_upto]
+        self._next_lsn = (self._records[-1].lsn + 1 if self._records else 1)
+
+    def durable_records(self) -> List[LogRecord]:
+        return list(self._records[:self._durable_upto])
+
+    def committed_transactions(self) -> Set[int]:
+        return {r.txn_id for r in self.durable_records()
+                if r.kind == COMMIT}
+
+    def loser_updates(self) -> List[LogRecord]:
+        """Durable non-CLR updates of transactions without a durable
+        commit record, newest first (the undo pass's work list).
+
+        Records with ``txn_id`` None are auto-committed (Mapper-level
+        operations outside any transaction) and are never undone.
+        """
+        winners = self.committed_transactions()
+        losers = [r for r in self.durable_records()
+                  if r.kind == UPDATE and r.txn_id is not None
+                  and r.txn_id not in winners]
+        return list(reversed(losers))
+
+    def truncate(self) -> None:
+        """Discard the log after a successful recovery (checkpoint)."""
+        self._records.clear()
+        self._durable_upto = 0
+
+    def __len__(self):
+        return len(self._records)
+
+
+def _snapshot(entry):
+    if entry is None:
+        return None
+    format_id, values = entry
+    return (format_id, dict(values))
+
+
+def undo_losers(wal: WriteAheadLog, disk) -> int:
+    """Apply before-images of loser updates to the disk, newest first.
+
+    Returns the number of slot restorations performed.  Operates directly
+    on disk block images (the buffer pool is gone after a crash).
+    """
+    restored = 0
+    for record in wal.loser_updates():
+        file_id, block_no, slot, before, _after = record.payload
+        block = disk.read(file_id, block_no)
+        while len(block.slots) <= slot:
+            block.slots.append(None)
+        old_entry = block.slots[slot]
+        block.slots[slot] = _snapshot(before)
+        _fix_used(block)
+        disk.write(file_id, block_no, block)
+        restored += 1
+    return restored
+
+
+def _fix_used(block) -> None:
+    """Recompute the block's used-space counter after slot surgery.
+
+    Widths are format-dependent; the value is corrected properly when the
+    owning file rebuilds its free-space map, so an estimate suffices here.
+    """
+    block.used = sum(1 for entry in block.slots if entry is not None)

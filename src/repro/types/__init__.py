@@ -1,0 +1,67 @@
+"""SIM type system: data types, nulls and three-valued logic.
+
+SIM is strongly typed (paper §2, §3.2): every DVA has a declared data type
+drawn from integers with range conditions, fixed-point numbers, strings,
+dates, times, booleans, symbolic (enumerated) types and system-maintained
+subrole types.  Named types may be declared once (``Type id-number =
+integer (1001..39999, 60001..99999)``) and reused.
+
+Null values represent both "unknown" and "inapplicable" (paper §3.2.1) and
+expression evaluation follows three-valued logic (paper §4.9), provided by
+:mod:`repro.types.tvl`.
+"""
+
+from repro.types.tvl import (
+    NULL,
+    UNKNOWN,
+    Null,
+    Unknown,
+    is_null,
+    tvl_and,
+    tvl_or,
+    tvl_not,
+    tvl_from_bool,
+    tvl_is_true,
+)
+from repro.types.dates import SimDate, SimTime
+from repro.types.domain import (
+    DataType,
+    IntegerType,
+    NumberType,
+    RealType,
+    StringType,
+    BooleanType,
+    DateType,
+    TimeType,
+    SymbolicType,
+    SubroleType,
+    TypeRegistry,
+    STANDARD_TYPES,
+)
+
+__all__ = [
+    "NULL",
+    "UNKNOWN",
+    "Null",
+    "Unknown",
+    "is_null",
+    "tvl_and",
+    "tvl_or",
+    "tvl_not",
+    "tvl_from_bool",
+    "tvl_is_true",
+    "SimDate",
+    "SimTime",
+    "DataType",
+    "IntegerType",
+    "NumberType",
+    "RealType",
+    "StringType",
+    "BooleanType",
+    "DateType",
+    "TimeType",
+    "SymbolicType",
+    "SubroleType",
+    "TypeRegistry",
+    "STANDARD_TYPES",
+]

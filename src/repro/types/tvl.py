@@ -1,0 +1,129 @@
+"""Null values and three-valued logic.
+
+The paper (§4.9): "Null values are treated uniformly in expression
+evaluation, and SIM follows the 3-valued logic."  A null stands for both
+"unknown" and "inapplicable" (§3.2.1).
+
+We model the null *value* with the singleton :data:`NULL` and the unknown
+*truth value* with the singleton :data:`UNKNOWN`.  Boolean connectives over
+{True, False, UNKNOWN} follow Kleene logic:
+
+====== ======= =========
+ AND    OR      NOT
+====== ======= =========
+T∧U=U   T∨U=T   ¬U=U
+F∧U=F   F∨U=U
+U∧U=U   U∨U=U
+====== ======= =========
+
+A WHERE clause selects a row only when its selection expression evaluates
+to *true* — UNKNOWN rows are rejected, exactly as in the paper's semantics
+program (§4.5: "if <selection expression> is true then print").
+"""
+
+from __future__ import annotations
+
+
+class Null:
+    """Singleton null value.  Use the module-level :data:`NULL` instance.
+
+    NULL is not equal to anything, including itself, under SIM comparison
+    semantics; Python-level ``==`` is identity-based so that NULL can live
+    in dicts and sets (e.g. grouping keys treat nulls as one group, as SQL
+    and SIM output formatting do).
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "NULL"
+
+    def __bool__(self):
+        return False
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __copy__(self):
+        return self
+
+    def __reduce__(self):
+        return (Null, ())
+
+
+class Unknown:
+    """Singleton unknown truth value.  Use the module-level :data:`UNKNOWN`."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "UNKNOWN"
+
+    def __bool__(self):
+        # Truthiness follows the WHERE-clause rule: only TRUE selects.
+        return False
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __copy__(self):
+        return self
+
+    def __reduce__(self):
+        return (Unknown, ())
+
+
+NULL = Null()
+UNKNOWN = Unknown()
+
+
+def is_null(value) -> bool:
+    """True when ``value`` is the SIM null (or Python ``None`` from hosts)."""
+    return value is NULL or value is None
+
+
+def tvl_from_bool(value):
+    """Lift a Python bool (or UNKNOWN) into the 3-valued domain."""
+    if value is UNKNOWN:
+        return UNKNOWN
+    return bool(value)
+
+
+def tvl_and(left, right):
+    """Kleene conjunction over {True, False, UNKNOWN}."""
+    if left is False or right is False:
+        return False
+    if left is UNKNOWN or right is UNKNOWN:
+        return UNKNOWN
+    return True
+
+
+def tvl_or(left, right):
+    """Kleene disjunction over {True, False, UNKNOWN}."""
+    if left is True or right is True:
+        return True
+    if left is UNKNOWN or right is UNKNOWN:
+        return UNKNOWN
+    return False
+
+
+def tvl_not(value):
+    """Kleene negation."""
+    if value is UNKNOWN:
+        return UNKNOWN
+    return not value
+
+
+def tvl_is_true(value) -> bool:
+    """The WHERE-clause test: selects only definite truth."""
+    return value is True

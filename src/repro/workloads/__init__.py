@@ -1,0 +1,27 @@
+"""Workloads: the paper's UNIVERSITY database, the ADDS-scale schema, and
+synthetic generators for the benchmarks."""
+
+from repro.workloads.university import (
+    UNIVERSITY_DDL,
+    build_university,
+    populate_university,
+)
+from repro.workloads.adds import build_adds_schema, ADDS_TARGET
+from repro.workloads.generators import (
+    fanout_schema,
+    hierarchy_chain_schema,
+    populate_fanout,
+    populate_hierarchy_chain,
+)
+
+__all__ = [
+    "UNIVERSITY_DDL",
+    "build_university",
+    "populate_university",
+    "build_adds_schema",
+    "ADDS_TARGET",
+    "fanout_schema",
+    "hierarchy_chain_schema",
+    "populate_fanout",
+    "populate_hierarchy_chain",
+]

@@ -1,0 +1,138 @@
+"""Synthetic schema/data generators for the design-claim benchmarks.
+
+* :func:`fanout_schema` / :func:`populate_fanout` — a 1:many EVA between
+  two classes with a configurable fan-out, for the EVA-mapping experiment
+  (E4): "The mapping of EVAs is the key factor in determining SIM's
+  performance" (§5.2).
+* :func:`hierarchy_chain_schema` / :func:`populate_hierarchy_chain` — a
+  generalization chain of configurable depth, for the variable-format vs
+  separate-units experiment (E5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.database import Database
+from repro.mapper.physical import PhysicalDesign
+from repro.schema.attribute import (
+    AttributeOptions,
+    DataValuedAttribute,
+    EntityValuedAttribute,
+)
+from repro.schema.klass import SimClass
+from repro.schema.schema import Schema
+from repro.types.domain import IntegerType, StringType
+
+
+def fanout_schema() -> Schema:
+    """Two classes, ``owner`` and ``member``, with a 1:many EVA
+    ``members``/``owner-of`` between them (plus filler DVAs so records have
+    realistic width)."""
+    schema = Schema("fanout")
+    owner = SimClass("owner")
+    owner.add_attribute(DataValuedAttribute(
+        "owner-key", IntegerType(), AttributeOptions(unique=True,
+                                                     required=True)))
+    owner.add_attribute(DataValuedAttribute("owner-data", StringType(40)))
+    owner.add_attribute(EntityValuedAttribute(
+        "members", "member", "owned-by", AttributeOptions(mv=True)))
+    # A second 1:many EVA between the same classes: under the default
+    # mapping both share the Common EVA Structure, so their instance
+    # records interleave — the locality effect the dedicated mapping
+    # avoids.
+    owner.add_attribute(EntityValuedAttribute(
+        "backups", "member", "backup-of", AttributeOptions(mv=True)))
+    schema.add_class(owner)
+
+    member = SimClass("member")
+    member.add_attribute(DataValuedAttribute(
+        "member-key", IntegerType(), AttributeOptions(unique=True,
+                                                      required=True)))
+    member.add_attribute(DataValuedAttribute("member-data", StringType(40)))
+    member.add_attribute(EntityValuedAttribute(
+        "owned-by", "owner", "members", AttributeOptions()))
+    member.add_attribute(EntityValuedAttribute(
+        "backup-of", "owner", "backups", AttributeOptions()))
+    schema.add_class(member)
+    return schema.resolve()
+
+
+def populate_fanout(database: Database, owners: int, fanout: int,
+                    seed: int = 3) -> Tuple[List[int], List[int]]:
+    """Insert ``owners`` owner entities with ``fanout`` members each.
+
+    The includes of ``members`` and the noise EVA ``backups`` alternate
+    across owners, so instance records of the two relationships interleave
+    wherever they share a storage unit (the Common EVA Structure).
+    """
+    rng = random.Random(seed)
+    store = database.store
+    members_eva = database.schema.get_class("owner").attribute("members")
+    backups_eva = database.schema.get_class("owner").attribute("backups")
+    owner_surrs: List[int] = []
+    member_surrs: List[int] = []
+    key = 0
+    for owner_index in range(owners):
+        owner_surr = store.insert_entity("owner", {
+            "owner-key": owner_index,
+            "owner-data": f"owner {owner_index} {rng.random():.6f}"})
+        owner_surrs.append(owner_surr)
+    # Members are inserted after all owners so that member records do NOT
+    # accidentally share blocks with their owner (except under the
+    # clustered mapping, which places relationship records deliberately).
+    backup_pool: List[int] = []
+    for owner_index, owner_surr in enumerate(owner_surrs):
+        for member_index in range(fanout):
+            member_surr = store.insert_entity("member", {
+                "member-key": key,
+                "member-data": f"member {key} {rng.random():.6f}"})
+            key += 1
+            store.eva_include(owner_surr, members_eva, member_surr)
+            member_surrs.append(member_surr)
+            # Interleave noise-EVA instances with the measured EVA's.
+            if backup_pool:
+                backup = backup_pool.pop(rng.randrange(len(backup_pool)))
+                store.eva_include(owner_surr, backups_eva, backup)
+            if member_index % 2 == 0 and owner_index + 1 < len(owner_surrs):
+                backup_pool.append(member_surr)
+    return owner_surrs, member_surrs
+
+
+def hierarchy_chain_schema(depth: int) -> Schema:
+    """A chain ``level0`` ← ``level1`` ← ... ← ``level<depth-1>``, each
+    level declaring two DVAs (one inherited-read target per level)."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    schema = Schema(f"chain-{depth}")
+    for level in range(depth):
+        supers = [f"level{level - 1}"] if level else []
+        sim_class = SimClass(f"level{level}", supers)
+        sim_class.add_attribute(DataValuedAttribute(
+            f"key{level}", IntegerType(),
+            AttributeOptions(unique=(level == 0), required=(level == 0))))
+        sim_class.add_attribute(DataValuedAttribute(
+            f"data{level}", StringType(24)))
+        schema.add_class(sim_class)
+    return schema.resolve()
+
+
+def populate_hierarchy_chain(database: Database, depth: int, entities: int,
+                             seed: int = 5) -> List[int]:
+    """Insert ``entities`` entities holding every role down the chain."""
+    rng = random.Random(seed)
+    store = database.store
+    leaf = f"level{depth - 1}"
+    surrogates: List[int] = []
+    for index in range(entities):
+        values: Dict[str, object] = {}
+        for level in range(depth):
+            if level == 0:
+                values["key0"] = index
+            else:
+                values[f"key{level}"] = index * depth + level
+            values[f"data{level}"] = f"row {index} level {level} " \
+                                      f"{rng.random():.4f}"
+        surrogates.append(store.insert_entity(leaf, values))
+    return surrogates

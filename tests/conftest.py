@@ -1,0 +1,57 @@
+"""Shared fixtures: the UNIVERSITY schema and populated databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, parse_ddl
+from repro.workloads import UNIVERSITY_DDL, build_university
+
+
+@pytest.fixture(scope="session")
+def university_schema():
+    return parse_ddl(UNIVERSITY_DDL)
+
+
+@pytest.fixture()
+def empty_university():
+    """A fresh, empty UNIVERSITY database (constraints off)."""
+    return Database(UNIVERSITY_DDL, constraint_mode="off")
+
+
+@pytest.fixture(scope="module")
+def university():
+    """A populated UNIVERSITY database, shared read-only per module."""
+    return build_university(departments=4, instructors=10, students=40,
+                            courses=20, seed=7)
+
+
+@pytest.fixture()
+def small_university():
+    """A small hand-built database used by the paper-example tests."""
+    db = Database(UNIVERSITY_DDL, constraint_mode="off")
+    db.execute('Insert department(dept-nbr := 100, name := "Physics")')
+    db.execute('Insert department(dept-nbr := 200, name := "Math")')
+    db.execute('Insert instructor(name := "Joe Bloke", soc-sec-no := 111223333,'
+               ' employee-nbr := 1729, salary := 50000, birthdate := "1945-03-02",'
+               ' assigned-department := department with (name = "Physics"))')
+    db.execute('Insert instructor(name := "Jane Roe", soc-sec-no := 222334444,'
+               ' employee-nbr := 1730, salary := 60000, bonus := 5000,'
+               ' birthdate := "1950-01-01",'
+               ' assigned-department := department with (name = "Math"))')
+    db.execute('Insert course(course-no := 101, title := "Algebra I", credits := 3)')
+    db.execute('Insert course(course-no := 102, title := "Calculus I", credits := 4)')
+    db.execute('Insert course(course-no := 201, title := "Quantum Chromodynamics",'
+               ' credits := 5)')
+    db.execute('Modify course(prerequisites := include course with'
+               ' (title = "Algebra I")) Where title = "Calculus I"')
+    db.execute('Modify course(prerequisites := include course with'
+               ' (title = "Calculus I")) Where title = "Quantum Chromodynamics"')
+    db.execute('Insert student(name := "John Doe", soc-sec-no := 456887766,'
+               ' student-nbr := 2001, birthdate := "1940-05-05",'
+               ' courses-enrolled := course with (title = "Algebra I"),'
+               ' major-department := department with (name = "Physics"),'
+               ' advisor := instructor with (name = "Joe Bloke"))')
+    db.execute('Insert student(name := "Lone Wolf", soc-sec-no := 999887766,'
+               ' student-nbr := 2002)')
+    return db

@@ -1,0 +1,128 @@
+"""Relational baseline tests: operator correctness and SIM equivalence
+(the answer-equality half of experiment E7)."""
+
+import pytest
+
+from repro.baseline import RelationalDatabase, load_university_relational
+from repro.types.tvl import is_null
+from repro.workloads import build_university
+
+
+@pytest.fixture(scope="module")
+def pair():
+    sim_db = build_university(departments=3, instructors=8, students=30,
+                              courses=15, seed=13)
+    rel_db = load_university_relational(sim_db)
+    return sim_db, rel_db
+
+
+class TestOperators:
+    def make_db(self):
+        db = RelationalDatabase()
+        db.create_table("t", {"k": 6, "v": 10}, indexes=["k"])
+        for k, v in [(1, "a"), (2, "b"), (3, "a")]:
+            db.insert("t", {"k": k, "v": v})
+        return db
+
+    def test_scan_and_select(self):
+        db = self.make_db()
+        rows = list(db.select(db.scan("t"), lambda r: r["v"] == "a"))
+        assert [r["k"] for r in rows] == [1, 3]
+
+    def test_index_lookup(self):
+        db = self.make_db()
+        assert db.index_lookup("t", "k", 2)[0]["v"] == "b"
+        with pytest.raises(Exception):
+            db.index_lookup("t", "v", "a")
+
+    def test_project(self):
+        db = self.make_db()
+        assert list(db.project(db.scan("t"), ["v"])) == [
+            ("a",), ("b",), ("a",)]
+
+    def test_hash_join_via_index(self):
+        db = self.make_db()
+        db.create_table("s", {"k": 6, "w": 10})
+        db.insert("s", {"k": 1, "w": "x"})
+        db.insert("s", {"k": 3, "w": "y"})
+        joined = list(db.hash_join(db.scan("s"), "t", "k", "k", prefix="t_"))
+        assert [(r["w"], r["t_v"]) for r in joined] == [("x", "a"),
+                                                        ("y", "a")]
+
+    def test_left_outer_join_keeps_unmatched(self):
+        db = self.make_db()
+        db.create_table("s", {"k": 6, "w": 10})
+        db.insert("s", {"k": 1, "w": "x"})
+        db.insert("s", {"k": 9, "w": "z"})
+        joined = list(db.left_outer_join(db.scan("s"), "t", "k", "k",
+                                         prefix="t_"))
+        assert joined[0]["t_v"] == "a"
+        assert joined[1]["t_v"] is None
+
+    def test_sort_nulls_first(self):
+        db = self.make_db()
+        db.insert("t", {"k": 4, "v": None})
+        ordered = db.sort(db.scan("t"), ["v"])
+        assert ordered[0]["v"] is None
+
+
+class TestSimEquivalence:
+    def test_student_advisor_outer_join(self, pair):
+        """The §4.1 query in both systems: identical answers."""
+        sim_db, rel_db = pair
+        sim_rows = sorted(
+            (name, None if is_null(advisor) else advisor)
+            for name, advisor in sim_db.query(
+                "From Student Retrieve Name, Name of Advisor").rows)
+
+        students = rel_db.hash_join(rel_db.scan("student"), "person",
+                                    "id", "id")
+        joined = rel_db.left_outer_join(students, "instructor",
+                                        "advisor_id", "id", prefix="adv_")
+        with_names = rel_db.left_outer_join(joined, "person",
+                                            "adv_id", "id", prefix="advp_")
+        rel_rows = sorted((r["name"], r["advp_name"]) for r in with_names)
+        assert sim_rows == rel_rows
+
+    def test_enrollment_counts(self, pair):
+        sim_db, rel_db = pair
+        sim_rows = sorted(sim_db.query(
+            "From student Retrieve soc-sec-no,"
+            " count(courses-enrolled) of student").rows)
+        counts = {}
+        for row in rel_db.scan("enrollment"):
+            counts[row["student_id"]] = counts.get(row["student_id"], 0) + 1
+        rel_rows = []
+        for student in rel_db.scan("student"):
+            person = rel_db.index_lookup("person", "id", student["id"])[0]
+            rel_rows.append((person["ssn"], counts.get(student["id"], 0)))
+        assert sim_rows == sorted(rel_rows)
+
+    def test_department_salary_average(self, pair):
+        sim_db, rel_db = pair
+        sim_rows = {name: avg for name, avg in sim_db.query(
+            "From department Retrieve name,"
+            " avg(salary of instructors-employed) of department").rows}
+        totals = {}
+        for instructor in rel_db.scan("instructor"):
+            dept = instructor["dept_id"]
+            if dept is None or instructor["salary"] is None:
+                continue
+            bucket = totals.setdefault(dept, [0, 0])
+            bucket[0] += instructor["salary"]
+            bucket[1] += 1
+        for department in rel_db.scan("department"):
+            name = department["name"]
+            bucket = totals.get(department["id"])
+            if bucket is None:
+                assert is_null(sim_rows[name])
+            else:
+                assert sim_rows[name] == bucket[0] / bucket[1]
+
+    def test_row_counts_match(self, pair):
+        sim_db, rel_db = pair
+        assert rel_db.table("person").row_count == \
+            sim_db.store.class_count("person")
+        assert rel_db.table("enrollment").row_count == sum(
+            sim_db.query("From student Retrieve count(courses-enrolled)"
+                         " of student").column(0))

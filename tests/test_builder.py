@@ -1,0 +1,153 @@
+"""Query-builder tests (the WQF stand-in): generated DML is well-formed
+and equivalent to hand-written statements."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.interfaces.builder import (
+    InsertBuilder,
+    ModifyBuilder,
+    QueryBuilder,
+    attr,
+    avg,
+    count,
+    path,
+    render_value,
+    transitive,
+)
+from repro.types.dates import SimDate
+
+
+class TestRendering:
+    def test_literals(self):
+        assert render_value(5) == "5"
+        assert render_value(True) == "true"
+        assert render_value('say "hi"') == '"say ""hi"""'
+        assert render_value(SimDate(1988, 6, 1)) == '"1988-06-01"'
+
+    def test_unrenderable(self):
+        with pytest.raises(SimError):
+            render_value(object())
+
+    def test_condition_combinators(self):
+        condition = (attr("a") == 1) & ~(attr("b") > 2) | attr("c").like("x%")
+        assert "and" in condition.text and "or" in condition.text
+        assert "not" in condition.text
+
+    def test_term_arithmetic(self):
+        term = 1.1 * attr("salary") + 5
+        assert term.text == "((1.1 * salary) + 5)"
+
+
+class TestQueryEquivalence:
+    def test_simple_query(self, small_university):
+        built = (QueryBuilder("student")
+                 .retrieve("name", path("name", "advisor"))
+                 .order_by("name"))
+        hand = ("From student Retrieve name, name of advisor"
+                " Order By name")
+        assert built.run(small_university).rows == \
+            small_university.query(hand).rows
+
+    def test_where_and_aggregates(self, small_university):
+        built = (QueryBuilder("department")
+                 .retrieve("name", avg(path("salary",
+                                            "instructors-employed"))
+                           .of("department")))
+        hand = ("From department Retrieve name,"
+                " avg(salary of instructors-employed) of department")
+        assert built.run(small_university).rows == \
+            small_university.query(hand).rows
+
+    def test_transitive_and_count(self, small_university):
+        built = (QueryBuilder("course")
+                 .retrieve(count(transitive("prerequisites"),
+                                 distinct=True))
+                 .where(attr("title") == "Quantum Chromodynamics"))
+        assert built.run(small_university).scalar() == 2
+
+    def test_distinct_and_structure_modes(self, small_university):
+        distinct = (QueryBuilder("course").retrieve("credits").distinct()
+                    .run(small_university))
+        assert len(distinct) == len(set(distinct.rows))
+        structured = (QueryBuilder("student")
+                      .retrieve("name", path("title", "courses-enrolled"))
+                      .structure().run(small_university))
+        assert structured.structured
+
+    def test_quantified_comparison(self, small_university):
+        built = (QueryBuilder("instructor")
+                 .retrieve("name")
+                 .where(attr("assigned-department")
+                        .neq_some(path("major-department", "advisees"))))
+        result = built.run(small_university)
+        assert result.rows == []   # John majors in Joe's department
+
+    def test_multi_perspective(self, small_university):
+        built = (QueryBuilder("student", "instructor")
+                 .retrieve(path("name", "student"),
+                           path("name", "instructor"))
+                 .where(path("advisor", "student") == attr("instructor")))
+        assert built.run(small_university).rows == \
+            [("John Doe", "Joe Bloke")]
+
+    def test_retrieve_required(self):
+        with pytest.raises(SimError):
+            QueryBuilder("student").dml()
+
+
+class TestUpdateBuilders:
+    def test_insert(self, empty_university):
+        count_affected = (InsertBuilder("person")
+                          .set("name", "Built")
+                          .set("soc-sec-no", 77)
+                          .run(empty_university))
+        assert count_affected == 1
+        assert empty_university.query(
+            'From person Retrieve name Where soc-sec-no = 77'
+        ).scalar() == "Built"
+
+    def test_insert_with_reference_and_extension(self, small_university):
+        (InsertBuilder("student")
+         .set("name", "Novice")
+         .set("soc-sec-no", 12345)
+         .set_ref("advisor", "instructor", attr("name") == "Jane Roe")
+         .run(small_university))
+        assert small_university.query(
+            'From student Retrieve name of advisor Where name = "Novice"'
+        ).scalar() == "Jane Roe"
+        (InsertBuilder("instructor")
+         .extending("person", attr("name") == "Novice")
+         .set("employee-nbr", 1790)
+         .run(small_university))
+        rows = small_university.query(
+            'From person Retrieve profession Where name = "Novice"').rows
+        assert {r[0] for r in rows} == {"student", "instructor"}
+
+    def test_modify_arithmetic(self, small_university):
+        (ModifyBuilder("instructor")
+         .set("salary", 2 * attr("salary"))
+         .where(attr("name") == "Joe Bloke")
+         .run(small_university))
+        from decimal import Decimal
+        assert small_university.query(
+            'From instructor Retrieve salary Where name = "Joe Bloke"'
+        ).scalar() == Decimal("100000.00")
+
+    def test_modify_include_exclude(self, small_university):
+        (ModifyBuilder("student")
+         .include("courses-enrolled", "course", attr("title") == "Calculus I")
+         .where(attr("name") == "John Doe")
+         .run(small_university))
+        (ModifyBuilder("student")
+         .exclude("courses-enrolled", attr("title") == "Algebra I")
+         .where(attr("name") == "John Doe")
+         .run(small_university))
+        rows = small_university.query(
+            'From student Retrieve title of courses-enrolled'
+            ' Where name = "John Doe"').rows
+        assert rows == [("Calculus I",)]
+
+    def test_modify_requires_assignment(self):
+        with pytest.raises(SimError):
+            ModifyBuilder("student").dml()

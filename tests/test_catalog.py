@@ -1,0 +1,66 @@
+"""Directory/catalog tests: the schema as a queryable SIM database (§6)."""
+
+import pytest
+
+from repro.directory import build_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog(university_schema):
+    return build_catalog(university_schema)
+
+
+class TestCatalogQueries:
+    def test_base_classes(self, catalog):
+        rows = catalog.query(
+            "From db-class Retrieve name Where is-base = true").rows
+        assert {r[0] for r in rows} == {"person", "course", "department"}
+
+    def test_subclass_edges(self, catalog):
+        rows = catalog.query("""
+            From db-class Retrieve name, name of superclasses
+            Where name = "teaching-assistant" """).rows
+        assert {r[1] for r in rows} == {"student", "instructor"}
+
+    def test_attribute_metadata(self, catalog):
+        rows = catalog.query("""
+            From db-attribute Retrieve name, max-cardinality
+            Where name = "advisees" """).rows
+        assert rows == [("advisees", 10)]
+
+    def test_eva_ranges(self, catalog):
+        value = catalog.query("""
+            From db-attribute Retrieve name of range
+            Where name = "advisor" """).scalar()
+        assert value == "instructor"
+
+    def test_inverse_pairing_recorded(self, catalog):
+        value = catalog.query("""
+            From db-attribute Retrieve name of inverse-attr
+            Where name = "advisor" and kind = "eva" """).scalar()
+        assert value == "advisees"
+
+    def test_constraints_listed(self, catalog):
+        rows = catalog.query(
+            "From db-constraint Retrieve name, name of on-class").rows
+        assert sorted(rows) == [("v1", "student"), ("v2", "instructor")]
+
+    def test_levels(self, catalog):
+        value = catalog.query("""
+            From db-class Retrieve level
+            Where name = "teaching-assistant" """).scalar()
+        assert value == 2
+
+    def test_attribute_counts_by_class(self, catalog):
+        rows = catalog.query("""
+            From db-class Retrieve name, count(attributes) of db-class
+            Order By name""").rows
+        counts = dict(rows)
+        # person: name, soc-sec-no, birthdate, spouse, profession, surrogate
+        assert counts["person"] == 6
+
+    def test_aggregate_over_catalog(self, catalog):
+        total = catalog.query("""
+            From db-attribute Retrieve Table Distinct
+            count(db-attribute)""").scalar()
+        assert total > 30

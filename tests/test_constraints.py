@@ -1,0 +1,132 @@
+"""VERIFY constraint enforcement (paper §3.3): trigger detection, immediate
+and deferred checking, rollback on violation."""
+
+import pytest
+
+from repro import ConstraintViolation, Database
+from repro.workloads import UNIVERSITY_DDL
+
+
+@pytest.fixture()
+def db():
+    """UNIVERSITY with constraints ON (immediate mode)."""
+    database = Database(UNIVERSITY_DDL, constraint_mode="immediate")
+    database.execute('Insert course(course-no := 1, title := "Heavy",'
+                     ' credits := 12)')
+    database.execute('Insert course(course-no := 2, title := "Light",'
+                     ' credits := 2)')
+    return database
+
+
+class TestV1CreditSum:
+    def test_insert_with_enough_credits_passes(self, db):
+        db.execute('Insert student(soc-sec-no := 1, courses-enrolled :='
+                   ' course with (title = "Heavy"))')
+
+    def test_insert_with_too_few_credits_fails(self, db):
+        with pytest.raises(ConstraintViolation) as info:
+            db.execute('Insert student(soc-sec-no := 1, courses-enrolled :='
+                       ' course with (title = "Light"))')
+        assert "too few credits" in str(info.value)
+        # statement rolled back entirely
+        assert len(db.query("From person Retrieve soc-sec-no")) == 0
+
+    def test_dropping_course_below_threshold_fails(self, db):
+        db.execute('Insert student(soc-sec-no := 1, courses-enrolled :='
+                   ' course with (title = "Heavy"))')
+        with pytest.raises(ConstraintViolation):
+            db.execute('Modify student(courses-enrolled := exclude'
+                       ' courses-enrolled with (title = "Heavy"))'
+                       ' Where soc-sec-no = 1')
+        # unchanged
+        assert db.query('From student Retrieve count(courses-enrolled) of'
+                        ' student').scalar() == 1
+
+    def test_modifying_course_credits_triggers_enrolled_students(self, db):
+        # Changing CREDITS can violate v1 for students of that course —
+        # trigger detection must catch the dependency through the EVA.
+        db.execute('Insert student(soc-sec-no := 1, courses-enrolled :='
+                   ' course with (title = "Heavy"))')
+        with pytest.raises(ConstraintViolation):
+            db.execute('Modify course(credits := 2)'
+                       ' Where title = "Heavy"')
+
+    def test_unrelated_update_not_checked(self, db):
+        db.execute('Insert student(soc-sec-no := 1, courses-enrolled :='
+                   ' course with (title = "Heavy"))')
+        before = db.constraints.checks_run
+        db.execute('Modify person(name := "Renamed") Where soc-sec-no = 1')
+        # name is not a term of v1 or v2: no checks run.
+        assert db.constraints.checks_run == before
+
+
+class TestV2SalaryBonus:
+    def test_cap_enforced(self, db):
+        with pytest.raises(ConstraintViolation) as info:
+            db.execute('Insert instructor(soc-sec-no := 1,'
+                       ' employee-nbr := 1001, salary := 90000,'
+                       ' bonus := 20000)')
+        assert "too much money" in str(info.value)
+
+    def test_null_bonus_passes_like_sql_check(self, db):
+        # salary + NULL bonus is unknown; unknown passes (SQL CHECK rule).
+        db.execute('Insert instructor(soc-sec-no := 1, employee-nbr := 1001,'
+                   ' salary := 90000)')
+
+    def test_raise_over_cap_rejected(self, db):
+        db.execute('Insert instructor(soc-sec-no := 1, employee-nbr := 1001,'
+                   ' salary := 60000, bonus := 0)')
+        with pytest.raises(ConstraintViolation):
+            db.execute('Modify instructor(salary := 2 * salary)'
+                       ' Where employee-nbr = 1001')
+
+
+class TestDeferredMode:
+    def test_violations_checked_at_commit(self):
+        db = Database(UNIVERSITY_DDL, constraint_mode="deferred")
+        db.execute('Insert course(course-no := 1, title := "Heavy",'
+                   ' credits := 12)')
+        db.begin()
+        # Temporarily violating insert is fine inside the transaction...
+        db.execute('Insert student(soc-sec-no := 1)')
+        # ...as long as it is repaired before commit.
+        db.execute('Modify student(courses-enrolled := include course with'
+                   ' (title = "Heavy")) Where soc-sec-no = 1')
+        db.commit()
+        assert len(db.query("From student Retrieve soc-sec-no")) == 1
+
+    def test_unrepaired_violation_fails_commit(self):
+        db = Database(UNIVERSITY_DDL, constraint_mode="deferred")
+        db.begin()
+        db.execute('Insert student(soc-sec-no := 1)')
+        with pytest.raises(ConstraintViolation):
+            db.commit()
+        db.abort()
+        assert len(db.query("From student Retrieve soc-sec-no")) == 0
+
+    def test_transaction_context_aborts_on_violation(self):
+        db = Database(UNIVERSITY_DDL, constraint_mode="deferred")
+        with pytest.raises(ConstraintViolation):
+            with db.transaction():
+                db.execute('Insert student(soc-sec-no := 1)')
+        assert len(db.query("From student Retrieve soc-sec-no")) == 0
+
+
+class TestTriggerAnalysis:
+    def test_terms_collected(self, db):
+        compiled = db.constraints.compiled
+        v1 = next(c for c in compiled if c.constraint.name == "v1")
+        assert ("class", "student") in v1.terms
+        assert ("attr", "student", "courses-enrolled") in v1.terms
+        assert ("attr", "course", "students-enrolled") in v1.terms
+        assert ("attr", "course", "credits") in v1.terms
+
+    def test_skip_counter_grows_for_untriggered(self, db):
+        before = db.constraints.checks_skipped
+        db.execute('Insert department(dept-nbr := 100, name := "D")')
+        assert db.constraints.checks_skipped > before
+
+    def test_off_mode_never_checks(self):
+        db = Database(UNIVERSITY_DDL, constraint_mode="off")
+        db.execute('Insert student(soc-sec-no := 1)')   # v1 would fail
+        assert db.constraints.checks_run == 0

@@ -1,0 +1,124 @@
+"""DDL parser tests against the §7 concrete syntax."""
+
+import pytest
+
+from repro import parse_ddl
+from repro.errors import DDLSyntaxError, SchemaError
+from repro.types.domain import NumberType, StringType, SymbolicType
+from repro.workloads import UNIVERSITY_DDL
+
+
+class TestUniversityDDL:
+    def test_full_schema_parses(self, university_schema):
+        names = set(university_schema.class_names())
+        assert names == {"person", "student", "instructor",
+                         "teaching-assistant", "course", "department"}
+
+    def test_named_types(self, university_schema):
+        id_number = university_schema.types.lookup("id-number")
+        assert id_number.validate(1001) == 1001
+        with pytest.raises(Exception):
+            id_number.validate(50000)
+        degree = university_schema.types.lookup("degree")
+        assert isinstance(degree, SymbolicType)
+
+    def test_attribute_options_parsed(self, university_schema):
+        ssn = university_schema.get_class("person").attribute("soc-sec-no")
+        assert ssn.options.unique and ssn.options.required
+        advisees = university_schema.get_class("instructor").attribute(
+            "advisees")
+        assert advisees.options.mv
+        assert advisees.options.max_cardinality == 10
+        taught = university_schema.get_class("instructor").attribute(
+            "courses-taught")
+        assert taught.options.max_cardinality == 3
+        assert taught.options.distinct
+
+    def test_number_type(self, university_schema):
+        salary = university_schema.get_class("instructor").attribute("salary")
+        assert isinstance(salary.data_type, NumberType)
+        assert (salary.data_type.precision, salary.data_type.scale) == (9, 2)
+
+    def test_subroles_declared(self, university_schema):
+        person = university_schema.get_class("person")
+        assert person.subrole_attribute.name == "profession"
+        assert set(person.subrole_attribute.subclass_names) == {
+            "student", "instructor"}
+
+    def test_verify_constraints(self, university_schema):
+        names = [c.name for c in university_schema.constraints]
+        assert names == ["v1", "v2"]
+        v2 = university_schema.constraints[1]
+        assert v2.class_name == "instructor"
+        assert "100000" in v2.assertion_text
+        assert v2.else_message == "instructor makes too much money"
+
+    def test_multiple_inheritance(self, university_schema):
+        ta = university_schema.get_class("teaching-assistant")
+        assert set(ta.superclass_names) == {"student", "instructor"}
+        assert ta.has_attribute("name")          # via both paths
+        assert ta.has_attribute("teaching-load")
+
+
+class TestPieces:
+    def test_comment_handling(self):
+        schema = parse_ddl("(* hello *) Class C ( x: integer );")
+        assert schema.has_class("c")
+
+    def test_comma_separated_options(self):
+        # The paper itself writes "integer, unique, required".
+        schema = parse_ddl("Class C ( x: integer, unique, required );")
+        options = schema.get_class("c").attribute("x").options
+        assert options.unique and options.required
+
+    def test_space_separated_options(self):
+        schema = parse_ddl("Class C ( x: integer unique required );")
+        options = schema.get_class("c").attribute("x").options
+        assert options.unique and options.required
+
+    def test_string_bound(self):
+        schema = parse_ddl("Class C ( s: string[4] );")
+        assert isinstance(schema.get_class("c").attribute("s").data_type,
+                          StringType)
+
+    def test_forward_class_reference(self):
+        schema = parse_ddl("""
+            Class A ( b-ref: b );
+            Class B ( name: string[5] );
+        """)
+        assert schema.get_class("a").attribute("b-ref").is_eva
+
+    def test_named_type_must_be_declared_before_use(self):
+        with pytest.raises(SchemaError):
+            # t is undeclared: 't' is treated as a class reference and the
+            # schema fails to resolve.
+            parse_ddl("Class C ( x: t );")
+
+    def test_type_declaration_reuse(self):
+        schema = parse_ddl("""
+            Type small = integer (1..5);
+            Class C ( x: small; y: small );
+        """)
+        x = schema.get_class("c").attribute("x")
+        assert x.type_name == "small"
+
+    def test_negative_ranges(self):
+        schema = parse_ddl("Class C ( t: integer (-10..-1) );")
+        t = schema.get_class("c").attribute("t").data_type
+        assert t.validate(-5) == -5
+
+    def test_syntax_error_position(self):
+        with pytest.raises(DDLSyntaxError) as info:
+            parse_ddl("Class ( x: integer );")
+        assert "class name" in str(info.value)
+
+    def test_missing_else_in_verify(self):
+        with pytest.raises(DDLSyntaxError):
+            parse_ddl("Class C (x: integer); Verify v on c assert x > 0")
+
+    def test_unresolved_parse_can_be_extended(self):
+        schema = parse_ddl("Class A ( x: integer );", resolve=False)
+        assert not schema.resolved
+        parse_ddl("Class B ( y: integer );", schema=schema)
+        assert schema.resolved
+        assert schema.has_class("a") and schema.has_class("b")

@@ -1,0 +1,134 @@
+"""Error-path coverage: every user mistake gets a SIM error with a
+message that names the offending construct (never a raw Python error)."""
+
+import pytest
+
+from repro import (
+    Database,
+    DMLSyntaxError,
+    QualificationError,
+    SchemaError,
+    SimError,
+)
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    IntegrityError,
+    TypeMismatchError,
+)
+
+
+class TestQualificationErrors:
+    def test_unknown_perspective(self, small_university):
+        with pytest.raises(QualificationError, match="ghost"):
+            small_university.query("From ghost Retrieve name")
+
+    def test_unknown_attribute_names_class(self, small_university):
+        with pytest.raises(QualificationError, match="student"):
+            small_university.query(
+                "From student Retrieve nonexistent of student")
+
+    def test_qualify_through_dva_rejected(self, small_university):
+        with pytest.raises(QualificationError, match="cannot"):
+            small_university.query(
+                "From student Retrieve x of name of student")
+
+    def test_transitive_on_dva_rejected(self, small_university):
+        with pytest.raises(QualificationError, match="TRANSITIVE"):
+            small_university.query(
+                "From course Retrieve transitive(title) of course")
+
+    def test_transitive_across_hierarchies_rejected(self, small_university):
+        with pytest.raises(QualificationError, match="cyclic"):
+            small_university.query(
+                "From student Retrieve name of transitive(advisor)"
+                " of student")
+
+    def test_isa_unknown_class(self, small_university):
+        with pytest.raises(QualificationError, match="ISA"):
+            small_university.query(
+                "From person Retrieve name Where person isa ghost")
+
+    def test_isa_on_value_rejected(self, small_university):
+        with pytest.raises(QualificationError):
+            small_university.query(
+                "From person Retrieve name Where name of person isa student")
+
+    def test_inverse_of_unknown_eva(self, small_university):
+        with pytest.raises(QualificationError, match="inverse"):
+            small_university.query(
+                "From person Retrieve name of inverse(ghost)")
+
+
+class TestExpressionErrors:
+    def test_non_boolean_where(self, small_university):
+        with pytest.raises(TypeMismatchError, match="not boolean"):
+            small_university.query(
+                "From course Retrieve title Where credits")
+
+    def test_incomparable_types(self, small_university):
+        with pytest.raises(TypeMismatchError):
+            small_university.query(
+                'From course Retrieve title Where credits < "three"')
+
+    def test_bare_quantifier_rejected(self, small_university):
+        with pytest.raises((ExecutionError, DMLSyntaxError)):
+            small_university.query(
+                "From student Retrieve some(credits of courses-enrolled)")
+
+    def test_like_needs_strings(self, small_university):
+        with pytest.raises(TypeMismatchError, match="LIKE"):
+            small_university.query(
+                'From course Retrieve title Where credits like "3%"')
+
+
+class TestUpdateErrors:
+    def test_modify_unknown_class(self, small_university):
+        with pytest.raises(SimError):
+            small_university.execute('Modify ghost(x := 1)')
+
+    def test_insert_assigning_unknown_attribute(self, small_university):
+        with pytest.raises((IntegrityError, SchemaError)):
+            small_university.execute('Insert person(soc-sec-no := 5,'
+                                     ' shoe-size := 12)')
+
+    def test_eva_assignment_without_selector(self, small_university):
+        with pytest.raises(IntegrityError, match="WITH selector"):
+            small_university.execute(
+                'Insert student(soc-sec-no := 5, advisor := 3)')
+
+    def test_selector_wrong_range_class(self, small_university):
+        with pytest.raises(IntegrityError, match="range class"):
+            small_university.execute(
+                'Insert student(soc-sec-no := 5,'
+                ' advisor := course with (credits = 3))')
+
+    def test_with_selector_on_dva(self, small_university):
+        with pytest.raises(IntegrityError):
+            small_university.execute(
+                'Modify course(credits := course with (credits = 3))'
+                ' Where course-no = 101')
+
+    def test_multivalued_rhs_in_scalar_assignment(self, small_university):
+        # The two instructors have different salaries: the RHS is
+        # ambiguous for a single-valued assignment.
+        with pytest.raises(IntegrityError, match="multiple distinct"):
+            small_university.execute(
+                'Modify department(dept-nbr := salary of instructor)'
+                ' Where name = "Physics"')
+
+
+class TestSchemaErrors:
+    def test_query_on_unresolved_schema(self):
+        from repro.schema import Schema
+        from repro.mapper import MapperStore
+        with pytest.raises(CatalogError):
+            MapperStore(Schema("empty"))
+
+    def test_error_hierarchy_is_catchable(self, small_university):
+        # Everything raised on a user mistake derives from SimError.
+        for bad in ("From ghost Retrieve x",
+                    "From student Retrieve",
+                    'Insert ghost(x := 1)'):
+            with pytest.raises(SimError):
+                small_university.execute(bad)

@@ -1,0 +1,57 @@
+"""Every shipped example must run to completion (they are executable
+documentation; a broken example is a broken doc)."""
+
+import importlib.util
+import io
+import pathlib
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py"))
+
+
+def run_example(path: pathlib.Path) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        spec.loader.exec_module(module)
+        module.main()
+    return captured.getvalue()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    output = run_example(path)
+    assert output.strip(), f"{path.name} produced no output"
+
+
+def test_quickstart_shows_outer_join():
+    path = next(p for p in EXAMPLES if p.stem == "quickstart")
+    output = run_example(path)
+    assert "Joe Bloke" in output
+    assert "?" in output            # Lone Wolf's null advisor
+
+def test_registrar_shows_rejections():
+    path = next(p for p in EXAMPLES if p.stem == "registrar")
+    output = run_example(path)
+    assert "rejected" in output
+    assert "too few credits" in output
+
+def test_physical_tuning_reports_all_mappings():
+    path = next(p for p in EXAMPLES if p.stem == "physical_tuning")
+    output = run_example(path)
+    for word in ("common", "dedicated", "clustered", "pointer",
+                 "variable-format", "separate-units"):
+        assert word in output
+
+def test_time_travel_reconstructs_past():
+    path = next(p for p in EXAMPLES if p.stem == "time_travel")
+    output = run_example(path)
+    assert "salary as hired" in output.lower() or "50000" in output
+    assert "Mechanics, Optics" in output

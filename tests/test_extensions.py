@@ -1,0 +1,196 @@
+"""Tests for the paper's §6 "future developments" features: views,
+derived attributes, and system-maintained EVA ordering."""
+
+import pytest
+
+from repro import Database, QualificationError, SchemaError, parse_ddl
+from repro.types.tvl import is_null
+
+DDL = """
+Class Person (
+  name: string[20] required;
+  pay: integer;
+  extra: integer;
+  friends: person inverse is friend-of mv (ordered by name) );
+
+Subclass Worker of Person (
+  grade: integer );
+
+Derive compensation on person as pay + extra;
+Derive double-grade on worker as 2 * grade;
+
+View rich of person where compensation > 100;
+View everyone of person;
+"""
+
+
+@pytest.fixture()
+def db():
+    database = Database(DDL, constraint_mode="off")
+    database.execute('Insert person(name := "Al", pay := 50, extra := 10)')
+    database.execute('Insert person(name := "Bo", pay := 90, extra := 20)')
+    database.execute('Insert worker(name := "Cy", pay := 200, extra := 1,'
+                     ' grade := 4)')
+    return database
+
+
+class TestDerivedAttributes:
+    def test_readable_like_a_dva(self, db):
+        rows = db.query("From person Retrieve name, compensation"
+                        " Order By name").rows
+        assert rows == [("Al", 60), ("Bo", 110), ("Cy", 201)]
+
+    def test_usable_in_where(self, db):
+        rows = db.query("From person Retrieve name"
+                        " Where compensation > 100").rows
+        assert {r[0] for r in rows} == {"Bo", "Cy"}
+
+    def test_inherited_by_subclasses(self, db):
+        assert db.query("From worker Retrieve compensation").scalar() == 201
+
+    def test_declared_on_subclass(self, db):
+        assert db.query("From worker Retrieve double-grade").scalar() == 8
+
+    def test_null_propagation(self, db):
+        db.execute('Insert person(name := "Nil")')
+        value = db.query('From person Retrieve compensation'
+                         ' Where name = "Nil"').scalar()
+        assert is_null(value)
+
+    def test_through_eva_chain(self, db):
+        db.execute('Modify person(friends := include person with'
+                   ' (name = "Cy")) Where name = "Al"')
+        rows = db.query('From person Retrieve compensation of friends'
+                        ' Where name = "Al"').rows
+        assert rows == [(201,)]
+
+    def test_outer_join_still_applies(self, db):
+        # A derived attribute through a target-only EVA chain must not
+        # turn the chain into an inner join.
+        rows = db.query("From person Retrieve name,"
+                        " compensation of friends Order By name").rows
+        names = [r[0] for r in rows]
+        assert names == ["Al", "Bo", "Cy"]  # nobody dropped
+        assert all(is_null(r[1]) for r in rows)
+
+    def test_not_assignable(self, db):
+        with pytest.raises(Exception):
+            db.execute('Modify person(compensation := 5)'
+                       ' Where name = "Al"')
+
+    def test_shadowing_stored_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_ddl("""
+                Class C ( x: integer );
+                Derive x on c as 1 + 1;
+            """)
+
+    def test_aggregate_inside_derived(self):
+        db = Database("""
+            Class Team ( team-name: string[10];
+                         players: player inverse is plays-for mv );
+            Class Player ( pname: string[10]; score: integer;
+                           plays-for: team inverse is players );
+            Derive total-score on team as sum(score of players);
+        """, constraint_mode="off")
+        db.execute('Insert team(team-name := "A")')
+        db.execute('Insert player(pname := "p1", score := 3,'
+                   ' plays-for := team with (team-name = "A"))')
+        db.execute('Insert player(pname := "p2", score := 4,'
+                   ' plays-for := team with (team-name = "A"))')
+        assert db.query("From team Retrieve total-score").scalar() == 7
+
+
+class TestViews:
+    def test_view_as_perspective(self, db):
+        rows = db.query("From rich Retrieve name Order By name").rows
+        assert rows == [("Bo",), ("Cy",)]
+
+    def test_view_name_usable_in_qualification(self, db):
+        rows = db.query("From rich Retrieve name of rich, pay of rich"
+                        " Order By name of rich").rows
+        assert rows == [("Bo", 90), ("Cy", 200)]
+
+    def test_view_predicate_conjoined_with_user_where(self, db):
+        rows = db.query("From rich Retrieve name Where pay < 100").rows
+        assert rows == [("Bo",)]
+
+    def test_unfiltered_view(self, db):
+        assert len(db.query("From everyone Retrieve name")) == 3
+
+    def test_view_with_alias(self, db):
+        rows = db.query("From rich r Retrieve name of r"
+                        " Order By name of r").rows
+        assert rows == [("Bo",), ("Cy",)]
+
+    def test_view_sees_derived_attributes(self, db):
+        rows = db.query("From rich Retrieve compensation"
+                        " Order By compensation").rows
+        assert rows == [(110,), (201,)]
+
+    def test_view_is_read_only(self, db):
+        with pytest.raises(Exception):
+            db.execute('Delete rich Where name = "Bo"')
+
+    def test_view_name_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_ddl("""
+                Class C ( x: integer );
+                View c of c;
+            """)
+
+    def test_unknown_view_class_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_ddl("View v of ghost;")
+
+    def test_statement_reexecution_stable(self, db):
+        from repro import parse_dml
+        query = parse_dml("From rich Retrieve name")
+        first = db.execute(query).rows
+        second = db.execute(query).rows
+        assert first == second
+
+
+class TestOrderedEvas:
+    def test_targets_sorted_by_range_attribute(self, db):
+        db.execute('Modify person(friends := person with (name neq "Bo"))'
+                   ' Where name = "Bo"')
+        rows = db.query('From person Retrieve name of friends'
+                        ' Where name = "Bo"').rows
+        assert rows == [("Al",), ("Cy",)]
+
+    def test_nulls_first_in_ordering(self, db):
+        db.execute('Insert person(name := "Zed")')
+        # Make Zed's ordering attribute null by ordering on pay instead:
+        db2 = Database("""
+            Class Item ( label: string[10]; rank: integer;
+                         parts: item inverse is part-of mv
+                         (ordered by rank) );
+        """, constraint_mode="off")
+        db2.execute('Insert item(label := "root")')
+        db2.execute('Insert item(label := "null-rank")')
+        db2.execute('Insert item(label := "one", rank := 1)')
+        db2.execute('Modify item(parts := item with (label neq "root"))'
+                    ' Where label = "root"')
+        rows = db2.query('From item Retrieve label of parts'
+                         ' Where label = "root"').rows
+        assert rows == [("null-rank",), ("one",)]
+
+    def test_ordering_attribute_validated(self):
+        with pytest.raises(SchemaError):
+            parse_ddl("""
+                Class C ( links: c inverse is link-of mv
+                          (ordered by ghost) );
+            """)
+
+    def test_ordered_requires_mv(self):
+        with pytest.raises(SchemaError):
+            parse_ddl("Class C ( link: c (ordered by link) );")
+
+    def test_ddl_roundtrip_keeps_ordering(self):
+        schema = parse_ddl(DDL)
+        reparsed = parse_ddl(schema.ddl())
+        friends = reparsed.get_class("person").attribute("friends")
+        assert friends.options.ordered_by == "name"
+        assert reparsed.view("rich") is not None
+        assert reparsed.find_derived("person", "compensation") is not None

@@ -1,0 +1,138 @@
+"""Fine-grained fidelity checks for rules the paper states in passing."""
+
+import pytest
+
+from repro import Database, parse_dml
+from repro.types.tvl import is_null
+
+
+class TestNullsAndUniqueness:
+    DDL = """
+    Class Part (
+      serial: integer unique;
+      label: string[10] required );
+    """
+
+    def test_nulls_omitted_from_uniqueness(self):
+        # §3.2.1: "Null values are omitted from uniqueness considerations."
+        db = Database(self.DDL, constraint_mode="off")
+        db.execute('Insert part(label := "a")')
+        db.execute('Insert part(label := "b")')   # second null serial: fine
+        assert len(db.query("From part Retrieve label")) == 2
+
+    def test_non_null_duplicates_still_rejected(self):
+        from repro import UniquenessViolation
+        db = Database(self.DDL, constraint_mode="off")
+        db.execute('Insert part(label := "a", serial := 1)')
+        with pytest.raises(UniquenessViolation):
+            db.execute('Insert part(label := "b", serial := 1)')
+
+    def test_deleting_holder_frees_unique_value(self):
+        db = Database(self.DDL, constraint_mode="off")
+        db.execute('Insert part(label := "a", serial := 1)')
+        db.execute('Delete part Where label = "a"')
+        db.execute('Insert part(label := "b", serial := 1)')
+        assert db.query("From part Retrieve label"
+                        " Where serial = 1").scalar() == "b"
+
+
+class TestRelationshipDependency:
+    """§3.2.1: REQUIRED on an EVA/inverse defines total dependency."""
+
+    DDL = """
+    Class Order (
+      order-no: integer unique required;
+      placed-by: customer inverse is orders required );
+    Class Customer (
+      cust-no: integer unique required;
+      orders: order inverse is placed-by mv );
+    """
+
+    def test_total_dependency_on_insert(self):
+        from repro import RequiredViolation
+        db = Database(self.DDL, constraint_mode="off")
+        db.execute('Insert customer(cust-no := 1)')
+        with pytest.raises(RequiredViolation):
+            db.execute('Insert order(order-no := 1)')
+        db.execute('Insert order(order-no := 1,'
+                   ' placed-by := customer with (cust-no = 1))')
+
+    def test_total_dependency_on_partner_delete(self):
+        from repro import RequiredViolation
+        db = Database(self.DDL, constraint_mode="off")
+        db.execute('Insert customer(cust-no := 1)')
+        db.execute('Insert order(order-no := 1,'
+                   ' placed-by := customer with (cust-no = 1))')
+        with pytest.raises(RequiredViolation):
+            db.execute('Delete customer Where cust-no = 1')
+
+    def test_excluding_required_eva_rejected(self):
+        from repro import RequiredViolation
+        db = Database(self.DDL, constraint_mode="off")
+        db.execute('Insert customer(cust-no := 1)')
+        db.execute('Insert order(order-no := 1,'
+                   ' placed-by := customer with (cust-no = 1))')
+        with pytest.raises(RequiredViolation):
+            db.execute('Modify order(placed-by := exclude placed-by)'
+                       ' Where order-no = 1')
+
+
+class TestDescribeRoundTrip:
+    """AST.describe() emits re-parseable DML with identical meaning."""
+
+    QUERIES = [
+        "From Student Retrieve Name, Name of Advisor",
+        "Retrieve Title of Transitive(prerequisites) of Course"
+        ' Where Title of Course = "Calculus I"',
+        "From student, instructor Retrieve name of student,"
+        " name of instructor Where birthdate of student <"
+        " birthdate of instructor and advisor of student NEQ instructor"
+        " and not instructor isa teaching-assistant",
+        "From Department Retrieve name,"
+        " AVG(Salary of Instructors-employed) of Department",
+        'From person Retrieve name Where name like "J%" or'
+        " soc-sec-no >= 100",
+        "From instructor Retrieve name Where assigned-department neq"
+        " some(major-department of advisees)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_targets_and_where_reparse(self, text, small_university):
+        query = parse_dml(text)
+        rebuilt_targets = ", ".join(t.expression.describe()
+                                    for t in query.targets)
+        rebuilt = "From " + ", ".join(
+            p.class_name for p in (query.perspectives
+                                   or [])) if query.perspectives else ""
+        rebuilt = (rebuilt + " Retrieve " + rebuilt_targets).strip()
+        if query.where is not None:
+            rebuilt += " Where " + query.where.describe()
+        original = small_university.query(text).rows
+        again = small_university.query(rebuilt).rows
+        assert original == again
+
+
+class TestSubroleSemantics:
+    def test_single_valued_subrole_reads_scalar(self, small_university):
+        # instructor-status is a single-valued subrole on STUDENT.
+        rows = small_university.query(
+            "From student Retrieve name, instructor-status").rows
+        assert all(is_null(status) for _, status in rows)
+        small_university.execute(
+            'Insert teaching-assistant From student'
+            ' Where name = "John Doe"'
+            ' (employee-nbr := 1750, teaching-load := 2)')
+        value = small_university.query(
+            'From student Retrieve instructor-status'
+            ' Where name = "John Doe"').scalar()
+        assert value == "teaching-assistant"
+
+    def test_subrole_in_where(self, small_university):
+        small_university.execute(
+            'Insert teaching-assistant From student'
+            ' Where name = "John Doe"'
+            ' (employee-nbr := 1750, teaching-load := 2)')
+        rows = small_university.query(
+            'From person Retrieve name'
+            ' Where profession = "student"').rows
+        assert {r[0] for r in rows} == {"John Doe", "Lone Wolf"}

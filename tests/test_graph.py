@@ -1,0 +1,122 @@
+"""Generalization-graph tests: DAG invariants and traversal (paper §3.1)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.graph import GeneralizationGraph
+
+
+def university_graph():
+    graph = GeneralizationGraph()
+    graph.add_class("person", [])
+    graph.add_class("student", ["person"])
+    graph.add_class("instructor", ["person"])
+    graph.add_class("teaching-assistant", ["student", "instructor"])
+    graph.add_class("course", [])
+    graph.finalize()
+    return graph
+
+
+class TestValidation:
+    def test_cycle_rejected(self):
+        graph = GeneralizationGraph()
+        graph.add_class("a", ["b"])
+        graph.add_class("b", ["a"])
+        with pytest.raises(SchemaError, match="cycle"):
+            graph.finalize()
+
+    def test_self_superclass_rejected(self):
+        graph = GeneralizationGraph()
+        graph.add_class("a", ["a"])
+        with pytest.raises(SchemaError):
+            graph.finalize()
+
+    def test_unknown_superclass(self):
+        graph = GeneralizationGraph()
+        graph.add_class("a", ["ghost"])
+        with pytest.raises(SchemaError, match="unknown"):
+            graph.finalize()
+
+    def test_two_base_ancestors_rejected(self):
+        # The paper: "the set of ancestors of any node contain at most one
+        # base class".
+        graph = GeneralizationGraph()
+        graph.add_class("base1", [])
+        graph.add_class("base2", [])
+        graph.add_class("mixed", ["base1", "base2"])
+        with pytest.raises(SchemaError, match="base-class ancestor"):
+            graph.finalize()
+
+    def test_diamond_with_single_base_allowed(self):
+        graph = university_graph()
+        assert graph.base_class_of("teaching-assistant") == "person"
+
+
+class TestTraversal:
+    def test_ancestors(self):
+        graph = university_graph()
+        assert graph.ancestors("teaching-assistant") == [
+            "student", "instructor", "person"]
+        assert graph.ancestors("person") == []
+
+    def test_descendants(self):
+        graph = university_graph()
+        assert set(graph.descendants("person")) == {
+            "student", "instructor", "teaching-assistant"}
+
+    def test_levels(self):
+        graph = university_graph()
+        assert graph.level("person") == 0
+        assert graph.level("student") == 1
+        assert graph.level("teaching-assistant") == 2
+
+    def test_hierarchy_depth(self):
+        graph = university_graph()
+        assert graph.hierarchy_depth("person") == 3
+        assert graph.hierarchy_depth("course") == 1
+
+    def test_is_ancestor_reflexive(self):
+        graph = university_graph()
+        assert graph.is_ancestor("person", "person")
+        assert graph.is_ancestor("person", "teaching-assistant")
+        assert not graph.is_ancestor("student", "instructor")
+
+    def test_same_hierarchy(self):
+        graph = university_graph()
+        assert graph.same_hierarchy("student", "instructor")
+        assert not graph.same_hierarchy("student", "course")
+
+    def test_topological_order(self):
+        graph = university_graph()
+        order = graph.topological_order()
+        assert order.index("person") < order.index("student")
+        assert order.index("student") < order.index("teaching-assistant")
+        assert order.index("instructor") < order.index("teaching-assistant")
+
+    def test_tree_detection(self):
+        graph = university_graph()
+        # TA has two immediate superclasses: not a tree hierarchy.
+        assert not graph.is_tree_hierarchy("person")
+        assert graph.is_tree_hierarchy("course")
+
+
+class TestInsertionPath:
+    def test_full_chain_from_base(self):
+        graph = university_graph()
+        path = graph.insertion_path("person", "teaching-assistant")
+        assert path == ["student", "instructor", "teaching-assistant"] or \
+               path == ["instructor", "student", "teaching-assistant"]
+
+    def test_from_intermediate_keeps_other_branch(self):
+        # INSERT teaching-assistant FROM student must still add the
+        # INSTRUCTOR role (paper §4.8: roles added "as needed").
+        graph = university_graph()
+        path = graph.insertion_path("student", "teaching-assistant")
+        assert "instructor" in path
+        assert "student" not in path
+        assert path[-1] == "teaching-assistant"
+
+    def test_non_ancestor_rejected(self):
+        graph = university_graph()
+        with pytest.raises(SchemaError):
+            graph.insertion_path("course", "student")

@@ -1,0 +1,138 @@
+"""Temporal history tests (paper §6: "temporal data").
+
+The change journal ticks once per update statement; as-of reconstruction
+inverts newer events over the current state.
+"""
+
+import pytest
+
+from repro import Database, SimError
+from repro.types.tvl import is_null
+from repro.workloads import UNIVERSITY_DDL
+
+
+@pytest.fixture()
+def db():
+    database = Database(UNIVERSITY_DDL, constraint_mode="off",
+                        track_history=True)
+    database.execute('Insert course(course-no := 1, title := "A",'
+                     ' credits := 3)')                                 # t1
+    database.execute('Insert course(course-no := 2, title := "B",'
+                     ' credits := 4)')                                 # t2
+    database.execute('Insert student(soc-sec-no := 1, courses-enrolled :='
+                     ' course with (title = "A"))')                    # t3
+    return database
+
+
+def student(db):
+    return db.query("From student Retrieve student").scalar()
+
+
+class TestScalarHistory:
+    def test_set_events_recorded(self, db):
+        db.execute('Modify student(name := "First") Where soc-sec-no = 1')
+        db.execute('Modify student(name := "Second") Where soc-sec-no = 1')
+        events = db.attribute_history(student(db), "name")
+        assert [(e.old, e.new) for e in events if e.kind == "set"] == [
+            (None, "First"), ("First", "Second")] or \
+            [e.new for e in events if e.kind == "set"][-2:] == [
+                "First", "Second"]
+
+    def test_scalar_as_of(self, db):
+        course = db.query('From course Retrieve course'
+                          ' Where title = "B"').scalar()
+        db.execute('Modify course(credits := 9) Where title = "B"')   # t4
+        db.execute('Modify course(credits := 11) Where title = "B"')  # t5
+        assert db.value_as_of(course, "course", "credits", 3) == 4
+        assert db.value_as_of(course, "course", "credits", 4) == 9
+        assert db.value_as_of(course, "course", "credits", 5) == 11
+
+    def test_clock_ticks_per_statement(self, db):
+        before = db.clock
+        db.execute('Modify course(credits := 5) Where title = "A"')
+        db.execute('Modify course(credits := 6) Where title = "A"')
+        assert db.clock == before + 2
+
+    def test_queries_do_not_tick(self, db):
+        before = db.clock
+        db.query("From course Retrieve title")
+        assert db.clock == before
+
+
+class TestCollectionHistory:
+    def test_eva_as_of(self, db):
+        surr = student(db)
+        course_a = db.query('From course Retrieve course'
+                            ' Where title = "A"').scalar()
+        course_b = db.query('From course Retrieve course'
+                            ' Where title = "B"').scalar()
+        db.execute('Modify student(courses-enrolled := include course with'
+                   ' (title = "B")) Where soc-sec-no = 1')             # t4
+        db.execute('Modify student(courses-enrolled := exclude'
+                   ' courses-enrolled with (title = "A"))'
+                   ' Where soc-sec-no = 1')                            # t5
+        assert db.value_as_of(surr, "student", "courses-enrolled", 3) == \
+            [course_a]
+        assert sorted(db.value_as_of(surr, "student", "courses-enrolled",
+                                     4)) == sorted([course_a, course_b])
+        assert db.value_as_of(surr, "student", "courses-enrolled", 5) == \
+            [course_b]
+
+    def test_inverse_side_history_recorded(self, db):
+        course_a = db.query('From course Retrieve course'
+                            ' Where title = "A"').scalar()
+        events = db.attribute_history(course_a, "students-enrolled")
+        assert [e.kind for e in events] == ["include"]
+
+    def test_history_in_aborted_statement_nets_out(self, db):
+        from repro.errors import UniquenessViolation
+        surr = student(db)
+        tick = db.clock
+        with pytest.raises(UniquenessViolation):
+            # fails after the include: soc-sec-no collision rolls back
+            db.execute('Insert student(soc-sec-no := 1, courses-enrolled'
+                       ' := course with (title = "B"))')
+        assert db.value_as_of(surr, "student", "courses-enrolled",
+                              db.clock) == \
+            db.value_as_of(surr, "student", "courses-enrolled", tick)
+
+
+class TestRoleHistory:
+    def test_role_acquisition_ticks(self, db):
+        surr = student(db)
+        assert not db.had_role_at(surr, "student", 2)
+        assert db.had_role_at(surr, "student", 3)
+
+    def test_role_loss(self, db):
+        surr = student(db)
+        db.execute('Delete student Where soc-sec-no = 1')   # t4
+        assert db.had_role_at(surr, "student", 3)
+        assert not db.had_role_at(surr, "student", db.clock)
+        assert db.had_role_at(surr, "person", db.clock)
+
+    def test_role_extension_recorded(self, db):
+        surr = student(db)
+        db.execute('Insert instructor From person Where soc-sec-no = 1'
+                   ' (employee-nbr := 1001)')
+        events = db.role_history(surr)
+        acquired = [e.new for e in events if e.kind == "role+"]
+        assert "instructor" in acquired
+
+
+class TestApi:
+    def test_history_off_by_default(self):
+        plain = Database(UNIVERSITY_DDL, constraint_mode="off")
+        with pytest.raises(SimError):
+            _ = plain.clock
+
+    def test_value_as_of_before_existence_is_null(self, db):
+        course = db.query('From course Retrieve course'
+                          ' Where title = "A"').scalar()
+        assert is_null(db.value_as_of(course, "course", "credits", 0))
+
+    def test_event_describe(self, db):
+        db.execute('Modify course(credits := 9) Where title = "A"')
+        event = db.attribute_history(
+            db.query('From course Retrieve course Where title = "A"'
+                     ).scalar(), "credits")[-1]
+        assert "->" in event.describe()

@@ -1,0 +1,142 @@
+"""Index tests: hash, ordered (index-sequential) and direct keys (§5.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage import DirectIndex, HashIndex, OrderedIndex, RID
+from repro.storage.index import make_index
+
+
+class TestHashIndex:
+    def test_insert_lookup_delete(self):
+        index = HashIndex("h")
+        index.insert("a", RID(0, 0))
+        index.insert("a", RID(0, 1))
+        assert index.lookup("a") == [RID(0, 0), RID(0, 1)]
+        index.delete("a", RID(0, 0))
+        assert index.lookup("a") == [RID(0, 1)]
+
+    def test_unique_duplicate_rejected(self):
+        index = HashIndex("h", unique=True)
+        index.insert("a", RID(0, 0))
+        with pytest.raises(StorageError):
+            index.insert("a", RID(0, 1))
+
+    def test_delete_missing(self):
+        with pytest.raises(StorageError):
+            HashIndex("h").delete("a", RID(0, 0))
+
+    def test_probe_counting(self):
+        index = HashIndex("h")
+        index.insert(1, RID(0, 0))
+        index.lookup(1)
+        index.lookup(2)
+        assert index.probes == 2
+
+    def test_lookup_one(self):
+        index = HashIndex("h")
+        assert index.lookup_one("missing") is None
+        index.insert("k", RID(1, 1))
+        assert index.lookup_one("k") == RID(1, 1)
+
+
+class TestOrderedIndex:
+    def test_range_scan_inclusive(self):
+        index = OrderedIndex("o")
+        for i in range(10):
+            index.insert(i, RID(0, i))
+        keys = [k for k, _ in index.range(3, 6)]
+        assert keys == [3, 4, 5, 6]
+
+    def test_range_exclusive_bounds(self):
+        index = OrderedIndex("o")
+        for i in range(10):
+            index.insert(i, RID(0, i))
+        keys = [k for k, _ in index.range(3, 6, include_low=False,
+                                          include_high=False)]
+        assert keys == [4, 5]
+
+    def test_open_ended_ranges(self):
+        index = OrderedIndex("o")
+        for i in range(5):
+            index.insert(i, RID(0, i))
+        assert [k for k, _ in index.range(low=3)] == [3, 4]
+        assert [k for k, _ in index.range(high=1)] == [0, 1]
+
+    def test_duplicates_under_one_key(self):
+        index = OrderedIndex("o")
+        index.insert(5, RID(0, 0))
+        index.insert(5, RID(0, 1))
+        assert len(index.lookup(5)) == 2
+
+    def test_unique_mode(self):
+        index = OrderedIndex("o", unique=True)
+        index.insert(5, RID(0, 0))
+        with pytest.raises(StorageError):
+            index.insert(5, RID(0, 1))
+
+    def test_height_grows_with_entries(self):
+        index = OrderedIndex("o")
+        assert index.height() == 1
+        for i in range(100):
+            index.insert(i, RID(0, i))
+        assert index.height() == 2
+        assert index.probe_cost() == 2.0
+
+    def test_delete_removes_key(self):
+        index = OrderedIndex("o")
+        index.insert(1, RID(0, 0))
+        index.delete(1, RID(0, 0))
+        assert index.lookup(1) == []
+        with pytest.raises(StorageError):
+            index.delete(1, RID(0, 0))
+
+
+class TestDirectIndex:
+    def test_integer_keys_only(self):
+        index = DirectIndex("d")
+        with pytest.raises(StorageError):
+            index.insert("a", RID(0, 0))
+
+    def test_direct_lookup_free(self):
+        index = DirectIndex("d")
+        index.insert(7, RID(0, 3))
+        assert index.lookup_one(7) == RID(0, 3)
+        assert index.probe_cost() == 0.0
+
+    def test_duplicate_rejected(self):
+        index = DirectIndex("d")
+        index.insert(7, RID(0, 3))
+        with pytest.raises(StorageError):
+            index.insert(7, RID(1, 1))
+
+
+class TestFactory:
+    def test_make_index_kinds(self):
+        assert make_index("hash", "x").kind == "hash"
+        assert make_index("ordered", "x").kind == "ordered"
+        assert make_index("direct", "x").kind == "direct"
+        with pytest.raises(StorageError):
+            make_index("btree", "x")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 20)),
+                min_size=1, max_size=80))
+def test_ordered_index_matches_sorted_model(operations):
+    """Property: the ordered index agrees with a sorted-dict model and its
+    range scans return keys in order."""
+    index = OrderedIndex("o")
+    model = {}
+    for insert, key in operations:
+        if insert:
+            if key not in model:
+                model[key] = RID(0, key)
+                index.insert(key, model[key])
+        elif key in model:
+            index.delete(key, model.pop(key))
+    scanned = [k for k, _ in index.range()]
+    assert scanned == sorted(model)
+    for key, rid in model.items():
+        assert index.lookup(key) == [rid]

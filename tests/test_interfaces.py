@@ -1,0 +1,131 @@
+"""Interface tests: IQF sessions and the DMSII (network-model) import."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.interfaces import (
+    IQFSession,
+    NetworkDatabase,
+    NetworkRecordType,
+    NetworkSet,
+    import_network_database,
+    run_script,
+)
+
+
+class TestIQF:
+    def test_query_and_row_count(self, small_university):
+        transcript = run_script(small_university,
+                                "From course Retrieve title, credits;\n")
+        assert "Algebra I" in transcript
+        assert "(3 rows)" in transcript
+
+    def test_update_reports_count(self, small_university):
+        transcript = run_script(
+            small_university,
+            "Modify course(credits := 1) Where credits >= 3;\n")
+        assert "3 entities affected" in transcript
+
+    def test_error_reported_not_raised(self, small_university):
+        transcript = run_script(small_university,
+                                "From ghost Retrieve name;\n")
+        assert "error:" in transcript
+
+    def test_dot_commands(self, small_university):
+        transcript = run_script(small_university, ".classes\n.stats\n")
+        assert "person" in transcript
+        assert "base_classes" in transcript
+
+    def test_explain_command(self, small_university):
+        transcript = run_script(
+            small_university,
+            ".explain From student Retrieve name Where soc-sec-no = 1\n")
+        assert "strategies considered" in transcript
+
+    def test_multiline_statement(self, small_university):
+        transcript = run_script(small_university,
+                                "From course\nRetrieve title\n"
+                                "Where credits = 3;\n")
+        assert "Algebra I" in transcript
+
+    def test_quit(self, small_university):
+        session_output = run_script(small_university,
+                                    ".quit\nFrom course Retrieve title;\n")
+        assert "Algebra I" not in session_output
+
+
+def build_network():
+    net = NetworkDatabase("inventory")
+    net.add_record_type(NetworkRecordType(
+        "warehouse", {"wh-id": "integer", "city": "string[20]"},
+        key_field="wh-id"))
+    net.add_record_type(NetworkRecordType(
+        "item", {"item-id": "integer", "descr": "string[30]",
+                 "wh": "integer"}, key_field="item-id"))
+    net.add_record_type(NetworkRecordType(
+        "bin", {"bin-id": "integer", "capacity": "integer"},
+        key_field="bin-id"))
+    net.add_set(NetworkSet("wh-bins", "warehouse", "bin"))
+    w0 = net.store("warehouse", {"wh-id": 1, "city": "Irvine"})
+    w1 = net.store("warehouse", {"wh-id": 2, "city": "Detroit"})
+    net.store("item", {"item-id": 10, "descr": "widget", "wh": 1})
+    net.store("item", {"item-id": 11, "descr": "sprocket", "wh": 2})
+    net.store("item", {"item-id": 12, "descr": "gear", "wh": 2})
+    b0 = net.store("bin", {"bin-id": 100, "capacity": 50})
+    b1 = net.store("bin", {"bin-id": 101, "capacity": 70})
+    net.connect("wh-bins", w0, b0)
+    net.connect("wh-bins", w0, b1)
+    return net
+
+
+class TestDmsiiImport:
+    def test_record_types_become_base_classes(self):
+        db = import_network_database(build_network())
+        assert {c.name for c in db.schema.base_classes()} == {
+            "warehouse", "item", "bin"}
+
+    def test_foreign_key_hint_becomes_eva(self):
+        db = import_network_database(
+            build_network(), foreign_keys={("item", "wh"): "warehouse"})
+        rows = db.query("From item Retrieve descr, city of wh"
+                        " Order By descr").rows
+        assert rows == [("gear", "Detroit"), ("sprocket", "Detroit"),
+                        ("widget", "Irvine")]
+
+    def test_fk_inverse_queryable(self):
+        db = import_network_database(
+            build_network(), foreign_keys={("item", "wh"): "warehouse"})
+        rows = db.query("""
+            From warehouse Retrieve city, count(wh-of) of warehouse""").rows
+        assert ("Detroit", 2) in rows
+
+    def test_network_set_becomes_eva(self):
+        db = import_network_database(build_network())
+        rows = db.query("From warehouse Retrieve city,"
+                        " count(wh-bins-members) of warehouse").rows
+        assert ("Irvine", 2) in rows and ("Detroit", 0) in rows
+
+    def test_key_fields_are_unique(self):
+        db = import_network_database(build_network())
+        attr = db.schema.get_class("warehouse").attribute("wh-id")
+        assert attr.options.unique
+
+    def test_dangling_foreign_key_rejected(self):
+        net = build_network()
+        net.store("item", {"item-id": 13, "descr": "bad", "wh": 99})
+        with pytest.raises(SimError):
+            import_network_database(net,
+                                    foreign_keys={("item", "wh"): "warehouse"})
+
+    def test_unknown_field_in_store(self):
+        net = build_network()
+        with pytest.raises(SimError):
+            net.store("item", {"ghost": 1})
+
+    def test_queries_run_on_imported_data(self):
+        db = import_network_database(
+            build_network(), foreign_keys={("item", "wh"): "warehouse"})
+        value = db.query("""
+            From warehouse Retrieve city
+            Where count(wh-bins-members) of warehouse >= 2""").scalar()
+        assert value == "Irvine"

@@ -1,0 +1,110 @@
+"""Lexer tests: hyphenated identifiers, comments, strings, ranges."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DMLSyntaxError
+from repro.lexer import DECIMAL, EOF, IDENT, NUMBER, STRING, SYMBOL, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestIdentifiers:
+    def test_hyphenated_identifier_is_one_token(self):
+        assert kinds("soc-sec-no") == [(IDENT, "soc-sec-no")]
+
+    def test_hyphen_before_digit_is_minus(self):
+        assert kinds("x-1") == [(IDENT, "x"), (SYMBOL, "-"), (NUMBER, "1")]
+
+    def test_spaced_minus_is_operator(self):
+        assert kinds("salary - bonus") == [
+            (IDENT, "salary"), (SYMBOL, "-"), (IDENT, "bonus")]
+
+    def test_adjacent_letters_absorb_hyphen(self):
+        # Documented consequence of the rule: unspaced letter-minus-letter
+        # is a single identifier.
+        assert kinds("salary-bonus") == [(IDENT, "salary-bonus")]
+
+    def test_underscores_allowed(self):
+        assert kinds("soc_sec_no") == [(IDENT, "soc_sec_no")]
+
+    def test_trailing_hyphen_not_absorbed(self):
+        assert kinds("abc- ") == [(IDENT, "abc"), (SYMBOL, "-")]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("456887766") == [(NUMBER, "456887766")]
+
+    def test_decimal(self):
+        assert kinds("1.1") == [(DECIMAL, "1.1")]
+
+    def test_range_operator_not_decimal(self):
+        assert kinds("1001..39999") == [
+            (NUMBER, "1001"), (SYMBOL, ".."), (NUMBER, "39999")]
+
+    def test_dangling_point_rejected(self):
+        with pytest.raises(DMLSyntaxError):
+            tokenize("5.")
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds('"Algebra I"') == [(STRING, "Algebra I")]
+
+    def test_doubled_quote_escape(self):
+        assert kinds('"say ""hi"""') == [(STRING, 'say "hi"')]
+
+    def test_unterminated(self):
+        with pytest.raises(DMLSyntaxError):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(DMLSyntaxError):
+            tokenize('"line\nbreak"')
+
+
+class TestCommentsAndSymbols:
+    def test_paper_style_comment(self):
+        assert kinds("a (* the schema diagram *) b") == [
+            (IDENT, "a"), (IDENT, "b")]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(DMLSyntaxError):
+            tokenize("(* oops")
+
+    def test_comment_tracks_line_numbers(self):
+        tokens = tokenize("(* one\ntwo *)\nx")
+        assert tokens[0].line == 3
+
+    def test_assignment_symbol(self):
+        assert kinds("a := 1") == [
+            (IDENT, "a"), (SYMBOL, ":="), (NUMBER, "1")]
+
+    def test_comparison_symbols(self):
+        assert [k for k, _ in kinds("<= >= != <>")] == [SYMBOL] * 4
+
+    def test_unexpected_character(self):
+        with pytest.raises(DMLSyntaxError):
+            tokenize("a @ b")
+
+    def test_positions(self):
+        tokens = tokenize("ab\n cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 2)
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == EOF
+
+
+@given(st.lists(st.sampled_from(
+    ["name", "of", "student", "advisor", ":=", "(", ")", ",", "123",
+     '"text"', "<=", "and"]), min_size=0, max_size=30))
+def test_lexing_never_crashes_on_token_soup(parts):
+    text = " ".join(parts)
+    tokens = tokenize(text)
+    assert tokens[-1].kind == EOF
+    # Every non-EOF token covers some of the input.
+    assert len(tokens) - 1 <= len(parts)  # spaces prevent token merging

@@ -1,0 +1,72 @@
+"""Unit coverage for the small shared utilities: naming conventions and
+the token-stream helpers the parsers are built on."""
+
+import pytest
+
+from repro.errors import DMLSyntaxError
+from repro.lexer import IDENT, SYMBOL, TokenStream
+from repro.naming import canon, is_identifier, pythonic
+
+
+class TestNaming:
+    def test_canon_folds_case_and_underscores(self):
+        assert canon("Soc_Sec_No") == "soc-sec-no"
+        assert canon("  COURSES-ENROLLED ") == "courses-enrolled"
+
+    def test_pythonic_is_inverse_style(self):
+        assert pythonic("courses-enrolled") == "courses_enrolled"
+
+    def test_is_identifier(self):
+        assert is_identifier("soc-sec-no")
+        assert is_identifier("a1_b-c")
+        assert not is_identifier("1abc")
+        assert not is_identifier("")
+        assert not is_identifier("has space")
+
+
+class TestTokenStream:
+    def test_accept_and_expect(self):
+        stream = TokenStream.from_text("from student retrieve")
+        assert stream.accept_keyword("from")
+        token = stream.expect_ident("class name")
+        assert token.value == "student"
+        stream.expect_keyword("retrieve")
+        assert stream.at_end()
+
+    def test_expect_failure_reports_position(self):
+        stream = TokenStream.from_text("from 123")
+        stream.advance()
+        with pytest.raises(DMLSyntaxError) as info:
+            stream.expect_ident("class name")
+        assert info.value.line == 1 and info.value.column == 6
+
+    def test_save_restore(self):
+        stream = TokenStream.from_text("a b c")
+        mark = stream.save()
+        stream.advance()
+        stream.advance()
+        stream.restore(mark)
+        assert stream.current.value == "a"
+
+    def test_peek_does_not_consume(self):
+        stream = TokenStream.from_text("a (")
+        assert stream.peek().matches(SYMBOL, "(")
+        assert stream.current.kind == IDENT
+
+    def test_check_symbol_variants(self):
+        stream = TokenStream.from_text(":= ..")
+        assert stream.check_symbol(":=", "=")
+        stream.advance()
+        assert stream.accept_symbol("..")
+
+    def test_expect_integer(self):
+        stream = TokenStream.from_text("42 x")
+        assert stream.expect_integer() == 42
+        with pytest.raises(DMLSyntaxError):
+            stream.expect_integer()
+
+    def test_eof_advance_is_safe(self):
+        stream = TokenStream.from_text("")
+        assert stream.at_end()
+        stream.advance()
+        assert stream.at_end()

@@ -1,0 +1,112 @@
+"""Output-form tests (paper §4.5, experiment E11): fully tabular vs fully
+structured, format counts, level numbers, host-interface shape."""
+
+import pytest
+
+from repro.types.tvl import is_null
+
+
+class TestStructuredOutput:
+    def test_format_count_matches_type13_variables(self, small_university):
+        # Query with root (TYPE1) + courses-enrolled (TYPE3) + teachers
+        # (TYPE3) = 3 formats carrying target items.
+        result = small_university.query("""
+            Retrieve Structure Name of Student,
+                Title of Courses-Enrolled of Student,
+                Name of Teachers of Courses-Enrolled of Student""")
+        formats_used = {record.format_name for record in result.structured}
+        assert formats_used == {"student", "courses-enrolled", "teachers"}
+        assert len(result.formats) == 3
+
+    def test_levels_follow_nesting(self, small_university):
+        result = small_university.query("""
+            Retrieve Structure Name of Student,
+                Title of Courses-Enrolled of Student
+            Where Soc-Sec-No of Student = 456887766""")
+        levels = [(r.format_name, r.level) for r in result.structured]
+        assert levels[0] == ("student", 0)
+        assert ("courses-enrolled", 1) in levels
+
+    def test_parent_record_not_repeated_per_child(self, small_university):
+        small_university.execute(
+            'Modify student(courses-enrolled := include course with'
+            ' (title = "Calculus I")) Where name = "John Doe"')
+        result = small_university.query("""
+            Retrieve Structure Name of Student,
+                Title of Courses-Enrolled of Student
+            Where Soc-Sec-No of Student = 456887766""")
+        student_records = [r for r in result.structured
+                           if r.format_name == "student"]
+        course_records = [r for r in result.structured
+                          if r.format_name == "courses-enrolled"]
+        assert len(student_records) == 1
+        assert len(course_records) == 2
+
+    def test_transitive_levels(self, small_university):
+        result = small_university.query("""
+            Retrieve Structure Title of Transitive(prerequisites) of Course
+            Where Title of Course = "Quantum Chromodynamics" """)
+        closure = [r for r in result.structured
+                   if r.format_name == "prerequisites"]
+        levels = [r.level for r in closure]
+        assert levels == [1, 2]  # Calculus I at level 1, Algebra I at 2
+
+    def test_tabular_mode_has_no_structured(self, small_university):
+        result = small_university.query("From student Retrieve name")
+        with pytest.raises(ValueError):
+            _ = result.structured
+
+
+class TestHostInterface:
+    def test_cursor_fetch_sequence(self, small_university):
+        from repro.interfaces import HostSession
+        session = HostSession(small_university)
+        cursor = session.open_cursor(
+            "Retrieve Name of Student, Title of Courses-Enrolled of Student"
+            " Where Soc-Sec-No of Student = 456887766")
+        first = cursor.fetch()
+        assert first.format_name == "student"
+        second = cursor.fetch()
+        assert second.format_name == "courses-enrolled"
+        assert cursor.fetch() is None
+
+    def test_cursor_iteration_and_rewind(self, small_university):
+        from repro.interfaces import HostSession
+        session = HostSession(small_university)
+        cursor = session.open_cursor("From course Retrieve title")
+        titles = [r.values["title"] for r in cursor]
+        assert len(titles) == 3
+        cursor.rewind()
+        assert cursor.fetch() is not None
+
+    def test_closed_cursor_rejects_fetch(self, small_university):
+        from repro.interfaces import HostSession
+        from repro.errors import SimError
+        session = HostSession(small_university)
+        cursor = session.open_cursor("From course Retrieve title")
+        cursor.close()
+        with pytest.raises(SimError):
+            cursor.fetch()
+
+    def test_call_rejects_retrieve(self, small_university):
+        from repro.interfaces import HostSession
+        from repro.errors import SimError
+        session = HostSession(small_university)
+        with pytest.raises(SimError):
+            session.call("From course Retrieve title")
+        assert session.call('Insert department(dept-nbr := 300,'
+                            ' name := "Chem")') == 1
+
+
+class TestPretty:
+    def test_pretty_table_shape(self, small_university):
+        text = small_university.query(
+            "From course Retrieve title, credits").pretty()
+        lines = text.splitlines()
+        assert lines[0].split() == ["title", "credits"]
+        assert len(lines) == 2 + 3
+
+    def test_pretty_truncation(self, small_university):
+        text = small_university.query(
+            "From course Retrieve title").pretty(max_rows=1)
+        assert "more rows" in text

@@ -1,0 +1,180 @@
+"""E2: every worked DML example in the paper, executed end to end.
+
+Two of the paper's examples reference names that differ from its own §7
+schema (``student-no`` vs ``student-nbr``; ``transitive(prerequisite)`` vs
+the declared ``prerequisites``); the tests use the schema's spelling and
+note the substitution.
+"""
+
+import pytest
+from decimal import Decimal
+
+from repro.types.tvl import is_null
+
+
+class TestSection41:
+    def test_print_name_and_advisor_name(self, small_university):
+        """'From Student Retrieve Name, Name of Advisor' — §4.1.
+
+        Names of persons who are not students are not printed; a student
+        without an advisor is printed with a null advisor name (directed
+        outer join)."""
+        rows = small_university.query(
+            "From Student Retrieve Name, Name of Advisor").rows
+        assert ("John Doe", "Joe Bloke") in rows
+        lone = next(r for r in rows if r[0] == "Lone Wolf")
+        assert is_null(lone[1])
+        assert all(r[0] not in ("Joe Bloke", "Jane Roe") for r in rows)
+
+
+class TestSection42:
+    def test_shorthand_equivalence(self, small_university):
+        """§4.2: 'Name of Advisor of Student, Salary of Advisor of Student'
+        and 'Name of Advisor, Salary' yield identical results."""
+        full = small_university.query(
+            "From Student Retrieve Name of Advisor of Student,"
+            " Salary of Advisor of Student").rows
+        short = small_university.query(
+            "From Student Retrieve Name of Advisor, Salary").rows
+        assert full == short
+
+    def test_role_conversion_examples(self, small_university):
+        """§4.2 qualification examples (student-nbr per the §7 schema)."""
+        small_university.query(
+            "From Student Retrieve Title of Courses-Enrolled of Student")
+        small_university.query(
+            "From Student Retrieve Teaching-Load of Student as"
+            " Teaching-Assistant")
+        small_university.query(
+            "From Student Retrieve Student-Nbr of Spouse as Student"
+            " of Student")
+
+
+class TestSection44:
+    def test_binding_query(self, small_university):
+        """The §4.4 binding example: one student, his courses, and their
+        teachers — all occurrences bound to shared range variables."""
+        rows = small_university.query("""
+            Retrieve Name of Student,
+                Title of Courses-Enrolled of Student,
+                Credits of Courses-Enrolled of Student,
+                Name of Teachers of Courses-Enrolled of Student
+            Where Soc-Sec-No of Student = 456887766""").rows
+        assert rows[0][:3] == ("John Doe", "Algebra I", 3)
+        assert is_null(rows[0][3])  # course has no teachers yet
+
+
+class TestSection47:
+    def test_transitive_closure_retrieve(self, small_university):
+        """'Retrieve Title of Transitive(prerequisite) of Course Where
+        Title of Course = "Calculus I"' (schema spelling: prerequisites)."""
+        rows = small_university.query("""
+            Retrieve Title of Transitive(prerequisites) of Course
+            Where Title of Course = "Calculus I" """).rows
+        assert rows == [("Algebra I",)]
+
+
+class TestSection49Examples:
+    def test_example_1_insert_and_enroll(self, empty_university):
+        """Example 1: Insert John Doe as a STUDENT and enroll him in
+        Algebra I."""
+        db = empty_university
+        db.execute('Insert course(course-no := 101, title := "Algebra I",'
+                   ' credits := 3)')
+        db.execute('''Insert student(name := "John Doe",
+            soc-sec-no := 456887766,
+            courses-enrolled := course with (title = "Algebra I"))''')
+        rows = db.query('From student Retrieve name,'
+                        ' title of courses-enrolled').rows
+        assert rows == [("John Doe", "Algebra I")]
+
+    def test_example_2_make_him_instructor_too(self, small_university):
+        """Example 2: Insert instructor From person Where name = "John
+        Doe" (employee-nbr := 1729).  The fixture already assigns 1729 to
+        Joe Bloke, so John gets 1731 here (employee-nbr is UNIQUE)."""
+        db = small_university
+        db.execute('Insert instructor From person Where name = "John Doe"'
+                   ' (employee-nbr := 1731)')
+        rows = db.query('From person Retrieve profession'
+                        ' Where name = "John Doe"').rows
+        assert {r[0] for r in rows} == {"student", "instructor"}
+        assert db.query('From instructor Retrieve employee-nbr'
+                        ' Where name = "John Doe"').scalar() == 1731
+
+    def test_example_3_drop_course_change_advisor(self, small_university):
+        """Example 3: drop Algebra I and let Jane Roe be his advisor (the
+        paper says Joe Bloke; our fixture's Joe is already the advisor, so
+        we switch to Jane to observe the change)."""
+        db = small_university
+        db.execute('''Modify student (
+            courses-enrolled := exclude courses-enrolled
+                with (title = "Algebra I"),
+            advisor := instructor with (name = "Jane Roe"))
+            Where name of student = "John Doe"''')
+        rows = db.query('From student Retrieve name of advisor,'
+                        ' count(courses-enrolled) of student'
+                        ' Where name = "John Doe"').rows
+        assert rows == [("Jane Roe", 0)]
+
+    def test_example_4_conditional_raise(self, small_university):
+        """Example 4: 10% raise for instructors teaching > 3 courses who
+        advise students from other departments."""
+        db = small_university
+        # Set the stage: Joe teaches 3 courses (the MAX) so use > 2 below;
+        # the paper's shape (count + quantifier) is what matters.
+        for title in ("Algebra I", "Calculus I", "Quantum Chromodynamics"):
+            db.execute(f'Modify instructor(courses-taught := include course'
+                       f' with (title = "{title}"))'
+                       f' Where name = "Joe Bloke"')
+        # John Doe majors in Physics and Joe works in Physics: quantifier
+        # finds no differing department -> no raise.
+        count = db.execute('''Modify instructor( salary := 1.1 * salary)
+            Where count(courses-taught) of instructor > 2 and
+                assigned-department neq
+                some(major-department of advisees)''')
+        assert count == 0
+        # Move John's major: now Joe advises a student from another
+        # department and gets the raise.
+        db.execute('Modify student(major-department := department with'
+                   ' (name = "Math")) Where name = "John Doe"')
+        count = db.execute('''Modify instructor( salary := 1.1 * salary)
+            Where count(courses-taught) of instructor > 2 and
+                assigned-department neq
+                some(major-department of advisees)''')
+        assert count == 1
+        value = db.query('From instructor Retrieve salary'
+                         ' Where name = "Joe Bloke"').scalar()
+        assert value == Decimal("55000.00")
+
+    def test_example_5_minimum_courses_before_qcd(self, small_university):
+        """Example 5: count distinct transitive prerequisites of Quantum
+        Chromodynamics."""
+        value = small_university.query('''
+            From course
+            Retrieve count distinct (transitive(prerequisites))
+            Where title = "Quantum Chromodynamics"''').scalar()
+        assert value == 2
+
+    def test_example_6_advisors_of_physics_students(self, small_university):
+        """Example 6: instructors advising some Physics student, with the
+        courses they teach (outer-joined)."""
+        db = small_university
+        db.execute('Modify instructor(courses-taught := include course with'
+                   ' (title = "Calculus I")) Where name = "Joe Bloke"')
+        rows = db.query('''
+            Retrieve name of instructor, title of courses-taught
+            Where name of major-department of advisees = "Physics"''').rows
+        assert rows == [("Joe Bloke", "Calculus I")]
+        # Jane advises nobody: not selected at all.
+        assert all(r[0] != "Jane Roe" for r in rows)
+
+    def test_example_7_student_instructor_pairs(self, small_university):
+        """Example 7: older student, instructor not his advisor, not a TA."""
+        rows = small_university.query('''
+            From student, instructor
+            Retrieve name of student, name of Instructor
+            Where birthdate of student < birthdate of instructor and
+                advisor of student NEQ instructor and
+                not instructor isa teaching-assistant''').rows
+        # John (1940) is older than Jane (1950); Jane is not his advisor.
+        assert rows == [("John Doe", "Jane Roe")]

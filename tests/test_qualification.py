@@ -1,0 +1,184 @@
+"""Qualification and binding tests (paper §4.2, §4.4): anchoring, shorthand
+completion, AS conversion, scopes, and TYPE labelling."""
+
+import pytest
+
+from repro import parse_dml, parse_expression
+from repro.errors import QualificationError
+from repro.dml.qualification import Qualifier
+from repro.dml.query_tree import TYPE1, TYPE2, TYPE3
+
+
+@pytest.fixture()
+def qualifier(university_schema):
+    return Qualifier(university_schema)
+
+
+def resolve(qualifier, text):
+    query = parse_dml(text)
+    tree = qualifier.resolve_retrieve(query)
+    return query, tree
+
+
+class TestAnchoring:
+    def test_perspective_name_anchor(self, qualifier):
+        query, tree = resolve(qualifier,
+                              "From Student Retrieve Name of Student")
+        path = query.targets[0].expression
+        assert path.anchor_node is tree.roots[0]
+        assert path.terminal_attr.name == "name"
+
+    def test_explicit_variable_anchor(self, qualifier):
+        query, tree = resolve(qualifier, "From student s Retrieve name of s")
+        assert query.targets[0].expression.anchor_node.var_name == "s"
+
+    def test_inherited_attribute_usable(self, qualifier):
+        query, _ = resolve(qualifier,
+                           "From Student Retrieve Birthdate of Student")
+        assert query.targets[0].expression.terminal_attr.owner_name == \
+            "person"
+
+    def test_perspective_inference(self, qualifier):
+        query, _ = resolve(qualifier, "Retrieve Name of Student")
+        assert [p.class_name for p in query.perspectives] == ["student"]
+
+    def test_inference_failure(self, qualifier):
+        with pytest.raises(QualificationError):
+            resolve(qualifier, "Retrieve Name")
+
+
+class TestShorthand:
+    def test_depth_zero_completion(self, qualifier):
+        query, tree = resolve(qualifier, "From Student Retrieve Name")
+        assert query.targets[0].expression.anchor_node is tree.roots[0]
+
+    def test_paper_salary_example(self, qualifier):
+        # §4.2: with STUDENT as perspective, "Salary" completes to
+        # "salary of advisor of student".
+        query, _ = resolve(qualifier, "From Student Retrieve Salary")
+        path = query.targets[0].expression
+        assert path.chain_nodes[0].eva.name == "advisor"
+        assert path.terminal_attr.name == "salary"
+
+    def test_partial_chain_completion(self, qualifier):
+        # "name of major-department of advisees" from instructor.
+        query, _ = resolve(
+            qualifier,
+            'From instructor Retrieve name of major-department of advisees')
+        chain = query.targets[0].expression.chain_nodes
+        assert [n.eva.name for n in chain] == ["advisees",
+                                               "major-department"]
+
+    def test_ambiguous_shorthand_rejected(self, qualifier):
+        # NAME resolves on both perspectives.
+        with pytest.raises(QualificationError, match="ambiguous"):
+            resolve(qualifier, "From student, instructor Retrieve Name")
+
+    def test_unresolvable_shorthand(self, qualifier):
+        with pytest.raises(QualificationError):
+            resolve(qualifier, "From department Retrieve teaching-load")
+
+
+class TestBinding:
+    def test_identical_qualifications_share_node(self, qualifier):
+        query, tree = resolve(qualifier, """
+            Retrieve Title of Courses-Enrolled of Student,
+                     Credits of Courses-Enrolled of Student""")
+        first = query.targets[0].expression.chain_nodes[0]
+        second = query.targets[1].expression.chain_nodes[0]
+        assert first is second
+
+    def test_distinct_qualifications_get_distinct_nodes(self, qualifier):
+        query, _ = resolve(qualifier, """
+            From course Retrieve title of prerequisites,
+                 title of prerequisite-of""")
+        first = query.targets[0].expression.chain_nodes[0]
+        second = query.targets[1].expression.chain_nodes[0]
+        assert first is not second
+
+    def test_as_conversion_distinct_node(self, qualifier):
+        query, _ = resolve(qualifier, """
+            From Student Retrieve name of spouse,
+                 student-nbr of spouse as student""")
+        plain = query.targets[0].expression.chain_nodes[0]
+        converted = query.targets[1].expression.chain_nodes[0]
+        assert plain is not converted
+        assert converted.class_name == "student"
+
+    def test_cross_hierarchy_as_rejected(self, qualifier):
+        with pytest.raises(QualificationError):
+            resolve(qualifier,
+                    "From Student Retrieve title of Student as Course")
+
+    def test_aggregate_breaks_binding(self, qualifier):
+        # Inside the aggregate, "instructor" is a fresh universal variable,
+        # not the perspective variable.
+        query, tree = resolve(
+            qualifier,
+            "From instructor Retrieve name, avg(salary of instructor)")
+        aggregate = query.targets[1].expression
+        scope_root = aggregate.scope_nodes[0]
+        assert scope_root.kind == "root"
+        assert scope_root is not tree.roots[0]
+
+    def test_aggregate_outer_correlates(self, qualifier):
+        query, tree = resolve(
+            qualifier,
+            "From instructor Retrieve count(courses-taught) of instructor")
+        aggregate = query.targets[0].expression
+        assert aggregate.anchor_node is tree.roots[0]
+        assert aggregate.scope_nodes[0].eva.name == "courses-taught"
+
+    def test_quantifier_scope_correlated_via_shorthand(self, qualifier):
+        expr = parse_expression(
+            "assigned-department neq some(major-department of advisees)")
+        tree = qualifier.resolve_selection("instructor", expr)
+        quantified = expr.right
+        advisees_node = quantified.scope_nodes[0]
+        assert advisees_node.parent is tree.roots[0]
+        assert advisees_node.scope_id != 0
+
+
+class TestLabels:
+    def test_paper_labelling_example(self, qualifier):
+        # Example 6: courses-taught only in target (TYPE 3); advisees and
+        # major-department only in selection (TYPE 2).
+        _, tree = resolve(qualifier, """
+            Retrieve name of instructor, title of courses-taught
+            Where name of major-department of advisees = "Physics" """)
+        root = tree.roots[0]
+        labels = {child.eva.name: child.label
+                  for child in root.children.values()}
+        assert labels["courses-taught"] == TYPE3
+        assert labels["advisees"] == TYPE2
+        nested = list(root.children.values())
+        advisees = next(c for c in nested if c.eva.name == "advisees")
+        major = next(iter(advisees.children.values()))
+        assert major.label == TYPE2
+
+    def test_node_in_both_lists_is_type1(self, qualifier):
+        _, tree = resolve(qualifier, """
+            From student Retrieve title of courses-enrolled
+            Where credits of courses-enrolled > 2""")
+        child = next(iter(tree.roots[0].children.values()))
+        assert child.label == TYPE1
+
+    def test_root_always_type1(self, qualifier):
+        _, tree = resolve(qualifier, "From student Retrieve name")
+        assert tree.roots[0].label == TYPE1
+
+    def test_loop_nodes_depth_first(self, qualifier):
+        _, tree = resolve(qualifier, """
+            Retrieve Name of Student,
+                     Title of Courses-Enrolled of Student,
+                     Name of Teachers of Courses-Enrolled of Student""")
+        nodes = tree.loop_nodes(tree.roots[0])
+        names = [n.var_name or (n.eva.name if n.kind == "eva" else "?")
+                 for n in nodes]
+        assert names == ["student", "courses-enrolled", "teachers"]
+
+    def test_mv_dva_gets_range_variable(self, qualifier):
+        _, tree = resolve(qualifier, "From person Retrieve name, profession")
+        children = list(tree.roots[0].children.values())
+        assert children and children[0].kind == "mvdva"
+        assert children[0].label == TYPE3

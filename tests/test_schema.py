@@ -1,0 +1,226 @@
+"""Schema construction and resolution tests (paper §3)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    AttributeOptions,
+    DataValuedAttribute,
+    EntityValuedAttribute,
+    Schema,
+    SimClass,
+    SubroleAttribute,
+    VerifyConstraint,
+)
+from repro.types.domain import IntegerType, StringType, SubroleType
+
+
+def two_class_schema():
+    schema = Schema("pair")
+    a = SimClass("alpha")
+    a.add_attribute(DataValuedAttribute("a-key", IntegerType(),
+                                        AttributeOptions(unique=True,
+                                                         required=True)))
+    a.add_attribute(EntityValuedAttribute("betas", "beta", "alpha-of",
+                                          AttributeOptions(mv=True)))
+    schema.add_class(a)
+    b = SimClass("beta")
+    b.add_attribute(DataValuedAttribute("b-data", StringType(10)))
+    b.add_attribute(EntityValuedAttribute("alpha-of", "alpha", "betas"))
+    schema.add_class(b)
+    return schema
+
+
+class TestAttributeOptions:
+    def test_defaults(self):
+        options = AttributeOptions()
+        assert not options.required and not options.mv
+
+    def test_distinct_requires_mv(self):
+        with pytest.raises(SchemaError):
+            AttributeOptions(distinct=True)
+
+    def test_max_requires_mv(self):
+        with pytest.raises(SchemaError):
+            AttributeOptions(max_cardinality=3)
+
+    def test_max_positive(self):
+        with pytest.raises(SchemaError):
+            AttributeOptions(mv=True, max_cardinality=0)
+
+    def test_unique_mv_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeOptions(unique=True, mv=True)
+
+    def test_ddl_rendering(self):
+        options = AttributeOptions(mv=True, distinct=True, max_cardinality=3)
+        assert options.ddl() == "mv (max 3, distinct)"
+
+
+class TestResolution:
+    def test_inverse_pairing(self):
+        schema = two_class_schema().resolve()
+        betas = schema.get_class("alpha").attribute("betas")
+        alpha_of = schema.get_class("beta").attribute("alpha-of")
+        assert betas.inverse is alpha_of
+        assert alpha_of.inverse is betas
+        assert betas.relationship_kind() == "1:many"
+        assert alpha_of.relationship_kind() == "many:1"
+
+    def test_one_sided_declaration_synthesizes_inverse(self):
+        schema = Schema()
+        a = SimClass("a")
+        a.add_attribute(EntityValuedAttribute("partner", "b"))
+        schema.add_class(a)
+        schema.add_class(SimClass("b"))
+        schema.resolve()
+        inverse = schema.get_class("a").attribute("partner").inverse
+        assert inverse.owner_name == "b"
+        assert inverse.multi_valued
+        assert inverse.synthesized_inverse
+
+    def test_named_one_sided_inverse(self):
+        schema = Schema()
+        a = SimClass("a")
+        a.add_attribute(EntityValuedAttribute("partner", "b", "partner-of"))
+        schema.add_class(a)
+        schema.add_class(SimClass("b"))
+        schema.resolve()
+        inverse = schema.get_class("b").attribute("partner-of")
+        assert inverse.inverse.name == "partner"
+        assert not inverse.synthesized_inverse
+
+    def test_reflexive_self_inverse(self):
+        schema = Schema()
+        p = SimClass("p")
+        p.add_attribute(EntityValuedAttribute("spouse", "p", "spouse"))
+        schema.add_class(p)
+        schema.resolve()
+        spouse = schema.get_class("p").attribute("spouse")
+        assert spouse.inverse is spouse
+        assert spouse.relationship_kind() == "1:1"
+
+    def test_mismatched_inverse_names_rejected(self):
+        schema = Schema()
+        a = SimClass("a")
+        a.add_attribute(EntityValuedAttribute("x", "b", "y"))
+        schema.add_class(a)
+        b = SimClass("b")
+        b.add_attribute(EntityValuedAttribute("y", "a", "z"))
+        schema.add_class(b)
+        with pytest.raises(SchemaError):
+            schema.resolve()
+
+    def test_inverse_range_mismatch_rejected(self):
+        schema = Schema()
+        a = SimClass("a")
+        a.add_attribute(EntityValuedAttribute("x", "b", "y"))
+        schema.add_class(a)
+        b = SimClass("b")
+        b.add_attribute(EntityValuedAttribute("y", "c", "x"))
+        schema.add_class(b)
+        schema.add_class(SimClass("c"))
+        with pytest.raises(SchemaError):
+            schema.resolve()
+
+    def test_unknown_range_class(self):
+        schema = Schema()
+        a = SimClass("a")
+        a.add_attribute(EntityValuedAttribute("x", "ghost"))
+        schema.add_class(a)
+        with pytest.raises(SchemaError):
+            schema.resolve()
+
+    def test_surrogate_planted_and_inherited(self):
+        schema = Schema()
+        schema.add_class(SimClass("base"))
+        schema.add_class(SimClass("sub", ["base"]))
+        schema.resolve()
+        base = schema.get_class("base")
+        sub = schema.get_class("sub")
+        assert base.surrogate_attribute is not None
+        assert sub.surrogate_attribute is base.surrogate_attribute
+
+    def test_inherited_attributes_visible(self):
+        schema = Schema()
+        base = SimClass("base")
+        base.add_attribute(DataValuedAttribute("name", StringType(10)))
+        schema.add_class(base)
+        schema.add_class(SimClass("sub", ["base"]))
+        schema.resolve()
+        assert schema.get_class("sub").has_attribute("name")
+        assert schema.get_class("sub").attribute("name").owner_name == "base"
+
+    def test_shadowing_inherited_attribute_rejected(self):
+        schema = Schema()
+        base = SimClass("base")
+        base.add_attribute(DataValuedAttribute("name", StringType(10)))
+        schema.add_class(base)
+        sub = SimClass("sub", ["base"])
+        sub.add_attribute(DataValuedAttribute("name", StringType(10)))
+        schema.add_class(sub)
+        with pytest.raises(SchemaError):
+            schema.resolve()
+
+    def test_subrole_synthesized_when_missing(self):
+        schema = Schema()
+        schema.add_class(SimClass("base"))
+        schema.add_class(SimClass("sub", ["base"]))
+        schema.resolve()
+        subrole = schema.get_class("base").subrole_attribute
+        assert subrole is not None
+        assert list(subrole.subclass_names) == ["sub"]
+
+    def test_subrole_strict_mode(self):
+        schema = Schema()
+        schema.add_class(SimClass("base"))
+        schema.add_class(SimClass("sub", ["base"]))
+        with pytest.raises(SchemaError):
+            schema.resolve(synthesize_subroles=False)
+
+    def test_declared_subrole_validated(self):
+        schema = Schema()
+        base = SimClass("base")
+        base.add_attribute(SubroleAttribute("roles",
+                                            SubroleType(["wrong-name"])))
+        schema.add_class(base)
+        schema.add_class(SimClass("sub", ["base"]))
+        with pytest.raises(SchemaError):
+            schema.resolve()
+
+    def test_schema_immutable_after_resolution(self):
+        schema = two_class_schema().resolve()
+        with pytest.raises(SchemaError):
+            schema.add_class(SimClass("late"))
+
+    def test_duplicate_class(self):
+        schema = Schema()
+        schema.add_class(SimClass("a"))
+        with pytest.raises(SchemaError):
+            schema.add_class(SimClass("A"))
+
+    def test_duplicate_attribute(self):
+        sim_class = SimClass("a")
+        sim_class.add_attribute(DataValuedAttribute("x", IntegerType()))
+        with pytest.raises(SchemaError):
+            sim_class.add_attribute(DataValuedAttribute("X", IntegerType()))
+
+
+class TestStatistics:
+    def test_university_shape(self, university_schema):
+        stats = university_schema.statistics()
+        assert stats["base_classes"] == 3
+        assert stats["subclasses"] == 3
+        assert stats["eva_inverse_pairs"] == 8
+        assert stats["max_hierarchy_depth"] == 3
+
+    def test_constraints_attached(self, university_schema):
+        student = university_schema.get_class("student")
+        assert [c.name for c in student.constraints] == ["v1"]
+
+    def test_ddl_roundtrip(self, university_schema):
+        from repro import parse_ddl
+        rendered = university_schema.ddl()
+        reparsed = parse_ddl(rendered)
+        assert (reparsed.statistics()
+                == university_schema.statistics())

@@ -1,0 +1,135 @@
+"""Multi-session concurrency tests: strict 2PL at class granularity."""
+
+import pytest
+
+from repro import Database
+from repro.engine.sessions import LockConflict, LockManager, Session
+from repro.workloads import UNIVERSITY_DDL
+
+
+@pytest.fixture()
+def db():
+    database = Database(UNIVERSITY_DDL, constraint_mode="off")
+    database.execute('Insert course(course-no := 1, title := "T",'
+                     ' credits := 3)')
+    database.execute('Insert department(dept-nbr := 100, name := "D")')
+    return database
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        locks.acquire_shared(1, "course")
+        locks.acquire_shared(2, "course")
+
+    def test_exclusive_blocks_shared(self):
+        locks = LockManager()
+        locks.acquire_exclusive(1, "course")
+        with pytest.raises(LockConflict):
+            locks.acquire_shared(2, "course")
+
+    def test_shared_blocks_exclusive(self):
+        locks = LockManager()
+        locks.acquire_shared(1, "course")
+        with pytest.raises(LockConflict):
+            locks.acquire_exclusive(2, "course")
+
+    def test_upgrade_own_lock(self):
+        locks = LockManager()
+        locks.acquire_shared(1, "course")
+        locks.acquire_exclusive(1, "course")
+        assert locks.holdings(1)["course"] == "exclusive"
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.acquire_exclusive(1, "course")
+        locks.release_all(1)
+        locks.acquire_exclusive(2, "course")
+
+
+class TestSessions:
+    def test_writer_blocks_reader_until_commit(self, db):
+        alice, bob = Session(db), Session(db)
+        alice.execute('Modify course(credits := 5) Where course-no = 1')
+        with pytest.raises(LockConflict):
+            bob.query("From course Retrieve title")
+        alice.commit()
+        assert bob.query("From course Retrieve credits").scalar() == 5
+        bob.commit()
+
+    def test_readers_share(self, db):
+        alice, bob = Session(db), Session(db)
+        assert alice.query("From course Retrieve title").rows
+        assert bob.query("From course Retrieve title").rows
+        alice.commit()
+        bob.commit()
+
+    def test_reader_blocks_writer(self, db):
+        alice, bob = Session(db), Session(db)
+        alice.query("From course Retrieve title")
+        with pytest.raises(LockConflict):
+            bob.execute('Modify course(credits := 9) Where course-no = 1')
+        alice.commit()
+        bob.execute('Modify course(credits := 9) Where course-no = 1')
+        bob.commit()
+
+    def test_abort_isolates_other_session(self, db):
+        alice, bob = Session(db), Session(db)
+        alice.execute('Insert course(course-no := 2, title := "New",'
+                      ' credits := 1)')
+        alice.abort()
+        titles = bob.query("From course Retrieve title").column(0)
+        assert titles == ["T"]
+        bob.commit()
+
+    def test_two_open_transactions_commit_independently(self, db):
+        alice, bob = Session(db), Session(db)
+        alice.execute('Insert course(course-no := 2, title := "A2",'
+                      ' credits := 1)')
+        bob.execute('Insert department(dept-nbr := 200, name := "D2")')
+        bob.commit()
+        alice.commit()
+        assert len(db.query("From course Retrieve title")) == 2
+        assert len(db.query("From department Retrieve name")) == 2
+
+    def test_disjoint_classes_do_not_conflict(self, db):
+        alice, bob = Session(db), Session(db)
+        alice.execute('Modify course(credits := 7) Where course-no = 1')
+        bob.execute('Modify department(name := "D9")'
+                    ' Where dept-nbr = 100')
+        alice.commit()
+        bob.commit()
+        assert db.query("From course Retrieve credits").scalar() == 7
+        assert db.query("From department Retrieve name").scalar() == "D9"
+
+    def test_update_locks_cover_eva_partners(self, db):
+        # Modifying students can touch courses (enrolment EVA): a reader
+        # of COURSE must conflict with a student writer.
+        alice, bob = Session(db), Session(db)
+        alice.execute('Insert student(soc-sec-no := 1, courses-enrolled :='
+                      ' course with (course-no = 1))')
+        with pytest.raises(LockConflict):
+            bob.query("From course Retrieve title")
+        alice.commit()
+        bob.commit()
+
+    def test_holdings_reporting(self, db):
+        alice = Session(db)
+        alice.query("From course Retrieve title")
+        assert alice.holdings()["course"] == "shared"
+        alice.commit()
+        assert alice.holdings() == {}
+
+    def test_serializable_outcome(self, db):
+        """The classic lost-update interleaving is prevented outright."""
+        alice, bob = Session(db), Session(db)
+        alice.execute('Modify course(credits := 1 + credits)'
+                      ' Where course-no = 1')
+        with pytest.raises(LockConflict):
+            bob.execute('Modify course(credits := 1 + credits)'
+                        ' Where course-no = 1')
+        alice.commit()
+        bob.execute('Modify course(credits := 1 + credits)'
+                    ' Where course-no = 1')
+        bob.commit()
+        assert db.query("From course Retrieve credits").scalar() == 5

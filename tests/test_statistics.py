@@ -1,0 +1,114 @@
+"""Statistical optimization tests (paper §5.1's unfinished roadmap item)."""
+
+import pytest
+
+from repro import Database, PhysicalDesign, parse_ddl, parse_dml
+from repro.optimizer import CostModel, analyze
+from repro.optimizer.statistics import AttributeStatistics
+from repro.workloads import UNIVERSITY_DDL, populate_university
+
+
+@pytest.fixture(scope="module")
+def db():
+    schema = parse_ddl(UNIVERSITY_DDL)
+    design = (PhysicalDesign(schema)
+              .add_value_index("student", "student-nbr")
+              .finalize())
+    database = Database(schema, design=design, constraint_mode="off")
+    populate_university(database, students=80, instructors=10, courses=20,
+                        seed=5)
+    return database
+
+
+class TestAnalyze:
+    def test_cardinalities_collected(self, db):
+        statistics = analyze(db.store)
+        assert statistics.class_cardinality["student"] == 80
+        assert statistics.class_cardinality["course"] == 20
+
+    def test_attribute_distributions(self, db):
+        statistics = analyze(db.store)
+        credits = statistics.attribute("course", "credits")
+        assert credits.row_count == 20
+        assert 1 <= credits.distinct_count <= 4   # credits in 2..5
+        assert credits.null_count == 0
+
+    def test_null_fraction(self, db):
+        statistics = analyze(db.store)
+        bonus = statistics.attribute("instructor", "bonus")
+        # TAs get bonus 0; regular instructors a value: no nulls here, but
+        # spouse-less people have null birthdate? birthdate always set.
+        name = statistics.attribute("person", "name")
+        assert name.null_count == 0
+
+    def test_eva_fanouts_both_directions(self, db):
+        statistics = analyze(db.store)
+        advisees = statistics.eva("instructor", "advisees")
+        advisor = statistics.eva("student", "advisor")
+        assert advisees is not None and advisor is not None
+        assert advisees.instance_count == advisor.instance_count
+        assert advisees.forward_fanout == pytest.approx(
+            advisor.reverse_fanout)
+
+    def test_equality_selectivity_from_distribution(self):
+        stats = AttributeStatistics(row_count=100, null_count=0,
+                                    distinct_count=25)
+        assert stats.equality_selectivity() == pytest.approx(0.04)
+
+    def test_most_common_value(self):
+        stats = AttributeStatistics(row_count=100, null_count=0,
+                                    distinct_count=25,
+                                    top_value="popular", top_frequency=40)
+        assert stats.equality_selectivity("popular") == pytest.approx(0.4)
+        assert stats.equality_selectivity("rare") == pytest.approx(0.04)
+
+    def test_range_selectivity_histogram(self):
+        from repro.optimizer.statistics import _equi_depth
+        values = sorted(range(100))
+        stats = AttributeStatistics(row_count=100, null_count=0,
+                                    distinct_count=100,
+                                    boundaries=_equi_depth(values, 8))
+        half = stats.range_selectivity(low=50)
+        assert 0.3 < half < 0.8
+
+    def test_empty_extent(self):
+        db = Database("Class Empty ( x: integer );", constraint_mode="off")
+        statistics = analyze(db.store)
+        assert statistics.class_cardinality["empty"] == 0
+        attr = statistics.attribute("empty", "x")
+        assert attr.equality_selectivity() == 0.0
+
+
+class TestOptimizerIntegration:
+    def test_analyze_enables_value_index_choice(self, db):
+        # student-nbr is NOT declared unique, but the collected statistics
+        # show it is effectively unique: the index plan wins.
+        nbr = db.query("From student Retrieve student-nbr").rows[10][0]
+        text = f"From student Retrieve name Where student-nbr = {nbr}"
+
+        db.optimizer.table_statistics = None
+        query = parse_dml(text)
+        tree = db.qualifier.resolve_retrieve(query)
+        default_plan = db.optimizer.choose_plan(query, tree)
+
+        db.analyze()
+        analyzed_plan = db.optimizer.choose_plan(query, tree)
+        assert analyzed_plan.root_access["student"].kind == "index"
+        # With statistics the estimated rows shrink to ~1.
+        assert analyzed_plan.root_access["student"].estimated_rows <= \
+            (default_plan.root_access["student"].estimated_rows
+             if default_plan.root_access["student"].kind == "index"
+             else 80)
+
+    def test_statistics_survive_on_cost_model(self, db):
+        statistics = db.analyze()
+        model = CostModel(db.store, statistics)
+        with_stats = model.equality_selectivity("student", "student-nbr")
+        without = CostModel(db.store).equality_selectivity(
+            "student", "student-nbr")
+        assert with_stats < without
+
+    def test_iqf_analyze_command(self, db):
+        from repro.interfaces import run_script
+        transcript = run_script(db, ".analyze\n")
+        assert "analyzed" in transcript

@@ -1,0 +1,138 @@
+"""Transaction manager tests: undo, savepoints, commit/abort."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.storage import TransactionManager
+
+
+class TestLifecycle:
+    def test_begin_commit(self):
+        manager = TransactionManager()
+        manager.begin()
+        assert manager.in_transaction()
+        manager.commit()
+        assert not manager.in_transaction()
+        assert manager.commits == 1
+
+    def test_nested_begin_rejected(self):
+        manager = TransactionManager()
+        manager.begin()
+        with pytest.raises(TransactionError):
+            manager.begin()
+
+    def test_commit_without_begin(self):
+        with pytest.raises(TransactionError):
+            TransactionManager().commit()
+
+    def test_abort_runs_undos_in_reverse(self):
+        manager = TransactionManager()
+        manager.begin()
+        log = []
+        manager.record_undo(lambda: log.append("first"))
+        manager.record_undo(lambda: log.append("second"))
+        manager.abort()
+        assert log == ["second", "first"]
+        assert manager.aborts == 1
+
+    def test_commit_discards_undos(self):
+        manager = TransactionManager()
+        manager.begin()
+        log = []
+        manager.record_undo(lambda: log.append("x"))
+        manager.commit()
+        assert log == []
+
+    def test_undo_outside_transaction_is_noop(self):
+        manager = TransactionManager()
+        manager.record_undo(lambda: (_ for _ in ()).throw(AssertionError))
+        # nothing raised, nothing recorded
+        assert not manager.in_transaction()
+
+
+class TestSavepoints:
+    def test_partial_rollback(self):
+        manager = TransactionManager()
+        manager.begin()
+        log = []
+        manager.record_undo(lambda: log.append("a"))
+        mark = manager.current.savepoint()
+        manager.record_undo(lambda: log.append("b"))
+        manager.record_undo(lambda: log.append("c"))
+        manager.current.rollback_to(mark)
+        assert log == ["c", "b"]
+        manager.abort()
+        assert log == ["c", "b", "a"]
+
+    def test_invalid_savepoint(self):
+        manager = TransactionManager()
+        manager.begin()
+        with pytest.raises(TransactionError):
+            manager.current.rollback_to(5)
+
+    def test_savepoint_on_closed_transaction(self):
+        manager = TransactionManager()
+        manager.begin()
+        transaction = manager.current
+        manager.commit()
+        with pytest.raises(TransactionError):
+            transaction.savepoint()
+
+
+class TestDatabaseIntegration:
+    def test_abort_restores_entities(self, empty_university):
+        db = empty_university
+        db.execute('Insert person(name := "Keep", soc-sec-no := 1)')
+        db.begin()
+        db.execute('Insert person(name := "Drop", soc-sec-no := 2)')
+        assert len(db.query("From person Retrieve name")) == 2
+        db.abort()
+        rows = db.query("From person Retrieve name").rows
+        assert rows == [("Keep",)]
+
+    def test_abort_restores_attribute_values(self, empty_university):
+        db = empty_university
+        db.execute('Insert instructor(name := "I", soc-sec-no := 1,'
+                   ' employee-nbr := 1001, salary := 100)')
+        db.begin()
+        db.execute('Modify instructor(salary := 200) Where employee-nbr = 1001')
+        db.abort()
+        value = db.query(
+            'From instructor Retrieve salary Where employee-nbr = 1001'
+        ).scalar()
+        assert int(value) == 100
+
+    def test_abort_restores_eva_instances(self, empty_university):
+        db = empty_university
+        db.execute('Insert person(name := "A", soc-sec-no := 1)')
+        db.execute('Insert person(name := "B", soc-sec-no := 2)')
+        db.begin()
+        db.execute('Modify person(spouse := person with (name = "B"))'
+                   ' Where name = "A"')
+        db.abort()
+        from repro.types.tvl import is_null
+        rows = db.query('From person Retrieve name, name of spouse').rows
+        assert [name for name, _ in rows] == ["A", "B"]
+        assert all(is_null(spouse_name) for _, spouse_name in rows)
+
+    def test_abort_restores_deleted_entities(self, small_university):
+        db = small_university
+        db.begin()
+        db.execute('Delete person Where name = "John Doe"')
+        assert len(db.query('From person Retrieve name Where name = "John Doe"')) == 0
+        db.abort()
+        result = db.query(
+            'From student Retrieve name, name of advisor, '
+            'count(courses-enrolled) of student Where name = "John Doe"')
+        assert result.rows == [("John Doe", "Joe Bloke", 1)]
+
+    def test_transaction_context_manager(self, empty_university):
+        db = empty_university
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute('Insert person(name := "X", soc-sec-no := 3)')
+                raise RuntimeError("boom")
+        assert len(db.query("From person Retrieve name")) == 0
+        with db.transaction():
+            db.execute('Insert person(name := "Y", soc-sec-no := 4)')
+        assert len(db.query("From person Retrieve name")) == 1

@@ -1,0 +1,253 @@
+"""Unit and property tests for the type system and 3-valued logic."""
+
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeDefinitionError, TypeMismatchError
+from repro.types import (
+    NULL,
+    UNKNOWN,
+    BooleanType,
+    DateType,
+    IntegerType,
+    NumberType,
+    RealType,
+    SimDate,
+    SimTime,
+    StringType,
+    SubroleType,
+    SymbolicType,
+    TimeType,
+    TypeRegistry,
+    is_null,
+    tvl_and,
+    tvl_not,
+    tvl_or,
+)
+
+
+class TestIntegerType:
+    def test_plain_integer_accepts_any_int(self):
+        t = IntegerType()
+        assert t.validate(42) == 42
+        assert t.validate(-7) == -7
+
+    def test_string_coercion(self):
+        assert IntegerType().validate(" 19 ") == 19
+
+    def test_float_with_integral_value(self):
+        assert IntegerType().validate(3.0) == 3
+
+    def test_float_with_fraction_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            IntegerType().validate(3.5)
+
+    def test_bool_is_not_integer(self):
+        with pytest.raises(TypeMismatchError):
+            IntegerType().validate(True)
+
+    def test_range_union(self):
+        t = IntegerType([(1001, 39999), (60001, 99999)])
+        assert t.validate(1001) == 1001
+        assert t.validate(99999) == 99999
+        with pytest.raises(TypeMismatchError):
+            t.validate(40000)
+        with pytest.raises(TypeMismatchError):
+            t.validate(1000)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(TypeDefinitionError):
+            IntegerType([(10, 5)])
+
+    def test_null_passes(self):
+        assert IntegerType([(1, 2)]).validate(NULL) is NULL
+
+    def test_ddl_rendering(self):
+        assert IntegerType([(1, 9)]).ddl() == "integer (1..9)"
+        assert IntegerType().ddl() == "integer"
+
+    @given(st.integers(-10**9, 10**9))
+    def test_roundtrip_any_int(self, value):
+        assert IntegerType().validate(value) == value
+
+
+class TestNumberType:
+    def test_quantizes_to_scale(self):
+        t = NumberType(9, 2)
+        assert t.validate("10.005") == Decimal("10.01")
+        assert t.validate(1) == Decimal("1.00")
+
+    def test_precision_bound(self):
+        t = NumberType(5, 2)
+        assert t.validate("999.99") == Decimal("999.99")
+        with pytest.raises(TypeMismatchError):
+            t.validate("1000.00")
+
+    def test_invalid_definition(self):
+        with pytest.raises(TypeDefinitionError):
+            NumberType(0, 0)
+        with pytest.raises(TypeDefinitionError):
+            NumberType(3, 5)
+
+    def test_render(self):
+        assert NumberType(9, 2).render(Decimal("5.5")) == "5.50"
+        assert NumberType(9, 2).render(NULL) == "?"
+
+    @given(st.decimals(min_value=-999, max_value=999, places=2,
+                       allow_nan=False, allow_infinity=False))
+    def test_two_place_decimals_roundtrip(self, value):
+        assert NumberType(9, 2).validate(value) == value
+
+
+class TestStringType:
+    def test_length_enforced(self):
+        t = StringType(5)
+        assert t.validate("abcde") == "abcde"
+        with pytest.raises(TypeMismatchError):
+            t.validate("abcdef")
+
+    def test_unbounded(self):
+        assert StringType().validate("x" * 1000)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            StringType().validate(5)
+
+
+class TestSymbolicType:
+    def test_case_insensitive_canonical(self):
+        t = SymbolicType(["BS", "MBA", "MS", "PHD"])
+        assert t.validate("phd") == "PHD"
+        assert t.validate("MBA") == "MBA"
+
+    def test_unknown_value(self):
+        with pytest.raises(TypeMismatchError):
+            SymbolicType(["BS"]).validate("PHD")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(TypeDefinitionError):
+            SymbolicType(["a", "A"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TypeDefinitionError):
+            SymbolicType([])
+
+
+class TestDateTime:
+    def test_parse_iso_and_us(self):
+        assert SimDate.parse("1988-06-01") == SimDate(1988, 6, 1)
+        assert SimDate.parse("06/01/1988") == SimDate(1988, 6, 1)
+
+    def test_bad_date(self):
+        with pytest.raises(TypeMismatchError):
+            SimDate(1988, 2, 30)
+        with pytest.raises(TypeMismatchError):
+            SimDate.parse("yesterday")
+
+    def test_ordering(self):
+        assert SimDate(1988, 6, 1) < SimDate(1989, 1, 1)
+        assert SimDate(1988, 6, 1) <= SimDate(1988, 6, 1)
+
+    def test_ordinal_roundtrip(self):
+        d = SimDate(1988, 6, 1)
+        assert SimDate.from_ordinal(d.ordinal()) == d
+
+    def test_add_days(self):
+        assert SimDate(1988, 12, 31).add_days(1) == SimDate(1989, 1, 1)
+
+    def test_days_until(self):
+        assert SimDate(1988, 1, 1).days_until(SimDate(1988, 1, 31)) == 30
+
+    def test_time_parse_and_order(self):
+        assert SimTime.parse("09:30") == SimTime(9, 30)
+        assert SimTime.parse("09:30:15") < SimTime(10, 0)
+
+    def test_time_bounds(self):
+        with pytest.raises(TypeMismatchError):
+            SimTime(24, 0)
+
+    def test_date_type_coercion(self):
+        assert DateType().validate("1988-06-01") == SimDate(1988, 6, 1)
+        assert TimeType().validate("12:00") == SimTime(12, 0)
+
+    @given(st.integers(1, 3_000_000))
+    def test_ordinal_roundtrip_property(self, ordinal):
+        assert SimDate.from_ordinal(ordinal).ordinal() == ordinal
+
+
+class TestBooleanReal:
+    def test_boolean_words(self):
+        t = BooleanType()
+        assert t.validate("true") is True
+        assert t.validate("NO") is False
+        with pytest.raises(TypeMismatchError):
+            t.validate("maybe")
+
+    def test_real(self):
+        assert RealType().validate("2.5") == 2.5
+        assert RealType().validate(Decimal("1.5")) == 1.5
+        with pytest.raises(TypeMismatchError):
+            RealType().validate("abc")
+
+
+class TestSubrole:
+    def test_members(self):
+        t = SubroleType(["student", "instructor"])
+        assert t.validate("Student") == "student"
+        with pytest.raises(TypeMismatchError):
+            t.validate("janitor")
+
+
+class TestRegistry:
+    def test_define_and_lookup_normalized(self):
+        registry = TypeRegistry()
+        registry.define("Id-Number", IntegerType([(1, 9)]))
+        assert registry.lookup("id_number").validate(5) == 5
+        assert "ID-NUMBER" in registry
+
+    def test_duplicate_definition(self):
+        registry = TypeRegistry()
+        registry.define("t", IntegerType())
+        with pytest.raises(TypeDefinitionError):
+            registry.define("T", IntegerType())
+
+    def test_unknown_lookup(self):
+        with pytest.raises(TypeDefinitionError):
+            TypeRegistry().lookup("missing")
+
+
+class TestThreeValuedLogic:
+    def test_null_singleton(self):
+        assert is_null(NULL)
+        assert is_null(None)
+        assert not is_null(0)
+        assert not NULL  # falsy
+
+    def test_kleene_and(self):
+        assert tvl_and(True, True) is True
+        assert tvl_and(True, UNKNOWN) is UNKNOWN
+        assert tvl_and(False, UNKNOWN) is False
+        assert tvl_and(UNKNOWN, UNKNOWN) is UNKNOWN
+
+    def test_kleene_or(self):
+        assert tvl_or(False, False) is False
+        assert tvl_or(True, UNKNOWN) is True
+        assert tvl_or(False, UNKNOWN) is UNKNOWN
+
+    def test_kleene_not(self):
+        assert tvl_not(UNKNOWN) is UNKNOWN
+        assert tvl_not(True) is False
+
+    TVL = [True, False, UNKNOWN]
+
+    @given(st.sampled_from(TVL), st.sampled_from(TVL))
+    def test_de_morgan(self, a, b):
+        assert tvl_not(tvl_and(a, b)) is tvl_or(tvl_not(a), tvl_not(b))
+        assert tvl_not(tvl_or(a, b)) is tvl_and(tvl_not(a), tvl_not(b))
+
+    @given(st.sampled_from(TVL), st.sampled_from(TVL), st.sampled_from(TVL))
+    def test_associativity(self, a, b, c):
+        assert tvl_and(tvl_and(a, b), c) is tvl_and(a, tvl_and(b, c))
+        assert tvl_or(tvl_or(a, b), c) is tvl_or(a, tvl_or(b, c))
