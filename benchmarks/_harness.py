@@ -36,6 +36,15 @@ def warm_io(db, operation: Callable[[], object]) -> Dict[str, int]:
             "writes": stats.physical_writes}
 
 
+def perf_delta(db, operation: Callable[[], object]) -> Dict[str, int]:
+    """Run ``operation`` and return the read-path counter delta (cache
+    hits/misses, records decoded...) — the attribution numbers behind a
+    claimed cache speedup."""
+    before = db.perf.snapshot()
+    operation()
+    return db.perf.delta(before).as_dict()
+
+
 def attach(benchmark, **info) -> None:
     """Record experiment numbers on the benchmark's extra_info."""
     for key, value in info.items():

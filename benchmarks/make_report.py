@@ -4,17 +4,23 @@ Usage::
 
     pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
     python benchmarks/make_report.py bench.json > measured.md
+    python benchmarks/make_report.py --read-path [out.json]
 
 The output groups benchmarks by experiment (the ``test_e<N>_`` prefix) and
 prints, per benchmark, the mean wall time and every ``extra_info`` number
 (the deterministic block-I/O measurements the experiments assert on).
 EXPERIMENTS.md narrates these numbers; this report is the raw regeneration
 path.
+
+``--read-path`` runs the E13 cold-vs-warm measurement directly and writes
+``BENCH_read_path.json`` (hit rate + speedup), tracking the read-path
+perf trajectory from PR to PR.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
 import sys
 from collections import defaultdict
@@ -30,7 +36,24 @@ _EXPERIMENT_TITLES = {
     "e10": "E10 — DMSII evolution path (§5)",
     "e11": "E11 — output forms (§4.5)",
     "e12": "E12 — MV DVA mapping (§5.2)",
+    "e13": "E13 — read-path caches & memoization",
 }
+
+
+def write_read_path_report(out_path: str) -> int:
+    """Run the E13 measurement and emit ``BENCH_read_path.json``."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_read_path import measure_read_path
+    measured = measure_read_path()
+    with open(out_path, "w") as handle:
+        json.dump(measured, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}: "
+          f"{measured['wall_speedup']:.2f}x warm-over-cold, "
+          f"hit rate {measured['warm_hit_rate']:.3f}, "
+          f"{measured['cold_logical_reads']} -> "
+          f"{measured['warm_logical_reads']} logical reads")
+    return 0
 
 
 def experiment_of(name: str) -> str:
@@ -49,6 +72,9 @@ def format_benchmark(entry: dict) -> str:
 
 
 def main(argv) -> int:
+    if len(argv) >= 2 and argv[1] == "--read-path":
+        out_path = argv[2] if len(argv) > 2 else "BENCH_read_path.json"
+        return write_read_path_report(out_path)
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2

@@ -146,14 +146,21 @@ class Database:
         stats = dict(self.schema.statistics())
         stats.update(self.constraints.statistics())
         stats["io"] = repr(self.store.io_stats())
+        stats["read_path"] = self.store.perf.as_dict()
         return stats
 
     @property
     def io_stats(self):
         return self.store.io_stats()
 
+    @property
+    def perf(self):
+        """Cumulative read-path counters (cache hits, records decoded...)."""
+        return self.store.perf
+
     def reset_io_stats(self) -> None:
         self.store.reset_io_stats()
+        self.store.perf.reset()
 
     def cold_cache(self) -> None:
         self.store.cold_cache()

@@ -30,12 +30,47 @@ class _Dummy:
 DUMMY = _Dummy()
 
 
+#: memo dictionaries are cleared wholesale past this many entries — memos
+#: are cheap to rebuild and an unbounded map would defeat the LRU caches
+MEMO_LIMIT = 100_000
+
+
 class EntityAccessor:
-    """Role-aware attribute and relationship access for the engine."""
+    """Role-aware attribute and relationship access for the engine.
+
+    Reads are memoized per store epoch: the Mapper's read cache bumps its
+    ``epoch`` on every invalidation, so one integer compare per access
+    decides whether the memos are still current.  Repeated qualification
+    paths (``Name of Advisor of Student``) therefore decode each record
+    once per query — and stay warm across read-only queries.
+    """
 
     def __init__(self, store: MapperStore):
         self.store = store
         self.schema = store.schema
+        self.perf = store.perf
+        self._memo_epoch = -1
+        self._dva_memo = {}      # (id(attr), surrogate) -> value
+        self._mv_memo = {}       # (id(attr), surrogate) -> tuple
+        self._eva_memo = {}      # (id(eva), surrogate) -> tuple
+        self._domain_memo = {}   # (node.id, parent instance) -> tuple
+
+    def begin_query(self) -> None:
+        """Hook for the executor at query start: revalidate the memos."""
+        self._sync()
+
+    def _sync(self) -> None:
+        """Drop every memo when the store has mutated since the last read
+        (or when the memos have grown past :data:`MEMO_LIMIT`)."""
+        epoch = self.store.read_cache.epoch
+        if epoch != self._memo_epoch or (
+                len(self._dva_memo) + len(self._mv_memo)
+                + len(self._eva_memo) + len(self._domain_memo) > MEMO_LIMIT):
+            self._dva_memo.clear()
+            self._mv_memo.clear()
+            self._eva_memo.clear()
+            self._domain_memo.clear()
+            self._memo_epoch = epoch
 
     # -- Attribute access -----------------------------------------------------------
 
@@ -49,18 +84,42 @@ class EntityAccessor:
             return NULL
         if attr.is_surrogate:
             return surrogate
-        owner = attr.owner_name
-        if not self.store.has_role(surrogate, owner):
-            return NULL
-        return self.store.read_dva(surrogate, attr)
+        self._sync()
+        key = (id(attr), surrogate)
+        try:
+            value = self._dva_memo[key]
+        except KeyError:
+            pass
+        else:
+            self.perf.memo_hits += 1
+            return value
+        self.perf.memo_misses += 1
+        if not self.store.has_role(surrogate, attr.owner_name):
+            value = NULL
+        else:
+            value = self.store.read_dva(surrogate, attr)
+        if not isinstance(value, list):
+            # List values (MV subroles) are mutable; leave them unmemoized.
+            self._dva_memo[key] = value
+        return value
 
     def mv_values(self, surrogate, attr) -> List:
         """The value multiset of an MV DVA (empty for dummy / missing role)."""
         if surrogate is DUMMY or is_null(surrogate):
             return []
+        self._sync()
+        key = (id(attr), surrogate)
+        cached = self._mv_memo.get(key)
+        if cached is not None:
+            self.perf.memo_hits += 1
+            return list(cached)
+        self.perf.memo_misses += 1
         if not self.store.has_role(surrogate, attr.owner_name):
-            return []
-        return self.store.read_dva(surrogate, attr)
+            values = []
+        else:
+            values = self.store.read_dva(surrogate, attr)
+        self._mv_memo[key] = tuple(values)
+        return values
 
     def eva_targets(self, surrogate, eva) -> List[int]:
         """Target surrogates of an EVA (empty for dummy / missing role).
@@ -71,6 +130,18 @@ class EntityAccessor:
         """
         if surrogate is DUMMY or is_null(surrogate):
             return []
+        self._sync()
+        key = (id(eva), surrogate)
+        cached = self._eva_memo.get(key)
+        if cached is not None:
+            self.perf.memo_hits += 1
+            return list(cached)
+        self.perf.memo_misses += 1
+        targets = self._eva_targets_uncached(surrogate, eva)
+        self._eva_memo[key] = tuple(targets)
+        return targets
+
+    def _eva_targets_uncached(self, surrogate, eva) -> List[int]:
         if not self.store.has_role(surrogate, eva.owner_name):
             return []
         targets = self.store.eva_targets(surrogate, eva)
@@ -136,12 +207,31 @@ class EntityAccessor:
     def class_extent(self, class_name: str) -> Iterator[int]:
         return self.store.scan_class(class_name)
 
-    def node_domain(self, node, env) -> List:
+    def node_domain(self, node, env):
         """The domain of a non-root query-tree node given its parent's
         instance in ``env`` (paper §4.5: "every other domain is defined
         based on an attribute and a given instance of the range variable of
-        its parent node")."""
+        its parent node").
+
+        Results are materialized as tuples keyed by (node, parent
+        instance): within one query the same subtree domain — notably a
+        hoisted TYPE 2 existential re-entered per outer row — is
+        enumerated once.  Callers must not mutate the result.
+        """
         parent_instance = env[node.parent.id]
+        self._sync()
+        key = (node.id, parent_instance)
+        cached = self._domain_memo.get(key)
+        if cached is not None:
+            self.perf.memo_hits += 1
+            return cached
+        self.perf.memo_misses += 1
+        self.perf.domain_enumerations += 1
+        domain = tuple(self._node_domain_uncached(node, parent_instance))
+        self._domain_memo[key] = domain
+        return domain
+
+    def _node_domain_uncached(self, node, parent_instance) -> List:
         if node.kind == "eva":
             source = self._unwrap(node.parent, parent_instance)
             if node.transitive:

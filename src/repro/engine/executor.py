@@ -53,6 +53,8 @@ class QueryExecutor:
     def run(self, query: RetrieveQuery, tree: QueryTree, plan=None
             ) -> ResultSet:
         """Execute a query whose tree is already resolved (optimizer path)."""
+        self.accessor.begin_query()
+        perf_before = self.store.perf.snapshot()
         roots = list(tree.roots)
         reordered = False
         if plan is not None and getattr(plan, "root_order", None):
@@ -78,8 +80,13 @@ class QueryExecutor:
         structured_mode = query.mode == "structure"
         perspective_keys: List[tuple] = []
 
+        # The TYPE 2 existential subtrees are a property of the labelled
+        # tree, not of the enumerated row: collect them once per query
+        # instead of once per enumerated combination.
+        exists_nodes = self._exists_nodes(loop_nodes)
+
         for _ in self._enumerate_loops(loop_nodes, 0, env, tree, plan):
-            if not self._selection_holds(query.where, tree, loop_nodes, env):
+            if not self._selection_holds(query.where, exists_nodes, env):
                 continue
             row = tuple(self._render(self.evaluator.value(item.expression, env))
                         for item in query.targets)
@@ -127,27 +134,47 @@ class QueryExecutor:
         formats = []
         if structured_mode:
             formats = [node.describe() for node in original_nodes]
-        return ResultSet(columns, rows, structured, formats)
+        return ResultSet(columns, rows, structured, formats,
+                         perf=self.store.perf.delta(perf_before))
 
     def select_entities(self, class_name: str, where) -> List[int]:
         """Entities of ``class_name`` satisfying ``where`` (update/VERIFY
-        path: single perspective, existential TYPE 2 semantics)."""
+        path: single perspective, existential TYPE 2 semantics).
+
+        When the predicate carries an equality conjunct on an indexed DVA
+        of the root class, the candidates come from the index instead of a
+        full extent scan (sorted by surrogate, matching the optimizer's
+        semantics-preservation rule for index paths)."""
+        self.accessor.begin_query()
         tree = self.qualifier.resolve_selection(class_name, where)
         root = tree.roots[0]
+        exists_nodes = self._exists_nodes([root])
         selected: List[int] = []
         env: Dict = {}
-        for surrogate in self.accessor.class_extent(root.class_name):
+        for surrogate in self._selection_domain(root, where):
             env[root.id] = surrogate
-            if self._selection_holds(where, tree, [root], env):
+            if self._selection_holds(where, exists_nodes, env):
                 selected.append(surrogate)
         return selected
+
+    def _selection_domain(self, root: QTNode, where):
+        """Candidate surrogates for a selection scan: the first equality
+        conjunct on an indexed DVA wins, else the full class extent."""
+        if where is not None:
+            from repro.optimizer.strategies import equality_conjuncts
+            for attr_name, value in equality_conjuncts(where, root):
+                if self.store.has_index_on(root.class_name, attr_name):
+                    self.store.perf.index_selections += 1
+                    return sorted(self.store.find_by_dva(
+                        root.class_name, attr_name, value))
+        return self.accessor.class_extent(root.class_name)
 
     def predicate_holds(self, tree: QueryTree, where, surrogate) -> bool:
         """Evaluate a pre-resolved single-perspective predicate for one
         entity (VERIFY assertions)."""
         root = tree.roots[0]
         env = {root.id: surrogate}
-        return self._selection_holds(where, tree, [root], env)
+        return self._selection_holds(where, self._exists_nodes([root]), env)
 
     # -- Loop enumeration ----------------------------------------------------------
 
@@ -187,18 +214,23 @@ class QueryExecutor:
 
     # -- Selection ------------------------------------------------------------------
 
-    def _selection_holds(self, where, tree: QueryTree,
-                         loop_nodes: List[QTNode], env: Dict) -> bool:
+    def _selection_holds(self, where, exists_nodes: List[QTNode],
+                         env: Dict) -> bool:
         """The "such that for some Xm+1..Xn" clause: existential
         enumeration of TYPE 2 subtrees, then the 3-valued test."""
         if where is None:
             return True
-        exists_nodes: List[QTNode] = []
-        for node in loop_nodes:
-            exists_nodes.extend(self._type2_subtree(node))
         if not exists_nodes:
             return self.evaluator.is_true(where, env)
         return self._exists(exists_nodes, 0, where, env)
+
+    def _exists_nodes(self, loop_nodes: List[QTNode]) -> List[QTNode]:
+        """All TYPE 2 existential subtree nodes below the loop variables,
+        in DF order — a per-query constant."""
+        exists_nodes: List[QTNode] = []
+        for node in loop_nodes:
+            exists_nodes.extend(self._type2_subtree(node))
+        return exists_nodes
 
     def _type2_subtree(self, node: QTNode) -> List[QTNode]:
         result: List[QTNode] = []

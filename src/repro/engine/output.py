@@ -36,11 +36,13 @@ class ResultSet:
 
     def __init__(self, columns: Sequence[str], rows: List[tuple],
                  structured: Optional[List[StructuredRecord]] = None,
-                 formats: Optional[List[str]] = None):
+                 formats: Optional[List[str]] = None, perf=None):
         self.columns = list(columns)
         self.rows = rows
         self._structured = structured
         self.formats = formats or []
+        #: read-path counter delta for this query (PerfCounters or None)
+        self.perf = perf
 
     def __len__(self):
         return len(self.rows)

@@ -7,7 +7,7 @@ session suitable for terminals and scripts:
   the database;
 * dot-commands provide catalog and tuning information:
   ``.schema``, ``.classes``, ``.stats``, ``.explain <query>``,
-  ``.design``, ``.io``, ``.help``.
+  ``.design``, ``.io``, ``.perf``, ``.help``.
 """
 
 from __future__ import annotations
@@ -28,6 +28,7 @@ _HELP = """Commands:
   .design                 physical mapping decisions
   .explain <retrieve>     optimizer strategy report
   .analyze                collect optimizer statistics
+  .perf                   read-path cache / memoization counters
   .save <path>            persist the database to a file
   .io                     block I/O counters (and reset)
   .help                   this text
@@ -108,6 +109,8 @@ class IQFSession:
         elif command == ".io":
             self._print(repr(self.database.io_stats))
             self.database.reset_io_stats()
+        elif command == ".perf":
+            self._print(self.database.perf.describe())
         else:
             self._print(f"unknown command {command!r}; try .help")
 

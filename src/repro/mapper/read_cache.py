@@ -1,0 +1,161 @@
+"""Read-path caches above the physical mapping.
+
+The paper's nested-loop semantics program (§4.5) re-reads every DVA and
+re-traverses every EVA once per enumerated tuple, and §5.1 concedes that
+statistical optimization "is not fully implemented yet" — so the read
+path dominates every workload.  This module keeps LRU caches of the
+*decoded* conceptual-level reads, keyed by surrogate, one level above the
+block substrate:
+
+* ``records`` — decoded role records, ``(class, surrogate) -> (rid,
+  values)``; a hit skips the buffer-pool probe *and* the slot decode.
+* ``roles`` — role membership, ``(class, surrogate) -> rid or None``
+  (``None`` is a cached negative: the entity does not hold the role).
+* ``fanout`` — EVA traversal results, ``(rel_id, side, surrogate) ->
+  targets tuple``, covering every physical mapping uniformly.
+
+Correctness rests on strict invalidation: every Mapper mutation drops the
+affected entries, and so does every transaction-undo closure — abort must
+invalidate, not just commit.  Each invalidation bumps ``epoch``; the
+engine's query-scoped memoization validates against that epoch, so one
+integer compare decides whether memoized values are still current.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+#: sentinel distinguishing "not cached" from a cached ``None`` rid
+MISSING = object()
+
+
+class ReadCache:
+    """Decoded-record, role-membership and EVA fan-out caches."""
+
+    def __init__(self, perf, record_capacity: int = 4096,
+                 role_capacity: int = 16384,
+                 fanout_capacity: int = 8192):
+        self.perf = perf
+        self.enabled = True
+        #: bumped on every invalidation; validates engine-level memos
+        self.epoch = 0
+        self.record_capacity = record_capacity
+        self.role_capacity = role_capacity
+        self.fanout_capacity = fanout_capacity
+        self._records: "OrderedDict[Tuple[str, int], Tuple[object, Dict]]" \
+            = OrderedDict()
+        self._roles: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
+        self._fanout: "OrderedDict[Tuple[int, bool, int], tuple]" \
+            = OrderedDict()
+
+    # ------------------------------------------------------------------ lookups
+
+    def get_record(self, class_name: str, surrogate: int):
+        """Cached ``(rid, values)`` or None.  The values dict is shared —
+        callers must treat it as read-only (every write path invalidates)."""
+        if not self.enabled:
+            return None
+        entry = self._records.get((class_name, surrogate))
+        if entry is None:
+            self.perf.record_cache_misses += 1
+            return None
+        self._records.move_to_end((class_name, surrogate))
+        self.perf.record_cache_hits += 1
+        return entry
+
+    def put_record(self, class_name: str, surrogate: int, rid,
+                   values: Dict) -> None:
+        if not self.enabled:
+            return
+        self._records[(class_name, surrogate)] = (rid, values)
+        if len(self._records) > self.record_capacity:
+            self._records.popitem(last=False)
+
+    def get_role(self, class_name: str, surrogate: int):
+        """Cached rid (``None`` = cached negative) or :data:`MISSING`."""
+        if not self.enabled:
+            return MISSING
+        entry = self._roles.get((class_name, surrogate), MISSING)
+        if entry is MISSING:
+            self.perf.role_cache_misses += 1
+            return MISSING
+        self._roles.move_to_end((class_name, surrogate))
+        self.perf.role_cache_hits += 1
+        return entry
+
+    def put_role(self, class_name: str, surrogate: int,
+                 rid: Optional[object]) -> None:
+        if not self.enabled:
+            return
+        self._roles[(class_name, surrogate)] = rid
+        if len(self._roles) > self.role_capacity:
+            self._roles.popitem(last=False)
+
+    def get_fanout(self, rel_id: int, side: bool, surrogate: int):
+        """Cached target tuple or None (an empty result caches as ``()``)."""
+        if not self.enabled:
+            return None
+        targets = self._fanout.get((rel_id, side, surrogate))
+        if targets is None:
+            self.perf.fanout_cache_misses += 1
+            return None
+        self._fanout.move_to_end((rel_id, side, surrogate))
+        self.perf.fanout_cache_hits += 1
+        return targets
+
+    def put_fanout(self, rel_id: int, side: bool, surrogate: int,
+                   targets: tuple) -> None:
+        if not self.enabled:
+            return
+        self._fanout[(rel_id, side, surrogate)] = targets
+        if len(self._fanout) > self.fanout_capacity:
+            self._fanout.popitem(last=False)
+
+    # ------------------------------------------------------------- invalidation
+
+    def note_write(self) -> None:
+        """Record a mutation that has no cached representation here (e.g.
+        a separate-unit MV DVA write) so engine memos still expire."""
+        self.epoch += 1
+        self.perf.invalidations += 1
+
+    def invalidate_record(self, class_name: str, surrogate: int) -> None:
+        self._records.pop((class_name, surrogate), None)
+        self.note_write()
+
+    def invalidate_role(self, class_name: str, surrogate: int) -> None:
+        """A role appeared or disappeared: drop membership and record."""
+        self._roles.pop((class_name, surrogate), None)
+        self._records.pop((class_name, surrogate), None)
+        self.note_write()
+
+    def invalidate_eva(self, rel_id: int, *surrogates: int) -> None:
+        """A relationship instance changed: drop both traversal directions
+        for every involved endpoint (covers self-inverse EVAs)."""
+        for surrogate in surrogates:
+            self._fanout.pop((rel_id, True, surrogate), None)
+            self._fanout.pop((rel_id, False, surrogate), None)
+        self.note_write()
+
+    def clear(self) -> None:
+        """Drop everything (cold-cache benchmarks, crash recovery, and
+        the transaction manager's rollback hook)."""
+        self._records.clear()
+        self._roles.clear()
+        self._fanout.clear()
+        self.note_write()
+
+    # ------------------------------------------------------------------- stats
+
+    @property
+    def sizes(self) -> Dict[str, int]:
+        return {"records": len(self._records),
+                "roles": len(self._roles),
+                "fanout": len(self._fanout)}
+
+    def __repr__(self):
+        sizes = self.sizes
+        return (f"<ReadCache records={sizes['records']} "
+                f"roles={sizes['roles']} fanout={sizes['fanout']} "
+                f"epoch={self.epoch}>")

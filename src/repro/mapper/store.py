@@ -24,6 +24,7 @@ from repro.errors import (
 )
 from repro.mapper.history import HistoryJournal
 from repro.mapper.luc import LUCSchema
+from repro.mapper.read_cache import MISSING, ReadCache
 from repro.mapper.physical import (
     EvaMapping,
     HierarchyMapping,
@@ -33,6 +34,7 @@ from repro.mapper.physical import (
 )
 from repro.mapper.translate import canonical_eva, translate_schema
 from repro.naming import canon
+from repro.perf import PerfCounters
 from repro.schema.attribute import EntityValuedAttribute
 from repro.schema.schema import Schema
 from repro.storage.buffer import BufferPool, Disk
@@ -98,6 +100,14 @@ class MapperStore:
         self.pool = BufferPool(self.disk, self.design.pool_capacity)
         self.pool.wal = self.wal
         self.transactions = TransactionManager(self.pool, wal=self.wal)
+        #: read-path counters shared with the engine and the optimizer
+        self.perf = PerfCounters()
+        #: decoded-record / role / EVA fan-out caches (see read_cache.py)
+        self.read_cache = ReadCache(self.perf)
+        # Rollback surgery (abort or statement-level rollback_to) restores
+        # state through raw file/index operations; the hook guarantees no
+        # cache entry survives it.
+        self.transactions.invalidation_hooks.append(self.read_cache.clear)
 
         self._file_counter = 0
         self._format_counter = 0
@@ -304,8 +314,17 @@ class MapperStore:
     # ------------------------------------------------------------------- roles
 
     def has_role(self, surrogate: int, class_name: str) -> bool:
-        index = self._surrogate_index[canon(class_name)]
-        return index.lookup_one(surrogate) is not None
+        return self._role_rid(surrogate, canon(class_name)) is not None
+
+    def _role_rid(self, surrogate: int, class_name: str):
+        """RID of the entity's role record (None when the role is absent),
+        through the role cache.  ``class_name`` must be canonical."""
+        rid = self.read_cache.get_role(class_name, surrogate)
+        if rid is not MISSING:
+            return rid
+        rid = self._surrogate_index[class_name].lookup_one(surrogate)
+        self.read_cache.put_role(class_name, surrogate, rid)
+        return rid
 
     def roles_of(self, surrogate: int, base_class: str) -> List[str]:
         """All classes in the hierarchy where the entity currently has a
@@ -349,6 +368,9 @@ class MapperStore:
         rid = record_file.insert(format_id, record, near=near)
         index = self._surrogate_index[class_name]
         index.insert(surrogate, rid)
+        # The role check above cached a negative membership; drop it now,
+        # before the unique-index checks below can raise.
+        self.read_cache.invalidate_role(class_name, surrogate)
         if self.history is not None:
             self.history.record_role(surrogate, class_name, acquired=True)
             # Initial DVA values arrive with the role record, not through
@@ -439,6 +461,7 @@ class MapperStore:
                 f"entity {surrogate} has no role {class_name!r}")
         record = record_file.delete(rid)
         index.delete(surrogate, rid)
+        self.read_cache.invalidate_role(class_name, surrogate)
         for (cls, attr_name), unique_index in self._unique_index.items():
             if cls == class_name and not is_null(record.get(attr_name)):
                 unique_index.delete(record[attr_name], rid)
@@ -454,6 +477,7 @@ class MapperStore:
         record_file = self._class_file[class_name]
         record_file.undelete(rid, format_id, record)
         self._surrogate_index[class_name].insert(surrogate, rid)
+        self.read_cache.invalidate_role(class_name, surrogate)
         for (cls, attr_name), unique_index in self._unique_index.items():
             if cls == class_name and not is_null(record.get(attr_name)):
                 unique_index.insert(record[attr_name], rid)
@@ -509,11 +533,16 @@ class MapperStore:
     def record_of(self, surrogate: int, class_name: str
                   ) -> Tuple[RID, Dict[str, object]]:
         class_name = canon(class_name)
-        rid = self._surrogate_index[class_name].lookup_one(surrogate)
+        cached = self.read_cache.get_record(class_name, surrogate)
+        if cached is not None:
+            return cached
+        rid = self._role_rid(surrogate, class_name)
         if rid is None:
             raise IntegrityError(
                 f"entity {surrogate} has no role {class_name!r}")
         _, values = self._class_file[class_name].read(rid)
+        self.perf.records_decoded += 1
+        self.read_cache.put_record(class_name, surrogate, rid, values)
         return rid, values
 
     def read_dva(self, surrogate: int, attr):
@@ -583,6 +612,7 @@ class MapperStore:
                 if not is_null(value):
                     value_index.insert(value, rid)
         self._class_file[class_name].update(rid, {field: value})
+        self.read_cache.invalidate_record(class_name, surrogate)
 
         def undo():
             self._write_field(surrogate, class_name, field, old,
@@ -652,6 +682,7 @@ class MapperStore:
                         {"owner": surrogate, "seq": seq, "value": value})
                     self._mvdva_index[key].insert(surrogate, rid)
                 self.transactions.record_undo(undo)
+                self.read_cache.note_write()
                 return True
         return False
 
@@ -671,10 +702,14 @@ class MapperStore:
             record_file.delete(rid)
             self._mvdva_index[key].delete(surrogate, rid)
         self.transactions.record_undo(undo)
+        # Separate-unit MV values are not cached here, but engine memos
+        # validated against the epoch must still expire.
+        self.read_cache.note_write()
 
     def _mvdva_clear(self, surrogate: int, class_name: str,
                      attr_name: str) -> None:
         key = (class_name, attr_name)
+        self.read_cache.note_write()
         record_file = self._mvdva_file[key]
         for rid in list(self._mvdva_index[key].lookup(surrogate)):
             _, record = record_file.read(rid)
@@ -701,10 +736,18 @@ class MapperStore:
         """
         info = self.eva_info(eva)
         canonical = info.canonical
+        side = bool(info.self_inverse or eva is canonical)
+        cached = self.read_cache.get_fanout(info.rel_id, side, surrogate)
+        if cached is not None:
+            return list(cached)
         if info.self_inverse:
-            return (self._traverse(info, surrogate, forward=True)
-                    + self._traverse(info, surrogate, forward=False))
-        return self._traverse(info, surrogate, forward=eva is canonical)
+            targets = (self._traverse(info, surrogate, forward=True)
+                       + self._traverse(info, surrogate, forward=False))
+        else:
+            targets = self._traverse(info, surrogate, forward=side)
+        self.read_cache.put_fanout(info.rel_id, side, surrogate,
+                                   tuple(targets))
+        return targets
 
     def _traverse(self, info: _EvaInfo, surrogate: int,
                   forward: bool) -> List[int]:
@@ -819,6 +862,7 @@ class MapperStore:
                 info.instance_count -= 1
             self.transactions.record_undo(undo)
         info.instance_count += 1
+        self.read_cache.invalidate_eva(info.rel_id, domain_surr, range_surr)
         if self.history is not None:
             self.history.record_include(surrogate, eva.name, target)
             if eva.inverse is not eva:
@@ -840,6 +884,8 @@ class MapperStore:
             removed = self._exclude_oriented(info, surrogate, target)
         else:
             removed = self._exclude_oriented(info, target, surrogate)
+        if removed:
+            self.read_cache.invalidate_eva(info.rel_id, surrogate, target)
         if removed and self.history is not None:
             self.history.record_exclude(surrogate, eva.name, target)
             if eva.inverse is not eva:
@@ -1003,8 +1049,10 @@ class MapperStore:
         self.disk.stats.reset()
 
     def cold_cache(self) -> None:
-        """Flush and invalidate the buffer pool (for cold-run benchmarks)."""
+        """Flush and invalidate the buffer pool and the read-path caches
+        (for cold-run benchmarks and deterministic I/O accounting)."""
         self.pool.invalidate()
+        self.read_cache.clear()
 
     # --------------------------------------------------------- crash recovery
 
@@ -1030,9 +1078,11 @@ class MapperStore:
         (A real system checkpoints these; rebuilding by scan is the
         simulator's equivalent and also validates that the disk image is
         self-describing.)"""
+        self.read_cache.clear()
         self.pool = BufferPool(self.disk, self.design.pool_capacity)
         self.pool.wal = self.wal
         self.transactions = TransactionManager(self.pool, wal=self.wal)
+        self.transactions.invalidation_hooks.append(self.read_cache.clear)
         for record_file in self._files.values():
             record_file.pool = self.pool
             record_file.txn_context = self.transactions.txn_context

@@ -85,11 +85,22 @@ class CostModel:
 
     def target_record_cost(self, class_name: str) -> float:
         """Materializing one target record: one block access, discounted
-        by expected buffer residency for small classes."""
+        by expected buffer residency for small classes and by the
+        read-path cache hit rate observed so far."""
         blocks = self.class_blocks(class_name)
-        if blocks <= self.design.pool_capacity // 4:
-            return 0.3
-        return 1.0
+        base = 0.3 if blocks <= self.design.pool_capacity // 4 else 1.0
+        return base * (1.0 - self.cached_read_discount())
+
+    def cached_read_discount(self) -> float:
+        """Learned discount on record-materialization cost: the store's
+        observed decoded-record / fan-out cache hit rate, capped so no
+        access is ever estimated free.  A uniform multiplier preserves
+        strategy rankings while shrinking absolute estimates toward the
+        measured warm-cache behaviour."""
+        perf = getattr(self.store, "perf", None)
+        if perf is None:
+            return 0.0
+        return min(perf.read_hit_rate(), 0.9)
 
     def traversal_cost(self, eva, source_count: float,
                        existential: bool = False) -> float:

@@ -22,6 +22,35 @@ from repro.optimizer.plan import AccessPath, Plan
 from repro.optimizer.query_graph import build_query_graph
 
 
+def equality_conjuncts(where, root: QTNode) -> List[Tuple[str, object]]:
+    """Top-level AND-ed conjuncts ``<root attr> = <literal>`` of a WHERE
+    clause.  Shared by the optimizer's access-path enumeration and the
+    executor's update/VERIFY selection fast path."""
+    conjuncts: List[Tuple[str, object]] = []
+
+    def walk(expression):
+        if isinstance(expression, Binary):
+            if expression.op == "and":
+                walk(expression.left)
+                walk(expression.right)
+                return
+            if expression.op == "=":
+                sides = [(expression.left, expression.right),
+                         (expression.right, expression.left)]
+                for path_side, literal_side in sides:
+                    if (isinstance(path_side, Path)
+                            and isinstance(literal_side, Literal)
+                            and path_side.anchor_node is root
+                            and not path_side.chain_nodes
+                            and path_side.terminal_attr is not None):
+                        conjuncts.append((path_side.terminal_attr.name,
+                                          literal_side.value))
+
+    if where is not None:
+        walk(where)
+    return conjuncts
+
+
 class Optimizer:
     """Chooses an access plan for Retrieve queries."""
 
@@ -138,30 +167,7 @@ class Optimizer:
 
     def _equality_conjuncts(self, query: RetrieveQuery, root: QTNode
                             ) -> List[Tuple[str, object]]:
-        """Top-level AND-ed conjuncts ``<root attr> = <literal>``."""
-        conjuncts: List[Tuple[str, object]] = []
-
-        def walk(expression):
-            if isinstance(expression, Binary):
-                if expression.op == "and":
-                    walk(expression.left)
-                    walk(expression.right)
-                    return
-                if expression.op == "=":
-                    sides = [(expression.left, expression.right),
-                             (expression.right, expression.left)]
-                    for path_side, literal_side in sides:
-                        if (isinstance(path_side, Path)
-                                and isinstance(literal_side, Literal)
-                                and path_side.anchor_node is root
-                                and not path_side.chain_nodes
-                                and path_side.terminal_attr is not None):
-                            conjuncts.append((path_side.terminal_attr.name,
-                                              literal_side.value))
-
-        if query.where is not None:
-            walk(query.where)
-        return conjuncts
+        return equality_conjuncts(query.where, root)
 
     def _subtree_cost(self, node: QTNode, rows: float,
                       cost_model: CostModel) -> float:

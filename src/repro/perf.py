@@ -1,0 +1,93 @@
+"""Read-path performance counters.
+
+One :class:`PerfCounters` instance lives on each
+:class:`~repro.mapper.store.MapperStore` and is shared by every layer of
+the read path: the Mapper's decoded-record / role / EVA fan-out caches
+(:mod:`repro.mapper.read_cache`), the engine's query-scoped memoization
+(:mod:`repro.engine.access`), and the executor's existential-loop
+hoisting.  The counters make speedups *attributable*: a benchmark that
+claims a cache win can report the hit rate that produced it, and the
+optimizer's cost model reads the observed hit rate to discount
+cached-access costs (its "learned" §5.1 parameter).
+
+Counters are plain integers; ``snapshot``/``delta`` support per-query
+accounting (the executor attaches a delta to every ``ResultSet``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: every counter, in reporting order
+COUNTER_FIELDS = (
+    "record_cache_hits",      # decoded-record cache
+    "record_cache_misses",
+    "role_cache_hits",        # has_role / surrogate-rid cache
+    "role_cache_misses",
+    "fanout_cache_hits",      # EVA fan-out cache
+    "fanout_cache_misses",
+    "memo_hits",              # engine-level query-scoped memoization
+    "memo_misses",
+    "records_decoded",        # physical records decoded into dicts
+    "domain_enumerations",    # node domains actually enumerated
+    "index_selections",       # update/VERIFY selections served by an index
+    "invalidations",          # cache invalidation events (incl. undo paths)
+)
+
+
+class PerfCounters:
+    """Counters for one store's read path."""
+
+    __slots__ = COUNTER_FIELDS
+
+    def __init__(self, **initial: int):
+        for name in COUNTER_FIELDS:
+            setattr(self, name, initial.get(name, 0))
+
+    # -- Arithmetic -------------------------------------------------------------
+
+    def snapshot(self) -> "PerfCounters":
+        return PerfCounters(**self.as_dict())
+
+    def delta(self, earlier: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(**{
+            name: getattr(self, name) - getattr(earlier, name)
+            for name in COUNTER_FIELDS})
+
+    def reset(self) -> None:
+        for name in COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+
+    # -- Derived rates ----------------------------------------------------------
+
+    def read_hit_rate(self) -> float:
+        """Fraction of Mapper-level cached reads (records + fan-out)
+        served from cache; 0.0 before any lookups."""
+        hits = self.record_cache_hits + self.fanout_cache_hits
+        total = (hits + self.record_cache_misses
+                 + self.fanout_cache_misses)
+        return hits / total if total else 0.0
+
+    def overall_hit_rate(self) -> float:
+        """Hit rate across every cache layer, memoization included."""
+        hits = (self.record_cache_hits + self.role_cache_hits
+                + self.fanout_cache_hits + self.memo_hits)
+        total = hits + (self.record_cache_misses + self.role_cache_misses
+                        + self.fanout_cache_misses + self.memo_misses)
+        return hits / total if total else 0.0
+
+    def describe(self) -> str:
+        lines = [f"  {name}: {getattr(self, name)}"
+                 for name in COUNTER_FIELDS]
+        lines.append(f"  read_hit_rate: {self.read_hit_rate():.3f}")
+        lines.append(f"  overall_hit_rate: {self.overall_hit_rate():.3f}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        inner = ", ".join(f"{name}={getattr(self, name)}"
+                          for name in COUNTER_FIELDS
+                          if getattr(self, name))
+        return f"PerfCounters({inner})"

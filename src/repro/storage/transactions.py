@@ -56,6 +56,7 @@ class Transaction:
                 self._undo_log.pop()()
         finally:
             self._rolling_back = False
+        self._manager._fire_invalidation_hooks()
 
     def _commit(self) -> None:
         self._undo_log.clear()
@@ -89,6 +90,10 @@ class TransactionManager:
         self._current: Optional[Transaction] = None
         self.commits = 0
         self.aborts = 0
+        #: callbacks fired after any rollback (full abort or partial
+        #: rollback_to) — the Mapper registers its read-cache clear here,
+        #: because undo surgery must invalidate caches, not just commits
+        self.invalidation_hooks: List[Callable[[], None]] = []
 
     @property
     def current(self) -> Optional[Transaction]:
@@ -117,6 +122,11 @@ class TransactionManager:
         transaction._abort()
         self._current = None
         self.aborts += 1
+        self._fire_invalidation_hooks()
+
+    def _fire_invalidation_hooks(self) -> None:
+        for hook in self.invalidation_hooks:
+            hook()
 
     def in_transaction(self) -> bool:
         return self._current is not None and self._current.active

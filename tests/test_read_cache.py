@@ -1,0 +1,336 @@
+"""Read-path cache correctness: strict invalidation everywhere.
+
+The decoded-record / role / EVA fan-out caches (``repro.mapper.read_cache``)
+and the engine's epoch-validated memoization (``repro.engine.access``) must
+never serve a stale value: every mutation path — direct, transactional,
+statement-level rollback, full abort, and crash recovery — has to drop the
+affected entries.  Each test warms the caches with a query *before*
+mutating, so a missed invalidation would surface as a wrong answer.
+"""
+
+import pytest
+
+from repro import Database
+from repro.errors import SimError
+from repro.types.tvl import NULL
+from repro.mapper.read_cache import MISSING, ReadCache
+from repro.perf import PerfCounters
+from repro.workloads import UNIVERSITY_DDL
+
+
+@pytest.fixture()
+def db():
+    database = Database(UNIVERSITY_DDL, constraint_mode="off")
+    database.execute('Insert department(dept-nbr := 100, name := "Physics")')
+    database.execute('Insert department(dept-nbr := 200, name := "Math")')
+    database.execute(
+        'Insert instructor(name := "Joe Bloke", soc-sec-no := 111223333,'
+        ' employee-nbr := 1729, salary := 50000,'
+        ' assigned-department := department with (name = "Physics"))')
+    database.execute(
+        'Insert student(name := "John Doe", soc-sec-no := 456887766,'
+        ' student-nbr := 2001,'
+        ' advisor := instructor with (name = "Joe Bloke"),'
+        ' major-department := department with (name = "Physics"))')
+    database.execute('Insert course(course-no := 101, title := "Algebra I",'
+                     ' credits := 3)')
+    return database
+
+
+def names(db):
+    return db.query("From student Retrieve name, name of advisor,"
+                    " name of major-department").rows
+
+
+# ---------------------------------------------------------------- unit level
+
+
+class TestReadCacheUnit:
+    def test_record_lru_eviction(self):
+        cache = ReadCache(PerfCounters(), record_capacity=2)
+        cache.put_record("a", 1, "rid1", {"x": 1})
+        cache.put_record("a", 2, "rid2", {"x": 2})
+        cache.put_record("a", 3, "rid3", {"x": 3})
+        assert cache.get_record("a", 1) is None          # evicted
+        assert cache.get_record("a", 3) == ("rid3", {"x": 3})
+
+    def test_lru_recency_updated_on_hit(self):
+        cache = ReadCache(PerfCounters(), record_capacity=2)
+        cache.put_record("a", 1, "rid1", {})
+        cache.put_record("a", 2, "rid2", {})
+        cache.get_record("a", 1)                         # 1 is now recent
+        cache.put_record("a", 3, "rid3", {})
+        assert cache.get_record("a", 2) is None          # 2 was the LRU
+        assert cache.get_record("a", 1) is not None
+
+    def test_role_negative_caching(self):
+        cache = ReadCache(PerfCounters())
+        assert cache.get_role("a", 1) is MISSING
+        cache.put_role("a", 1, None)
+        assert cache.get_role("a", 1) is None            # cached negative
+        cache.invalidate_role("a", 1)
+        assert cache.get_role("a", 1) is MISSING
+
+    def test_invalidate_role_drops_record_too(self):
+        cache = ReadCache(PerfCounters())
+        cache.put_record("a", 1, "rid", {})
+        cache.invalidate_role("a", 1)
+        assert cache.get_record("a", 1) is None
+
+    def test_invalidate_eva_drops_both_sides_of_each_endpoint(self):
+        cache = ReadCache(PerfCounters())
+        for side in (True, False):
+            cache.put_fanout(7, side, 1, (2,))
+            cache.put_fanout(7, side, 2, (1,))
+        cache.invalidate_eva(7, 1, 2)
+        for side in (True, False):
+            assert cache.get_fanout(7, side, 1) is None
+            assert cache.get_fanout(7, side, 2) is None
+
+    def test_every_invalidation_bumps_epoch(self):
+        cache = ReadCache(PerfCounters())
+        epochs = [cache.epoch]
+        cache.invalidate_record("a", 1)
+        epochs.append(cache.epoch)
+        cache.invalidate_role("a", 1)
+        epochs.append(cache.epoch)
+        cache.invalidate_eva(7, 1)
+        epochs.append(cache.epoch)
+        cache.note_write()
+        epochs.append(cache.epoch)
+        cache.clear()
+        epochs.append(cache.epoch)
+        assert epochs == sorted(epochs) and len(set(epochs)) == len(epochs)
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = ReadCache(PerfCounters())
+        cache.enabled = False
+        cache.put_record("a", 1, "rid", {})
+        cache.put_role("a", 1, None)
+        cache.put_fanout(7, True, 1, (2,))
+        assert cache.get_record("a", 1) is None
+        assert cache.get_role("a", 1) is MISSING
+        assert cache.get_fanout(7, True, 1) is None
+
+
+# ----------------------------------------------------- auto-commit mutations
+
+
+class TestInvalidationOutsideTransactions:
+    def test_modify_dva_then_requery(self, db):
+        assert names(db) == [("John Doe", "Joe Bloke", "Physics")]
+        db.execute('Modify student(name := "Jack Doe")'
+                   ' Where soc-sec-no = 456887766')
+        assert names(db) == [("Jack Doe", "Joe Bloke", "Physics")]
+
+    def test_modify_target_of_shared_path_then_requery(self, db):
+        assert names(db)[0][1] == "Joe Bloke"
+        db.execute('Modify instructor(name := "J. Bloke, PhD")'
+                   ' Where employee-nbr = 1729')
+        assert names(db)[0][1] == "J. Bloke, PhD"
+
+    def test_delete_then_requery(self, db):
+        assert len(names(db)) == 1
+        db.execute('Delete student Where soc-sec-no = 456887766')
+        assert names(db) == []
+        # The person role survives the subclass delete and stays readable.
+        assert db.query('From person Retrieve name'
+                        ' Where soc-sec-no = 456887766').rows \
+            == [("John Doe",)]
+
+    def test_eva_include_then_requery(self, db):
+        # Empty TYPE 3 domains yield the dummy all-null row (§4.5).
+        enrolled = ("From student Retrieve title of courses-enrolled")
+        assert db.query(enrolled).rows == [(NULL,)]
+        db.execute('Modify student(courses-enrolled := include course with'
+                   ' (course-no = 101)) Where soc-sec-no = 456887766')
+        assert db.query(enrolled).rows == [("Algebra I",)]
+
+    def test_eva_exclude_then_requery(self, db):
+        db.execute('Modify student(courses-enrolled := include course with'
+                   ' (course-no = 101)) Where soc-sec-no = 456887766')
+        # Warm the fan-out cache in both directions.
+        assert db.query("From student Retrieve title of"
+                        " courses-enrolled").rows == [("Algebra I",)]
+        assert db.query("From course Retrieve name of students-enrolled"
+                        " Where course-no = 101").rows == [("John Doe",)]
+        db.execute('Modify student(courses-enrolled := exclude course with'
+                   ' (course-no = 101)) Where soc-sec-no = 456887766')
+        assert db.query("From student Retrieve title of"
+                        " courses-enrolled").rows == [(NULL,)]
+        assert db.query("From course Retrieve name of students-enrolled"
+                        " Where course-no = 101").rows == [(NULL,)]
+
+    def test_single_valued_eva_reassignment(self, db):
+        db.execute(
+            'Insert instructor(name := "Jane Roe", soc-sec-no := 222334444,'
+            ' employee-nbr := 1730,'
+            ' assigned-department := department with (name = "Math"))')
+        assert names(db)[0][1] == "Joe Bloke"
+        db.execute('Modify student(advisor := instructor with'
+                   ' (employee-nbr = 1730)) Where soc-sec-no = 456887766')
+        assert names(db)[0][1] == "Jane Roe"
+        # The inverse direction must not serve the old fan-out either.
+        assert db.query('From instructor Retrieve name of advisees'
+                        ' Where employee-nbr = 1729').rows == [(NULL,)]
+
+    def test_mapper_level_role_mutations(self, db):
+        surrogate = db.store.find_by_dva("student", "soc-sec-no",
+                                         456887766)[0]
+        query = ("From person Retrieve profession"
+                 " Where soc-sec-no = 456887766")
+        assert db.query(query).rows == [("student",)]
+        db.store.add_role(surrogate, "instructor",
+                          {"employee-nbr": 1999})
+        assert sorted(db.query(query).rows) \
+            == [("instructor",), ("student",)]
+        db.store.remove_role(surrogate, "instructor")
+        assert db.query(query).rows == [("student",)]
+
+    def test_insert_after_negative_role_check(self, db):
+        # A query over an empty subclass caches negative role entries;
+        # Insert From must invalidate them before the next query.
+        assert db.query("From teaching-assistant Retrieve name").rows == []
+        db.execute('Insert teaching-assistant From student'
+                   ' Where soc-sec-no = 456887766'
+                   ' (employee-nbr := 2000, teaching-load := 2)')
+        assert db.query("From teaching-assistant Retrieve name").rows \
+            == [("John Doe",)]
+
+
+# ------------------------------------------------------------- transactions
+
+
+class TestInvalidationInTransactions:
+    def test_read_your_writes_inside_transaction(self, db):
+        assert names(db)[0][0] == "John Doe"
+        db.begin()
+        db.execute('Modify student(name := "Jack Doe")'
+                   ' Where soc-sec-no = 456887766')
+        assert names(db)[0][0] == "Jack Doe"
+        db.commit()
+        assert names(db)[0][0] == "Jack Doe"
+
+    def test_abort_restores_dva(self, db):
+        assert names(db)[0][0] == "John Doe"
+        db.begin()
+        db.execute('Modify student(name := "Jack Doe")'
+                   ' Where soc-sec-no = 456887766')
+        assert names(db)[0][0] == "Jack Doe"
+        db.abort()
+        assert names(db)[0][0] == "John Doe"
+
+    def test_abort_restores_eva(self, db):
+        enrolled = "From student Retrieve title of courses-enrolled"
+        db.begin()
+        db.execute('Modify student(courses-enrolled := include course with'
+                   ' (course-no = 101)) Where soc-sec-no = 456887766')
+        assert db.query(enrolled).rows == [("Algebra I",)]
+        db.abort()
+        assert db.query(enrolled).rows == [(NULL,)]
+
+    def test_abort_restores_delete(self, db):
+        db.begin()
+        db.execute('Delete student Where soc-sec-no = 456887766')
+        assert names(db) == []
+        db.abort()
+        assert names(db) == [("John Doe", "Joe Bloke", "Physics")]
+
+    def test_failed_statement_leaves_no_stale_values(self, db):
+        db.execute('Insert student(name := "Jane Roe",'
+                   ' soc-sec-no := 456887767, student-nbr := 2002)')
+        before = sorted(db.query("From student Retrieve name,"
+                                 " soc-sec-no").rows)
+        # Uniqueness violation aborts the statement mid-flight after some
+        # records may have been touched.
+        with pytest.raises(SimError):
+            db.execute('Modify student(soc-sec-no := 456887766)'
+                       ' Where name = "Jane Roe"')
+        assert sorted(db.query("From student Retrieve name,"
+                               " soc-sec-no").rows) == before
+
+
+# ----------------------------------------------------------- crash recovery
+
+
+class TestCrashRecovery:
+    def test_inflight_modify_undone_with_caches(self, db):
+        assert names(db)[0][0] == "John Doe"      # warm every cache layer
+        db.begin()
+        db.execute('Modify student(name := "Lost Update")'
+                   ' Where soc-sec-no = 456887766')
+        assert names(db)[0][0] == "Lost Update"
+        db.store.pool.flush()                     # steal: dirty pages out
+        db.simulate_crash()
+        assert names(db)[0][0] == "John Doe"
+
+    def test_committed_state_survives_with_caches(self, db):
+        with db.transaction():
+            db.execute('Modify student(name := "Jack Doe")'
+                       ' Where soc-sec-no = 456887766')
+        assert names(db)[0][0] == "Jack Doe"
+        db.simulate_crash()
+        assert names(db)[0][0] == "Jack Doe"
+        # Post-recovery mutations keep invalidating the rebuilt state.
+        db.begin()
+        db.execute('Modify student(name := "Gone Again")'
+                   ' Where soc-sec-no = 456887766')
+        db.abort()
+        assert names(db)[0][0] == "Jack Doe"
+
+
+# ------------------------------------------------------------ perf counters
+
+
+class TestPerfAccounting:
+    def test_second_query_reports_cache_hits(self, db):
+        first = db.query("From student Retrieve name, name of advisor")
+        second = db.query("From student Retrieve name, name of advisor")
+        assert second.perf is not None
+        assert second.perf.overall_hit_rate() > 0.0
+        assert second.perf.records_decoded <= first.perf.records_decoded
+
+    def test_statistics_expose_read_path_counters(self, db):
+        db.query("From student Retrieve name")
+        stats = db.statistics()
+        assert "read_path" in stats
+        assert stats["read_path"]["records_decoded"] > 0
+
+
+# ----------------------------------------------- update-path index selection
+
+
+class TestSelectionIndexPath:
+    def test_equality_on_indexed_dva_uses_index(self, db):
+        before = db.perf.index_selections
+        db.execute('Modify student(name := "Jack Doe")'
+                   ' Where soc-sec-no = 456887766')
+        assert db.perf.index_selections == before + 1
+        assert names(db)[0][0] == "Jack Doe"
+
+    def test_or_predicate_falls_back_to_scan(self, db):
+        before = db.perf.index_selections
+        db.execute('Modify student(name := "Jack Doe")'
+                   ' Where soc-sec-no = 456887766 or student-nbr = 2001')
+        assert db.perf.index_selections == before
+        assert names(db)[0][0] == "Jack Doe"
+
+    def test_unindexed_equality_falls_back_to_scan(self, db):
+        before = db.perf.index_selections
+        db.execute('Modify student(student-nbr := 2101)'
+                   ' Where name = "John Doe"')
+        assert db.perf.index_selections == before
+        assert db.query("From student Retrieve student-nbr").rows \
+            == [(2101,)]
+
+    def test_index_and_scan_selections_agree(self, db):
+        from repro import parse_dml
+        db.execute('Insert student(name := "Jane Roe",'
+                   ' soc-sec-no := 456887767, student-nbr := 2002)')
+        statement = parse_dml('Delete student Where soc-sec-no = 456887766')
+        selected = db.executor.select_entities("student", statement.where)
+        ssn = db.schema.get_class("student").attribute("soc-sec-no")
+        expected = [surrogate
+                    for surrogate in db.store.scan_class("student")
+                    if db.store.read_dva(surrogate, ssn) == 456887766]
+        assert sorted(selected) == sorted(expected) and len(selected) == 1
