@@ -1,0 +1,21 @@
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test torture bench bench-recovery bench-read-path
+
+test:
+	python -m pytest -x -q
+
+# The seeded fault-injection crash-torture lane (fixed seed, ~200+ crash
+# points; see tests/test_torture.py).
+torture:
+	python -m pytest -q -m torture tests/test_torture.py
+
+bench:
+	python -m pytest -q benchmarks/ --benchmark-only
+
+bench-recovery:
+	python benchmarks/make_report.py --recovery
+
+bench-read-path:
+	python benchmarks/make_report.py --read-path

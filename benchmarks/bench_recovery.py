@@ -1,4 +1,4 @@
-"""Substrate extension benchmark — WAL and crash recovery.
+"""Substrate extension benchmark — WAL, crash recovery, fault torture.
 
 Not a paper experiment (the paper delegates durability to DMSII); this
 measures the substrate extension documented in DESIGN.md §4:
@@ -6,13 +6,21 @@ measures the substrate extension documented in DESIGN.md §4:
 * commit-path overhead of write-ahead logging (log forces per commit);
 * crash-recovery time as a function of database size and of the amount of
   in-flight (loser) work to undo;
-* correctness: recovered state equals the committed state.
+* correctness: recovered state equals the committed state;
+* E14 — the fault-injection/recovery discipline: crash-torture coverage,
+  recovery latency, consistency-check latency and transient-retry cost
+  (``python benchmarks/make_report.py --recovery`` regenerates
+  ``BENCH_recovery.json`` from :func:`measure_recovery`).
 """
+
+import time
 
 import pytest
 
 from repro import Database
+from repro.errors import InjectedCrash
 from repro.workloads import UNIVERSITY_DDL
+from repro.workloads.university import build_university
 
 from _harness import attach
 
@@ -96,3 +104,138 @@ def test_recovered_database_fully_operational(benchmark):
     with db.transaction():
         db.execute('Insert person(soc-sec-no := 777777)')
     assert db.store.class_count("person") == 31
+
+
+# -- E14: fault injection, torture coverage, checker cost -----------------------
+
+TORTURE_STATEMENTS = [
+    f'Insert person(name := "T{i}", soc-sec-no := {700000 + i})'
+    for i in range(12)
+]
+
+
+def _torture_round(crash_at: int) -> dict:
+    """One crash point: run the statement list, crash on the
+    ``crash_at``-th physical write, recover, check."""
+    db = build_university(departments=2, instructors=3, students=6,
+                          courses=5, ta_fraction=0.0, seed=11)
+    db.store.pool.flush()
+    injector = db.install_faults(seed=crash_at)
+    injector.crash_after_writes(crash_at)
+    committed = 0
+    crashed = False
+    try:
+        for statement in TORTURE_STATEMENTS:
+            db.execute(statement)
+            committed += 1
+    except InjectedCrash:
+        crashed = True
+    recovery = db.simulate_crash()
+    report = db.check()
+    survived = len(db.query(
+        "From person Retrieve name"
+        " Where soc-sec-no >= 700000 and soc-sec-no < 701000"))
+    return {"crashed": crashed, "committed": committed,
+            "survived": survived, "consistent": report.ok,
+            "undone_slots": recovery["undone_slots"]}
+
+
+def measure_recovery(max_points: int = 24) -> dict:
+    """The E14 measurement behind ``BENCH_recovery.json``.
+
+    Runs a bounded crash-torture matrix (every k-th-write crash point up
+    to ``max_points``), timing recovery and the consistency check, and
+    verifying zero committed-effect loss at every point.
+    """
+    # dry run: how many writes does the workload perform fault-free?
+    dry = build_university(departments=2, instructors=3, students=6,
+                          courses=5, ta_fraction=0.0, seed=11)
+    dry.store.pool.flush()
+    dry_injector = dry.install_faults(seed=0)
+    for statement in TORTURE_STATEMENTS:
+        dry.execute(statement)
+    total_writes = dry_injector.ops["write"]
+
+    points = min(max_points, total_writes)
+    outcomes = []
+    recovery_wall = 0.0
+    started_all = time.perf_counter()
+    for k in range(1, points + 1):
+        started = time.perf_counter()
+        outcome = _torture_round(k)
+        recovery_wall += time.perf_counter() - started
+        outcomes.append(outcome)
+    torture_wall = time.perf_counter() - started_all
+
+    clean = sum(1 for o in outcomes if o["consistent"])
+    exact = sum(1 for o in outcomes if o["survived"] == o["committed"])
+
+    # recovery and checker latency on a recovered instance
+    db = build_university(departments=2, instructors=3, students=6,
+                          courses=5, ta_fraction=0.0, seed=11)
+    db.store.pool.flush()
+    started = time.perf_counter()
+    db.simulate_crash()
+    recover_ms = (time.perf_counter() - started) * 1000.0
+    started = time.perf_counter()
+    report = db.check()
+    check_ms = (time.perf_counter() - started) * 1000.0
+
+    # transient-fault retry cost
+    injector = db.install_faults(seed=5)
+    db.cold_cache()
+    injector.fail_read(1, error="transient")
+    db.query("From student Retrieve name")
+    retry = db.store.retry.statistics()
+
+    return {
+        "workload_statements": len(TORTURE_STATEMENTS),
+        "workload_writes": total_writes,
+        "crash_points_run": points,
+        "consistent_points": clean,
+        "exact_prefix_points": exact,
+        "torture_wall_ms": torture_wall * 1000.0,
+        "mean_point_ms": (recovery_wall / points) * 1000.0 if points else 0.0,
+        "recover_ms": recover_ms,
+        "check_ms": check_ms,
+        "checked": report.checked,
+        "retry": retry,
+    }
+
+
+@pytest.mark.parametrize("crash_at", [3, 9, 15])
+def test_e14_crash_point_recovers_consistent(benchmark, crash_at):
+    outcome = benchmark(_torture_round, crash_at)
+    assert outcome["consistent"]
+    assert outcome["survived"] == outcome["committed"]
+    attach(benchmark, **{k: v for k, v in outcome.items()
+                         if isinstance(v, (int, bool))})
+
+
+def test_e14_consistency_check_cost(benchmark):
+    db = build_university()
+    report = benchmark(db.check)
+    assert report.ok
+    attach(benchmark, records=report.checked["records"],
+           eva_instances=report.checked["eva_instances"],
+           blocks=report.checked["blocks"])
+
+
+def test_e14_transient_retry_overhead(benchmark):
+    db = build_university(departments=2, instructors=3, students=6,
+                          courses=5, ta_fraction=0.0, seed=11)
+    injector = db.install_faults(seed=5)
+    counter = [0]
+
+    def faulted_scan():
+        counter[0] += 1
+        db.cold_cache()
+        injector.fail_read(1, error="transient")
+        return db.query("From student Retrieve name")
+
+    rows = benchmark(faulted_scan)
+    assert len(rows) == 6
+    assert db.perf.transient_retries >= counter[0]
+    assert db.perf.transient_giveups == 0
+    attach(benchmark, retries=db.store.retry.retries,
+           backoff_ticks=db.store.retry.backoff_ticks)

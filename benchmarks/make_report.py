@@ -5,6 +5,7 @@ Usage::
     pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
     python benchmarks/make_report.py bench.json > measured.md
     python benchmarks/make_report.py --read-path [out.json]
+    python benchmarks/make_report.py --recovery [out.json]
 
 The output groups benchmarks by experiment (the ``test_e<N>_`` prefix) and
 prints, per benchmark, the mean wall time and every ``extra_info`` number
@@ -15,6 +16,10 @@ path.
 ``--read-path`` runs the E13 cold-vs-warm measurement directly and writes
 ``BENCH_read_path.json`` (hit rate + speedup), tracking the read-path
 perf trajectory from PR to PR.
+
+``--recovery`` runs the E14 crash-torture/recovery measurement and writes
+``BENCH_recovery.json`` (crash points recovered consistent, recovery and
+checker latency, transient-retry cost).
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ _EXPERIMENT_TITLES = {
     "e11": "E11 — output forms (§4.5)",
     "e12": "E12 — MV DVA mapping (§5.2)",
     "e13": "E13 — read-path caches & memoization",
+    "e14": "E14 — fault injection, crash torture & consistency checking",
 }
 
 
@@ -53,6 +59,24 @@ def write_read_path_report(out_path: str) -> int:
           f"hit rate {measured['warm_hit_rate']:.3f}, "
           f"{measured['cold_logical_reads']} -> "
           f"{measured['warm_logical_reads']} logical reads")
+    return 0
+
+
+def write_recovery_report(out_path: str) -> int:
+    """Run the E14 measurement and emit ``BENCH_recovery.json``."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_recovery import measure_recovery
+    measured = measure_recovery()
+    with open(out_path, "w") as handle:
+        json.dump(measured, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}: "
+          f"{measured['consistent_points']}/{measured['crash_points_run']} "
+          f"crash points consistent, "
+          f"{measured['exact_prefix_points']}/{measured['crash_points_run']} "
+          f"exact committed prefixes, "
+          f"recover {measured['recover_ms']:.2f} ms, "
+          f"check {measured['check_ms']:.2f} ms")
     return 0
 
 
@@ -75,6 +99,9 @@ def main(argv) -> int:
     if len(argv) >= 2 and argv[1] == "--read-path":
         out_path = argv[2] if len(argv) > 2 else "BENCH_read_path.json"
         return write_read_path_report(out_path)
+    if len(argv) >= 2 and argv[1] == "--recovery":
+        out_path = argv[2] if len(argv) > 2 else "BENCH_recovery.json"
+        return write_recovery_report(out_path)
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2

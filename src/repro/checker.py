@@ -1,0 +1,367 @@
+"""Semantic consistency checker — the crash-torture oracle.
+
+SIM stores one entity's data split across base- and subclass records with
+system-maintained EVA inverses (§5.1/§5.2; cf. Litwin's *Stored and
+Inherited Relations*): a torn or lost block can break *semantic*
+invariants — a subclass role without its base record, an EVA visible from
+one side only, an index entry pointing at a ghost — that no page checksum
+would notice.  :func:`check_store` sweeps the physical state and verifies:
+
+* **surrogate indexes ↔ records** — every stored role record is indexed
+  at its RID, and every index entry resolves to a live record;
+* **hierarchy membership** — subclass-role ⊆ superclass-role, for every
+  entity and every superclass edge;
+* **EVA/inverse symmetry** — each relationship instance, however mapped
+  (structure record, foreign key, pointer array), is reachable from both
+  endpoints, both endpoints hold the participating roles, and the
+  runtime ``instance_count`` matches the physical population;
+* **secondary indexes** — unique/value/MV-DVA index entries agree
+  exactly with record contents (and MV values have a living owner);
+* **free-space accounting** — each block's used-width header and the
+  file's free-space map match the slot directory, and record counts add
+  up;
+* **declared constraints** (optional) — REQUIRED attributes are
+  non-null and UNIQUE attributes unduplicated *on disk*, independent of
+  what the engine enforced on the way in.
+
+The checker is deliberately white-box (it reads the Mapper's structures
+directly) and runs with the read cache disabled — verdicts must come
+from physical state, never from cached decodes.  It mutates nothing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.mapper.physical import EvaMapping
+from repro.naming import canon
+from repro.storage.records import RID
+from repro.types.tvl import is_null
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one consistency sweep.
+
+    ``problems`` — human-readable findings, each tagged ``[category]``;
+    ``checked`` — how much ground the sweep covered (records, index
+    entries, EVA instances...), so an "all clear" is auditable."""
+
+    problems: List[str] = field(default_factory=list)
+    checked: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def add(self, category: str, message: str) -> None:
+        self.problems.append(f"[{category}] {message}")
+
+    def bump(self, what: str, count: int = 1) -> None:
+        self.checked[what] = self.checked.get(what, 0) + count
+
+    def summary(self) -> str:
+        ground = ", ".join(f"{k}={v}" for k, v in sorted(self.checked.items()))
+        if self.ok:
+            return f"consistent ({ground})"
+        head = "; ".join(self.problems[:5])
+        more = f" (+{len(self.problems) - 5} more)" if len(self.problems) > 5 \
+            else ""
+        return f"{len(self.problems)} problem(s): {head}{more} ({ground})"
+
+    def __repr__(self):
+        state = "ok" if self.ok else f"{len(self.problems)} problems"
+        return f"<CheckReport {state}>"
+
+
+def check_store(store, constraints: bool = True) -> CheckReport:
+    """Sweep a :class:`~repro.mapper.store.MapperStore` for semantic
+    consistency.  Read-only; returns a :class:`CheckReport`."""
+    report = CheckReport()
+    with store.read_cache.disabled():
+        scans = _scan_classes(store, report)
+        _check_surrogate_indexes(store, scans, report)
+        _check_hierarchy(store, scans, report)
+        _check_secondary_indexes(store, scans, report)
+        _check_mvdva(store, scans, report)
+        _check_evas(store, scans, report)
+        _check_free_space(store, report)
+        if constraints:
+            _check_constraints(store, scans, report)
+    return report
+
+
+# ------------------------------------------------------------------ scanning
+
+def _scan_classes(store, report) -> Dict[str, Dict[int, Tuple[RID, dict]]]:
+    """Physical scan of every class unit: class -> {surrogate: (rid,
+    record)}.  Also flags surrogate duplication within one class."""
+    scans: Dict[str, Dict[int, Tuple[RID, dict]]] = {}
+    for class_name, record_file in store._class_file.items():
+        format_id = store._class_format[class_name]
+        members: Dict[int, Tuple[RID, dict]] = {}
+        for rid, _, record in record_file.scan(format_id):
+            surrogate = record["surrogate"]
+            if surrogate in members:
+                report.add("identity",
+                           f"{class_name}: surrogate {surrogate} stored "
+                           f"twice ({members[surrogate][0]} and {rid})")
+            members[surrogate] = (rid, record)
+        scans[class_name] = members
+        report.bump("records", len(members))
+    return scans
+
+
+# ------------------------------------------------------------------- indexes
+
+def _check_surrogate_indexes(store, scans, report) -> None:
+    for class_name, members in scans.items():
+        index = store._surrogate_index[class_name]
+        for surrogate, (rid, _) in members.items():
+            if index.lookup_one(surrogate) != rid:
+                report.add("index",
+                           f"surr--{class_name}: record {surrogate}@{rid} "
+                           f"not indexed (or at wrong rid)")
+        for surrogate, rid in index.items():
+            entry = members.get(surrogate)
+            if entry is None or entry[0] != rid:
+                report.add("index",
+                           f"surr--{class_name}: stale entry "
+                           f"{surrogate} -> {rid}")
+        report.bump("surrogate_index_entries", index.entries)
+
+
+def _check_hierarchy(store, scans, report) -> None:
+    """Subclass-role membership must be contained in every superclass."""
+    for class_name, members in scans.items():
+        sim_class = store.schema.get_class(class_name)
+        for super_name in sim_class.superclass_names:
+            super_members = scans.get(canon(super_name), {})
+            for surrogate in members:
+                report.bump("hierarchy_edges")
+                if surrogate not in super_members:
+                    report.add("hierarchy",
+                               f"entity {surrogate} has role {class_name!r} "
+                               f"but no {super_name!r} record")
+
+
+def _check_secondary_indexes(store, scans, report) -> None:
+    groups = (("unique", store._unique_index),
+              ("value", store._value_index))
+    for label, indexes in groups:
+        for (class_name, attr_name), index in indexes.items():
+            members = scans.get(class_name, {})
+            expected = set()
+            for surrogate, (rid, record) in members.items():
+                value = record.get(attr_name)
+                if not is_null(value):
+                    expected.add((value, rid))
+            actual = set(index.items())
+            for value, rid in expected - actual:
+                report.add("index",
+                           f"{label} index {class_name}.{attr_name}: "
+                           f"record value {value!r}@{rid} not indexed")
+            for value, rid in actual - expected:
+                report.add("index",
+                           f"{label} index {class_name}.{attr_name}: "
+                           f"stale entry {value!r} -> {rid}")
+            report.bump("secondary_index_entries", len(actual))
+
+
+def _check_mvdva(store, scans, report) -> None:
+    for key, record_file in store._mvdva_file.items():
+        class_name, attr_name = key
+        index = store._mvdva_index[key]
+        members = scans.get(class_name, {})
+        expected = set()
+        for rid, _, record in record_file.scan(store._mvdva_format[key]):
+            owner = record["owner"]
+            expected.add((owner, rid))
+            if owner not in members:
+                report.add("mvdva",
+                           f"{class_name}.{attr_name}: value row {rid} "
+                           f"owned by absent entity {owner}")
+        actual = set(index.items())
+        for owner, rid in expected - actual:
+            report.add("index",
+                       f"mv index {class_name}.{attr_name}: row {rid} of "
+                       f"owner {owner} not indexed")
+        for owner, rid in actual - expected:
+            report.add("index",
+                       f"mv index {class_name}.{attr_name}: stale entry "
+                       f"{owner} -> {rid}")
+        report.bump("mvdva_rows", len(expected))
+
+
+# ---------------------------------------------------------------------- EVAs
+
+def _check_evas(store, scans, report) -> None:
+    for info in store._eva_info.values():
+        canonical = info.canonical
+        owner_class = canon(canonical.owner_name)
+        range_class = canon(canonical.range_class_name)
+        if info.mapping is EvaMapping.FOREIGN_KEY:
+            count = _check_fk_eva(store, info, scans, report)
+        elif info.mapping is EvaMapping.POINTER:
+            count = _check_ptr_eva(store, info, scans, report)
+        else:
+            count = _check_structure_eva(store, info, scans, report,
+                                         owner_class, range_class)
+        if info.instance_count != count:
+            report.add("eva",
+                       f"{owner_class}.{canonical.name}: instance_count "
+                       f"{info.instance_count} != physical {count}")
+        report.bump("eva_instances", count)
+
+
+def _check_structure_eva(store, info, scans, report, owner_class,
+                         range_class) -> int:
+    count = 0
+    forward_expected, reverse_expected = set(), set()
+    for rid, _, record in info.file.scan(info.format_id):
+        if record["rel"] != info.rel_id:
+            continue
+        count += 1
+        surr1, surr2 = record["surr1"], record["surr2"]
+        name = f"{owner_class}.{info.canonical.name}"
+        if surr1 not in scans.get(owner_class, {}):
+            report.add("eva", f"{name}: instance ({surr1}, {surr2}) dangles "
+                              f"— {surr1} has no {owner_class!r} role")
+        if surr2 not in scans.get(range_class, {}):
+            report.add("eva", f"{name}: instance ({surr1}, {surr2}) dangles "
+                              f"— {surr2} has no {range_class!r} role")
+        forward_expected.add(((info.rel_id, surr1), rid))
+        reverse_expected.add(((info.rel_id, surr2), rid))
+    _compare_index(info.forward, forward_expected,
+                   f"fwd--{owner_class}--{info.canonical.name}", report)
+    _compare_index(info.reverse, reverse_expected,
+                   f"rev--{owner_class}--{info.canonical.name}", report)
+    return count
+
+
+def _check_fk_eva(store, info, scans, report) -> int:
+    holder_class = canon(info.fk_eva.owner_name)
+    target_class = canon(info.fk_eva.range_class_name)
+    name = f"{holder_class}.{info.fk_eva.name}"
+    count = 0
+    reverse_expected = set()
+    for surrogate, (rid, record) in scans.get(holder_class, {}).items():
+        value = record.get(info.fk_field)
+        if is_null(value):
+            continue
+        count += 1
+        if value not in scans.get(target_class, {}):
+            report.add("eva", f"{name}: entity {surrogate} references "
+                              f"absent {target_class!r} entity {value}")
+        reverse_expected.add((value, rid))
+    _compare_index(info.fk_reverse, reverse_expected,
+                   f"fkrev--{name}", report)
+    return count
+
+
+def _check_ptr_eva(store, info, scans, report) -> int:
+    owner_class = canon(info.canonical.owner_name)
+    range_class = canon(info.canonical.range_class_name)
+    name = f"{owner_class}.{info.canonical.name}"
+    count = 0
+    reverse_expected = set()
+    for surrogate, (rid, record) in scans.get(owner_class, {}).items():
+        stored = record.get(info.ptr_field)
+        if is_null(stored):
+            continue
+        for target_surr, block, slot in stored:
+            count += 1
+            target = scans.get(range_class, {}).get(target_surr)
+            if target is None:
+                report.add("eva", f"{name}: entity {surrogate} points at "
+                                  f"absent {range_class!r} entity "
+                                  f"{target_surr}")
+            elif target[0] != RID(block, slot):
+                report.add("eva", f"{name}: stale absolute address for "
+                                  f"{target_surr} ({RID(block, slot)} vs "
+                                  f"{target[0]})")
+            reverse_expected.add((target_surr, rid))
+    _compare_index(info.ptr_reverse, reverse_expected,
+                   f"ptrrev--{name}", report)
+    return count
+
+
+def _compare_index(index, expected, name, report) -> None:
+    actual = set(index.items())
+    for key, rid in expected - actual:
+        report.add("index", f"{name}: missing entry {key!r} -> {rid}")
+    for key, rid in actual - expected:
+        report.add("index", f"{name}: stale entry {key!r} -> {rid}")
+
+
+# ----------------------------------------------------------------- substrate
+
+def _check_free_space(store, report) -> None:
+    for record_file in store._files.values():
+        records_seen = 0
+        for block_no in range(record_file.block_count):
+            block = record_file.pool.get(record_file.file_id, block_no)
+            used = 0
+            for entry in block.slots:
+                if entry is None:
+                    continue
+                format_id, _ = entry
+                fmt = record_file.formats.get(format_id)
+                if fmt is None:
+                    report.add("free-space",
+                               f"{record_file.name}: block {block_no} holds "
+                               f"a record of unknown format #{format_id}")
+                    continue
+                used += fmt.width
+                records_seen += 1
+            if block.used != used:
+                report.add("free-space",
+                           f"{record_file.name}: block {block_no} header "
+                           f"says used={block.used}, slots say {used}")
+            free = record_file.free_space(block_no)
+            if free != record_file.block_size - used:
+                report.add("free-space",
+                           f"{record_file.name}: free-space map says "
+                           f"{free} free in block {block_no}, actual "
+                           f"{record_file.block_size - used}")
+            report.bump("blocks")
+        if record_file.record_count != records_seen:
+            report.add("free-space",
+                       f"{record_file.name}: record_count "
+                       f"{record_file.record_count} != scanned "
+                       f"{records_seen}")
+
+
+# --------------------------------------------------------------- constraints
+
+def _check_constraints(store, scans, report) -> None:
+    """REQUIRED / UNIQUE as stored on disk — the declarative subset of the
+    schema the checker can verify without running VERIFY assertions."""
+    for class_name, members in scans.items():
+        sim_class = store.schema.get_class(class_name)
+        for attr in sim_class.immediate_attributes.values():
+            if attr.is_eva or attr.is_subrole or attr.is_surrogate:
+                continue
+            if attr.options.required and attr.single_valued:
+                for surrogate, (_, record) in members.items():
+                    report.bump("required_checks")
+                    if is_null(record.get(attr.name)):
+                        report.add("constraint",
+                                   f"{class_name}.{attr.name} REQUIRED but "
+                                   f"null for entity {surrogate}")
+            if attr.options.unique and attr.single_valued:
+                values = Counter(
+                    record.get(attr.name)
+                    for _, record in members.values()
+                    if not is_null(record.get(attr.name)))
+                report.bump("unique_checks", sum(values.values()))
+                for value, occurrences in values.items():
+                    if occurrences > 1:
+                        report.add("constraint",
+                                   f"{class_name}.{attr.name} UNIQUE but "
+                                   f"{value!r} stored {occurrences} times")

@@ -147,6 +147,7 @@ class Database:
         stats.update(self.constraints.statistics())
         stats["io"] = repr(self.store.io_stats())
         stats["read_path"] = self.store.perf.as_dict()
+        stats["storage"] = self.store.storage_statistics()
         return stats
 
     @property
@@ -230,6 +231,22 @@ class Database:
         """
         self.constraints.reset_deferred()
         return self.store.simulate_crash()
+
+    # -- Fault injection and consistency checking -----------------------------------
+
+    def install_faults(self, injector=None, seed: int = 0):
+        """Attach a :class:`~repro.storage.faults.FaultInjector` to the
+        storage devices and return it.  Arm fault plans on the returned
+        injector; ``simulate_crash`` reboots a crashed device before
+        recovering."""
+        return self.store.install_faults(injector, seed=seed)
+
+    def check(self, constraints: bool = True):
+        """Run the semantic consistency checker against the physical
+        state (read caches bypassed).  Returns a
+        :class:`~repro.checker.CheckReport`; ``report.ok`` is the
+        clean-bill-of-health flag the crash-torture suite asserts."""
+        return self.store.check(constraints=constraints)
 
     # -- Persistence ------------------------------------------------------------------
 

@@ -93,6 +93,23 @@ class StorageError(SimError):
     """Low-level storage failure (bad block, missing record...)."""
 
 
+class TransientStorageError(StorageError):
+    """A storage operation failed but may succeed if retried (simulated
+    controller hiccup).  The Mapper's retry policy retries these with
+    backoff; all other storage errors are treated as permanent."""
+
+
+class InjectedCrash(StorageError):
+    """The fault injector killed the simulated machine mid-operation.
+
+    Raised by the fault-injection harness when a crash trigger fires; the
+    device stays dead (every further I/O re-raises) until
+    :meth:`~repro.storage.faults.FaultInjector.reboot`, which
+    :meth:`~repro.mapper.store.MapperStore.simulate_crash` calls before
+    recovery.  Test harnesses catch this to drive crash-recovery cycles.
+    """
+
+
 class TransactionError(StorageError):
     """Invalid transaction state transition."""
 

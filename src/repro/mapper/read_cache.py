@@ -23,6 +23,7 @@ integer compare decides whether memoized values are still current.
 
 from __future__ import annotations
 
+import contextlib
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -145,6 +146,24 @@ class ReadCache:
         self._roles.clear()
         self._fanout.clear()
         self.note_write()
+
+    @contextlib.contextmanager
+    def disabled(self):
+        """Bypass the caches for the duration of the block.
+
+        The consistency checker runs under this: its verdicts must come
+        from the physical state, never from cached decodes that could
+        mask (or themselves be) the corruption, and its sweep must not
+        pollute the caches with its own traffic.  Entries present before
+        the block are dropped — a checker is usually run when cached
+        state is exactly what's in doubt."""
+        self.clear()
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield self
+        finally:
+            self.enabled = previous
 
     # ------------------------------------------------------------------- stats
 

@@ -38,6 +38,7 @@ from repro.perf import PerfCounters
 from repro.schema.attribute import EntityValuedAttribute
 from repro.schema.schema import Schema
 from repro.storage.buffer import BufferPool, Disk
+from repro.storage.faults import FaultInjector, RetryPolicy
 from repro.storage.files import RecordFile
 from repro.storage.index import HashIndex, make_index
 from repro.storage.records import RID, RecordFormat, field_width_for_type
@@ -102,6 +103,13 @@ class MapperStore:
         self.transactions = TransactionManager(self.pool, wal=self.wal)
         #: read-path counters shared with the engine and the optimizer
         self.perf = PerfCounters()
+        #: bounded retry-with-backoff for transient device faults; applied
+        #: to every buffer-pool disk access, WAL force, and recovery I/O
+        self.retry = RetryPolicy(perf=self.perf)
+        self.pool.retry = self.retry
+        self.wal.retry = self.retry
+        #: optional fault injector (see install_faults)
+        self.faults: Optional[FaultInjector] = None
         #: decoded-record / role / EVA fan-out caches (see read_cache.py)
         self.read_cache = ReadCache(self.perf)
         # Rollback surgery (abort or statement-level rollback_to) restores
@@ -1054,6 +1062,21 @@ class MapperStore:
         self.pool.invalidate()
         self.read_cache.clear()
 
+    # ------------------------------------------------------- fault injection
+
+    def install_faults(self, injector: Optional[FaultInjector] = None,
+                       seed: int = 0) -> FaultInjector:
+        """Wire a :class:`FaultInjector` into the disk and the WAL.
+
+        Pass an injector with an armed plan, or let this create a fresh
+        seeded one to arm afterwards.  Returns the installed injector."""
+        if injector is None:
+            injector = FaultInjector(seed=seed)
+        self.faults = injector
+        self.disk.faults = injector
+        self.wal.faults = injector
+        return injector
+
     # --------------------------------------------------------- crash recovery
 
     def simulate_crash(self) -> dict:
@@ -1061,16 +1084,35 @@ class MapperStore:
         then recover from the disk image and the durable log prefix.
 
         Returns recovery statistics.  Durability guarantees apply to
-        transactional work: COMMIT forces the log and flushes data pages,
-        so committed statements survive; in-flight transactions are undone
-        from the log's before-images; auto-committed Mapper-level calls
-        that were never flushed are lost consistently.
+        transactional work: COMMIT flushes data pages and then forces a
+        commit record, so committed statements survive; in-flight
+        transactions are undone from the log's before-images;
+        auto-committed Mapper-level calls that were never flushed are
+        lost consistently.
+
+        Re-runnable: if a fault injector kills the machine *during*
+        recovery, calling this again reboots the device and re-runs the
+        whole pass, which converges to the same disk image (undo applies
+        absolute before-images in a fixed order, the rebuild is a pure
+        function of the disk, and nothing appends to the log until the
+        final checkpoint).
         """
         self.wal.crash()
-        undone = undo_losers(self.wal, self.disk)
+        if self.faults is not None:
+            self.faults.reboot()
+        return self.recover()
+
+    def recover(self) -> dict:
+        """The recovery pass proper: undo losers, rebuild volatile state,
+        then checkpoint the log.  Assumes ``wal.crash()`` has already
+        established the durable prefix (``simulate_crash`` does both)."""
+        formats_by_file = {f.file_id: f.formats for f in self._files.values()}
+        undone = undo_losers(self.wal, self.disk, formats_by_file,
+                             retry=self.retry)
         self._rebuild_volatile()
-        self.wal.truncate()   # disk now holds exactly the committed state
-        return {"undone_slots": undone}
+        checkpoint_lsn = self.wal.checkpoint()
+        return {"undone_slots": undone, "checkpoint_lsn": checkpoint_lsn,
+                "transient_retries": self.retry.retries}
 
     def _rebuild_volatile(self) -> None:
         """Reconstruct the buffer pool, file metadata, every index, the
@@ -1081,12 +1123,19 @@ class MapperStore:
         self.read_cache.clear()
         self.pool = BufferPool(self.disk, self.design.pool_capacity)
         self.pool.wal = self.wal
-        self.transactions = TransactionManager(self.pool, wal=self.wal)
+        self.pool.retry = self.retry
+        # Seed the fresh manager's id counter past any id the durable log
+        # still mentions, so post-recovery transactions can't collide with
+        # logged ones during the window before the checkpoint truncates.
+        logged = [r.txn_id for r in self.wal.durable_records()
+                  if r.txn_id is not None]
+        self.transactions = TransactionManager(
+            self.pool, wal=self.wal, start_after=max(logged, default=0))
         self.transactions.invalidation_hooks.append(self.read_cache.clear)
         for record_file in self._files.values():
             record_file.pool = self.pool
             record_file.txn_context = self.transactions.txn_context
-            record_file.rebuild_metadata(self.disk)
+            record_file.rebuild_metadata(self.disk, retry=self.retry)
 
         kind = self.design.surrogate_key_kind.value
         for class_name in self._surrogate_index:
@@ -1161,6 +1210,28 @@ class MapperStore:
                     self._mvdva_seq.get(seq_key, 0), record["seq"])
 
         self._next_surrogate = max_surrogate + 1
+
+    # ---------------------------------------------------------- consistency
+
+    def check(self, constraints: bool = True):
+        """Run the semantic consistency checker over the physical state;
+        returns a :class:`repro.checker.CheckReport` (see that module)."""
+        from repro.checker import check_store
+        return check_store(self, constraints=constraints)
+
+    def storage_statistics(self) -> dict:
+        """Durability-side counters: WAL, retries, injected faults."""
+        stats = {
+            "wal_records": len(self.wal),
+            "wal_forces": self.wal.forces,
+            "wal_checkpoints": self.wal.checkpoints,
+            "commits": self.transactions.commits,
+            "aborts": self.transactions.aborts,
+            "retry": self.retry.statistics(),
+        }
+        if self.faults is not None:
+            stats["faults"] = self.faults.statistics()
+        return stats
 
     def __repr__(self):
         return (f"<MapperStore {self.schema.name}: "

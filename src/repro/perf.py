@@ -32,6 +32,8 @@ COUNTER_FIELDS = (
     "domain_enumerations",    # node domains actually enumerated
     "index_selections",       # update/VERIFY selections served by an index
     "invalidations",          # cache invalidation events (incl. undo paths)
+    "transient_retries",      # transient I/O faults absorbed by retry
+    "transient_giveups",      # transient faults that exhausted the policy
 )
 
 

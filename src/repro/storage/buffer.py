@@ -82,10 +82,15 @@ class Disk:
     def __init__(self):
         self._blocks: Dict[Tuple[int, int], Block] = {}
         self.stats = IOStats()
+        #: optional :class:`~repro.storage.faults.FaultInjector`; consulted
+        #: on every read and write (may raise, or tear the written image)
+        self.faults = None
 
     def read(self, file_id: int, block_no: int) -> Block:
         key = (file_id, block_no)
         self.stats.physical_reads += 1
+        if self.faults is not None:
+            self.faults.on_read(file_id, block_no)
         image = self._blocks.get(key)
         if image is None:
             return Block()
@@ -93,6 +98,8 @@ class Disk:
 
     def write(self, file_id: int, block_no: int, block: Block) -> None:
         self.stats.physical_writes += 1
+        if self.faults is not None:
+            block = self.faults.on_write(file_id, block_no, block)
         self._blocks[(file_id, block_no)] = block.copy()
 
     def exists(self, file_id: int, block_no: int) -> bool:
@@ -100,6 +107,20 @@ class Disk:
 
     def block_count(self, file_id: int) -> int:
         return sum(1 for fid, _ in self._blocks if fid == file_id)
+
+    def block_numbers(self, file_id: int) -> List[int]:
+        """Sorted block numbers present on disk for one file — the public
+        enumeration API recovery uses instead of touching ``_blocks``."""
+        return sorted(no for fid, no in self._blocks if fid == file_id)
+
+    def fingerprint(self) -> str:
+        """A canonical rendering of the entire disk image, for asserting
+        that two recovery paths converge to the same bytes."""
+        parts = []
+        for key in sorted(self._blocks):
+            block = self._blocks[key]
+            parts.append(f"{key}:used={block.used}:{block.slots!r}")
+        return "\n".join(parts)
 
 
 class BufferPool:
@@ -116,9 +137,25 @@ class BufferPool:
         self.capacity = capacity
         #: optional write-ahead log; forced before any data-block write
         self.wal = None
+        #: optional :class:`~repro.storage.faults.RetryPolicy` applied to
+        #: every disk access this pool makes (transient-fault absorption)
+        self.retry = None
         self._frames: "OrderedDict[Tuple[int,int], Block]" = OrderedDict()
         self._dirty: set = set()
         self.stats = IOStats()
+
+    # -- Device access (retry-wrapped) -------------------------------------------
+
+    def _disk_read(self, file_id: int, block_no: int) -> Block:
+        if self.retry is not None:
+            return self.retry.call(self.disk.read, file_id, block_no)
+        return self.disk.read(file_id, block_no)
+
+    def _disk_write(self, file_id: int, block_no: int, block: Block) -> None:
+        if self.retry is not None:
+            self.retry.call(self.disk.write, file_id, block_no, block)
+        else:
+            self.disk.write(file_id, block_no, block)
 
     # -- Block access -----------------------------------------------------------
 
@@ -133,7 +170,7 @@ class BufferPool:
         if block is not None:
             self._frames.move_to_end(key)
             return block
-        block = self.disk.read(file_id, block_no)
+        block = self._disk_read(file_id, block_no)
         self.stats.physical_reads += 1
         self._install(key, block)
         return block
@@ -154,7 +191,7 @@ class BufferPool:
             if victim_key in self._dirty:
                 if self.wal is not None:
                     self.wal.force()   # the WAL rule: log before data
-                self.disk.write(*victim_key, victim)
+                self._disk_write(*victim_key, victim)
                 self.stats.physical_writes += 1
                 self._dirty.discard(victim_key)
 
@@ -165,9 +202,9 @@ class BufferPool:
         if self.wal is not None and self._dirty:
             self.wal.force()
         for key in sorted(self._dirty):
-            self.disk.write(*key, self._frames[key])
+            self._disk_write(*key, self._frames[key])
             self.stats.physical_writes += 1
-        self._dirty.clear()
+            self._dirty.discard(key)
 
     def invalidate(self) -> None:
         """Drop every frame (flushing dirty ones) — a cold cache."""

@@ -169,18 +169,27 @@ class RecordFile:
 
     # -- Rebuild after crash -------------------------------------------------------
 
-    def rebuild_metadata(self, disk) -> None:
+    def rebuild_metadata(self, disk, retry=None) -> None:
         """Recompute block count, per-block used space and the free-space
-        map from the disk image (after crash recovery's undo surgery)."""
-        max_block = -1
-        for (file_id, block_no) in list(disk._blocks):
-            if file_id == self.file_id:
-                max_block = max(max_block, block_no)
-        self._block_count = max_block + 1
+        map from the disk image (after crash recovery's undo surgery).
+
+        Goes through the disk's public block API only, is idempotent
+        (pure function of the disk image), and skips the write-back when
+        a block's used counter is already correct — so a re-run after a
+        crash mid-rebuild converges without extra device writes."""
+        if retry is not None:
+            read = lambda b: retry.call(disk.read, self.file_id, b)
+            write = lambda b, blk: retry.call(disk.write, self.file_id,
+                                              b, blk)
+        else:
+            read = lambda b: disk.read(self.file_id, b)
+            write = lambda b, blk: disk.write(self.file_id, b, blk)
+        numbers = disk.block_numbers(self.file_id)
+        self._block_count = (numbers[-1] + 1) if numbers else 0
         self._free_space = []
         self._record_count = 0
         for block_no in range(self._block_count):
-            block = disk.read(self.file_id, block_no)
+            block = read(block_no)
             used = 0
             for entry in block.slots:
                 if entry is None:
@@ -188,8 +197,9 @@ class RecordFile:
                 format_id, _ = entry
                 used += self.formats[format_id].width
                 self._record_count += 1
-            block.used = used
-            disk.write(self.file_id, block_no, block)
+            if block.used != used:
+                block.used = used
+                write(block_no, block)
             self._free_space.append(self.block_size - used)
 
     # -- Scanning ---------------------------------------------------------------
@@ -211,6 +221,14 @@ class RecordFile:
                 yield RID(block_no, slot), fmt, dict(values)
 
     # -- Metadata ------------------------------------------------------------------
+
+    def free_space(self, block_no: int) -> int:
+        """Free bytes the extent map believes the block has (the checker
+        compares this against the block's actual slot contents)."""
+        return self._free_space[block_no]
+
+    def free_space_map(self) -> List[int]:
+        return list(self._free_space)
 
     @property
     def record_count(self) -> int:

@@ -78,6 +78,12 @@ class HashIndex(_BaseIndex):
     def keys(self) -> Iterator:
         return iter(self._buckets)
 
+    def items(self) -> Iterator[Tuple[object, RID]]:
+        """Every (key, rid) entry — the checker's view; charges no probe."""
+        for key, bucket in self._buckets.items():
+            for rid in bucket:
+                yield key, rid
+
     def probe_cost(self) -> float:
         return 1.0
 
@@ -153,6 +159,12 @@ class OrderedIndex(_BaseIndex):
             for rid in self._rids[pos]:
                 yield key, rid
 
+    def items(self) -> Iterator[Tuple[object, RID]]:
+        """Every (key, rid) entry in key order; charges no probe."""
+        for key, bucket in zip(self._keys, self._rids):
+            for rid in bucket:
+                yield key, rid
+
     def height(self) -> int:
         if self.entries <= 1:
             return 1
@@ -204,6 +216,10 @@ class DirectIndex(_BaseIndex):
     def lookup_one(self, key) -> Optional[RID]:
         rids = self.lookup(key)
         return rids[0] if rids else None
+
+    def items(self) -> Iterator[Tuple[object, RID]]:
+        """Every (key, rid) entry — the checker's view; charges no probe."""
+        return iter(self._slots.items())
 
     def probe_cost(self) -> float:
         return 0.0

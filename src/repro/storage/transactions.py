@@ -16,13 +16,15 @@ from repro.errors import TransactionError
 
 
 class Transaction:
-    """One open transaction: a stack of undo closures."""
+    """One open transaction: a stack of undo closures.
 
-    _ids = 0
+    Ids are allocated by the owning :class:`TransactionManager`, not a
+    process-wide counter, so transaction ids (and the WAL's loser
+    detection) cannot interleave across independent ``Database``
+    instances in one process, and seeded runs stay reproducible."""
 
-    def __init__(self, manager: "TransactionManager"):
-        Transaction._ids += 1
-        self.transaction_id = Transaction._ids
+    def __init__(self, manager: "TransactionManager", transaction_id: int):
+        self.transaction_id = transaction_id
         self._manager = manager
         self._undo_log: List[Callable[[], None]] = []
         self.active = True
@@ -84,10 +86,13 @@ class TransactionManager:
     dirty blocks so committed state is durable on the simulated disk.
     """
 
-    def __init__(self, pool=None, wal=None):
+    def __init__(self, pool=None, wal=None, start_after: int = 0):
         self._pool = pool
         self._wal = wal
         self._current: Optional[Transaction] = None
+        #: per-manager id counter; ``start_after`` seeds it past ids a
+        #: recovered log may still mention
+        self._next_txn_id = start_after
         self.commits = 0
         self.aborts = 0
         #: callbacks fired after any rollback (full abort or partial
@@ -102,20 +107,28 @@ class TransactionManager:
     def begin(self) -> Transaction:
         if self._current is not None and self._current.active:
             raise TransactionError("a transaction is already active")
-        self._current = Transaction(self)
+        self._next_txn_id += 1
+        self._current = Transaction(self, self._next_txn_id)
         return self._current
 
     def commit(self) -> None:
         transaction = self._require_active()
         transaction._commit()
         self._current = None
-        self.commits += 1
-        if self._wal is not None:
-            # Commit record + log force first, then data pages (force
-            # policy: committed work never needs redo).
-            self._wal.log_commit(transaction.transaction_id)
+        # Force policy, in crash-safe order: data pages reach disk FIRST
+        # (flush itself forces the undo log before writing, per the WAL
+        # rule), and only then is the commit record appended and forced.
+        # The durable commit record is the commit point: a crash anywhere
+        # before it leaves a loser whose flushed pages recovery undoes
+        # from before-images; a crash after it loses nothing, because
+        # everything the transaction touched is already on disk.  The
+        # reverse order (commit record first) would admit committed-
+        # effect loss with no redo pass to repair it.
         if self._pool is not None:
             self._pool.flush()
+        if self._wal is not None:
+            self._wal.log_commit(transaction.transaction_id)
+        self.commits += 1
 
     def abort(self) -> None:
         transaction = self._require_active()

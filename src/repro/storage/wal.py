@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 UPDATE = "update"
 COMMIT = "commit"
 CLR = "clr"
+CHECKPOINT = "checkpoint"
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,13 @@ class WriteAheadLog:
         #: physical writes charged for log forces (one per non-empty force)
         self.forces = 0
         self.appended = 0
+        #: successful checkpoints (post-recovery log resets)
+        self.checkpoints = 0
+        self.last_checkpoint_lsn = 0
+        #: optional fault injector / retry policy applied to forces —
+        #: a force is the log device's write, so it can fail too
+        self.faults = None
+        self.retry = None
 
     # -- Writing -----------------------------------------------------------------
 
@@ -76,10 +84,21 @@ class WriteAheadLog:
         return lsn
 
     def force(self) -> None:
-        """Make the whole tail durable (the WAL rule's flush)."""
-        if self._durable_upto < len(self._records):
-            self._durable_upto = len(self._records)
-            self.forces += 1
+        """Make the whole tail durable (the WAL rule's flush).
+
+        The force is itself a device write: an injected fault here leaves
+        the tail volatile (the caller's data-page write must not proceed),
+        and transient faults are absorbed by the attached retry policy.
+        """
+        if self._durable_upto >= len(self._records):
+            return
+        if self.faults is not None:
+            if self.retry is not None:
+                self.retry.call(self.faults.on_force)
+            else:
+                self.faults.on_force()
+        self._durable_upto = len(self._records)
+        self.forces += 1
 
     # -- Crash / recovery ------------------------------------------------------------
 
@@ -113,6 +132,17 @@ class WriteAheadLog:
         self._records.clear()
         self._durable_upto = 0
 
+    def checkpoint(self) -> int:
+        """Post-recovery checkpoint: the disk image now holds exactly the
+        committed state, so the log restarts empty.  LSNs stay monotonic
+        across the checkpoint; returns the watermark LSN.  Idempotent —
+        checkpointing an empty log is a no-op on the watermark."""
+        if self._records:
+            self.last_checkpoint_lsn = self._next_lsn - 1
+        self.truncate()
+        self.checkpoints += 1
+        return self.last_checkpoint_lsn
+
     def __len__(self):
         return len(self._records)
 
@@ -124,30 +154,54 @@ def _snapshot(entry):
     return (format_id, dict(values))
 
 
-def undo_losers(wal: WriteAheadLog, disk) -> int:
+def undo_losers(wal: WriteAheadLog, disk, formats_by_file=None,
+                retry=None) -> int:
     """Apply before-images of loser updates to the disk, newest first.
 
     Returns the number of slot restorations performed.  Operates directly
     on disk block images (the buffer pool is gone after a crash).
+
+    The pass is **idempotent and re-runnable**: each restoration writes an
+    absolute before-image, independent of the block's current content, in
+    a fixed (newest-first) order derived solely from the durable log — so
+    a crash *during* recovery followed by a fresh run converges to the
+    same disk image as an uninterrupted run.  Nothing here appends to the
+    log, which is what keeps re-runs working from the same work list.
+
+    ``formats_by_file`` maps ``file_id -> {format_id: RecordFormat}`` (the
+    owning files' registries) so the block's used-space header is restored
+    to the true occupied *width*; without it a slot-count estimate is used
+    and the free-space map is only honest again after
+    ``rebuild_metadata``.  ``retry`` (a RetryPolicy) absorbs transient
+    device faults during the undo pass itself.
     """
+    if retry is not None:
+        read = lambda f, b: retry.call(disk.read, f, b)
+        write = lambda f, b, blk: retry.call(disk.write, f, b, blk)
+    else:
+        read, write = disk.read, disk.write
     restored = 0
     for record in wal.loser_updates():
         file_id, block_no, slot, before, _after = record.payload
-        block = disk.read(file_id, block_no)
+        block = read(file_id, block_no)
         while len(block.slots) <= slot:
             block.slots.append(None)
-        old_entry = block.slots[slot]
         block.slots[slot] = _snapshot(before)
-        _fix_used(block)
-        disk.write(file_id, block_no, block)
+        _fix_used(block, (formats_by_file or {}).get(file_id))
+        write(file_id, block_no, block)
         restored += 1
     return restored
 
 
-def _fix_used(block) -> None:
+def _fix_used(block, formats=None) -> None:
     """Recompute the block's used-space counter after slot surgery.
 
-    Widths are format-dependent; the value is corrected properly when the
-    owning file rebuilds its free-space map, so an estimate suffices here.
-    """
-    block.used = sum(1 for entry in block.slots if entry is not None)
+    With the owning file's format registry the true occupied width is
+    computed, so the free-space map is honest even between undo surgery
+    and ``rebuild_metadata``.  Without formats only a slot-count estimate
+    is possible (kept as a fallback for bare-log callers)."""
+    if formats:
+        block.used = sum(formats[entry[0]].width
+                         for entry in block.slots if entry is not None)
+    else:
+        block.used = sum(1 for entry in block.slots if entry is not None)

@@ -176,6 +176,92 @@ class TestWalMechanics:
         db.simulate_crash()
         assert len(db.store.wal) == 0
 
+    def test_recovery_checkpoints(self, db):
+        with db.transaction():
+            db.execute('Insert person(name := "A", soc-sec-no := 1)')
+        stats = db.simulate_crash()
+        assert db.store.wal.checkpoints == 1
+        assert stats["checkpoint_lsn"] == db.store.wal.last_checkpoint_lsn
+
+
+class TestRecoveryIdempotence:
+    """Recovery must be re-runnable: a crash *during* the undo pass
+    followed by a fresh recovery converges to the same disk image as an
+    uninterrupted recovery (undo applies absolute before-images in a
+    fixed order from the durable log, and appends nothing to it)."""
+
+    SCRIPT = [
+        'Insert person(name := "W{0}", soc-sec-no := {1})'.format(i, i + 1)
+        for i in range(6)
+    ]
+
+    def _crashed_db(self):
+        """A database with committed work plus a flushed multi-record
+        in-flight transaction — several loser slots for undo to restore."""
+        from repro.errors import InjectedCrash
+        db = Database(UNIVERSITY_DDL, constraint_mode="off")
+        for statement in self.SCRIPT:
+            db.execute(statement)
+        db.begin()
+        for i in range(4):
+            db.execute(f'Insert person(name := "L{i}",'
+                       f' soc-sec-no := {100 + i})')
+        db.store.pool.flush()   # steal: loser pages reach the platter
+        injector = db.install_faults(seed=41)
+        injector.crash_after_writes(1)
+        db.execute('Insert person(name := "LX", soc-sec-no := 999)')
+        with pytest.raises(InjectedCrash):
+            db.store.pool.flush()   # the machine dies on this steal
+        return db, injector
+
+    def test_crash_during_recovery_converges(self):
+        from repro.errors import InjectedCrash
+        # reference: one uninterrupted recovery
+        db_a, _ = self._crashed_db()
+        db_a.simulate_crash()
+        reference = db_a.store.disk.fingerprint()
+        reference_rows = sorted(
+            db_a.query("From person Retrieve name, soc-sec-no").rows)
+
+        # victim: recovery itself crashes mid-undo, then reruns
+        db_b, injector = self._crashed_db()
+        assert len(db_b.store.wal.loser_updates()) > 1
+        injector.crash_after_writes(1)   # fires inside undo_losers
+        with pytest.raises(InjectedCrash):
+            db_b.simulate_crash()
+        db_b.simulate_crash()            # second, uninterrupted pass
+        assert db_b.store.disk.fingerprint() == reference
+        assert sorted(db_b.query(
+            "From person Retrieve name, soc-sec-no").rows) == reference_rows
+        assert db_b.check().ok
+
+    def test_repeated_interrupted_recoveries_converge(self):
+        from repro.errors import InjectedCrash
+        db, injector = self._crashed_db()
+        losers = len(db.store.wal.loser_updates())
+        assert losers > 2
+        # crash recovery at successively later points; each rerun starts
+        # from the same durable log and absolute before-images
+        for crash_at in range(1, losers):
+            injector.crash_after_writes(crash_at)
+            with pytest.raises(InjectedCrash):
+                db.simulate_crash()
+        db.simulate_crash()
+        assert db.check().ok
+        names = {name for name, _ in
+                 db.query("From person Retrieve name, soc-sec-no").rows}
+        assert names == {f"W{i}" for i in range(6)}
+
+    def test_rebuild_metadata_rerun_is_noop(self, db):
+        with db.transaction():
+            db.execute('Insert person(name := "A", soc-sec-no := 1)')
+        db.simulate_crash()
+        writes_before = db.store.pool.stats.physical_writes
+        for record_file in db.store._files.values():
+            record_file.rebuild_metadata(db.store.disk)
+        db.store.pool.flush()
+        assert db.store.pool.stats.physical_writes == writes_before
+
 
 @settings(max_examples=15, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])

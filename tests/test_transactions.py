@@ -43,6 +43,46 @@ class TestLifecycle:
         manager.commit()
         assert log == []
 
+    def test_transaction_ids_are_per_manager(self):
+        """Regression: ids used to come from a class-global counter, so
+        independent databases interleaved their transaction ids (and a
+        recovered manager resumed from an unrelated high-water mark)."""
+        first = TransactionManager()
+        second = TransactionManager()
+        assert first.begin().transaction_id == 1
+        assert second.begin().transaction_id == 1
+        first.commit()
+        second.commit()
+        assert first.begin().transaction_id == 2
+
+    def test_start_after_seeds_the_counter(self):
+        manager = TransactionManager(start_after=17)
+        assert manager.begin().transaction_id == 18
+
+    def test_independent_databases_do_not_share_ids(self):
+        from repro import Database
+        from repro.workloads import UNIVERSITY_DDL
+        db_a = Database(UNIVERSITY_DDL, constraint_mode="off")
+        db_b = Database(UNIVERSITY_DDL, constraint_mode="off")
+        txn_a = db_a.store.transactions.begin()
+        txn_b = db_b.store.transactions.begin()
+        assert txn_a.transaction_id == 1
+        assert txn_b.transaction_id == 1
+        db_a.store.transactions.commit()
+        db_b.store.transactions.commit()
+
+    def test_recovered_manager_resumes_past_logged_ids(self):
+        from repro import Database
+        from repro.workloads import UNIVERSITY_DDL
+        db = Database(UNIVERSITY_DDL, constraint_mode="off")
+        with db.transaction():
+            db.execute('Insert person(name := "A", soc-sec-no := 1)')
+        db.simulate_crash()
+        # the rebuilt manager must not reissue an id the durable log used
+        fresh = db.store.transactions.begin()
+        assert fresh.transaction_id >= 2
+        db.store.transactions.commit()
+
     def test_undo_outside_transaction_is_noop(self):
         manager = TransactionManager()
         manager.record_undo(lambda: (_ for _ in ()).throw(AssertionError))

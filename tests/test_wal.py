@@ -119,3 +119,55 @@ class TestUndo:
         wal.truncate()
         assert len(wal) == 0
         assert wal.committed_transactions() == set()
+
+    def test_undo_restores_used_width_from_formats(self):
+        """Regression: _fix_used must restore the occupied *width* from
+        the file's format registry, not the slot count (which left the
+        free-space map lying until rebuild_metadata ran)."""
+        from repro.storage.records import RecordFormat
+
+        fmt = RecordFormat(1, "r", {"who": 20})
+        disk = Disk()
+        block = Block()
+        # two committed records + one in-flight, all format 1
+        block.slots = [(1, {"who": "w1"}), (1, {"who": "w2"}),
+                       (1, {"who": "loser"})]
+        block.used = 3 * fmt.width
+        disk.write(9, 0, block)
+
+        wal = WriteAheadLog()
+        wal.log_update(1, 9, 0, 0, None, (1, {"who": "w1"}),
+                       compensation=False)
+        wal.log_update(1, 9, 0, 1, None, (1, {"who": "w2"}),
+                       compensation=False)
+        wal.log_commit(1)
+        wal.log_update(2, 9, 0, 2, None, (1, {"who": "loser"}),
+                       compensation=False)
+        wal.force()
+
+        undo_losers(wal, disk, {9: {1: fmt}})
+        recovered = disk.read(9, 0)
+        assert recovered.slots[2] is None
+        assert recovered.used == 2 * fmt.width   # width, not count (2)
+
+    def test_undo_without_formats_falls_back_to_slot_count(self):
+        disk = Disk()
+        block = Block()
+        block.slots = [(1, {"x": 1}), (1, {"x": 2})]
+        disk.write(9, 0, block)
+        wal = WriteAheadLog()
+        wal.log_update(3, 9, 0, 1, None, (1, {"x": 2}), compensation=False)
+        wal.force()
+        undo_losers(wal, disk)
+        assert disk.read(9, 0).used == 1   # best effort without widths
+
+    def test_checkpoint_resets_log_keeps_lsns_monotone(self):
+        wal = WriteAheadLog()
+        wal.log_update(1, 9, 0, 0, None, (1, {"x": 1}), compensation=False)
+        wal.log_commit(1)
+        watermark = wal.checkpoint()
+        assert len(wal) == 0
+        assert wal.checkpoints == 1
+        assert wal.last_checkpoint_lsn == watermark
+        next_lsn = wal.append(2, UPDATE, (9, 0, 0, None, (1, {"x": 2})))
+        assert next_lsn > watermark
