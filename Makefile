@@ -1,10 +1,36 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test torture bench bench-recovery bench-read-path
+.PHONY: test torture bench bench-recovery bench-read-path bench-lint \
+	lint typecheck simcheck
 
 test:
 	python -m pytest -x -q
+
+# Static analysis lanes.  ruff/mypy are preferred when installed
+# (configured in pyproject.toml); tools/dev_lint.py is the
+# dependency-free fallback so the lane always runs.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro tools; \
+	else \
+		echo "ruff not installed; using tools/dev_lint.py fallback"; \
+		python tools/dev_lint.py src/repro tools; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; falling back to compileall"; \
+		python -m compileall -q src/repro; \
+	fi
+
+# simcheck over the UNIVERSITY schema (the repo's own dogfood lane).
+simcheck:
+	python -c "from repro.workloads import UNIVERSITY_DDL; \
+	open('/tmp/university.ddl', 'w').write(UNIVERSITY_DDL)"
+	python -m repro lint /tmp/university.ddl --strict
 
 # The seeded fault-injection crash-torture lane (fixed seed, ~200+ crash
 # points; see tests/test_torture.py).
@@ -19,3 +45,6 @@ bench-recovery:
 
 bench-read-path:
 	python benchmarks/make_report.py --read-path
+
+bench-lint:
+	python benchmarks/make_report.py --lint

@@ -1,0 +1,140 @@
+"""E15 — simcheck static-analysis overhead and coverage.
+
+Every statement now passes through the static analyzers before it runs
+(query lint after qualification, plan verification after optimization,
+update lint before the update engine).  This experiment measures what the
+always-on pipeline costs and what the batch linter covers:
+
+* compile-vs-execute: the static pipeline's share of end-to-end query
+  wall time over the canonical UNIVERSITY workload (it should be a small
+  fraction — the analyzers walk ASTs and trees, never data);
+* schema lint throughput over the UNIVERSITY DDL;
+* detection coverage: every analyzer family (schema, query, update,
+  plan) rejects a seeded defect.
+
+Shape claims asserted:
+* the canonical workload compiles with zero errors and zero warnings;
+* lint overhead stays under half of end-to-end execution wall time;
+* each seeded defect family is detected with the expected code prefix.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import lint_schema, verify_plan
+from repro.dml.parser import parse_dml
+from repro.errors import StaticAnalysisError
+from repro.workloads import UNIVERSITY_DDL, build_university
+from repro.workloads.university import UNIVERSITY_QUERIES
+
+from _harness import attach
+
+#: seeded defects, one per analyzer family (code prefix -> statement)
+SEEDED_DEFECTS = [
+    ("SIM11", "From student Retrieve name Where advisor > 3"),
+    ("SIM11", "From student Retrieve name Where name > 3"),
+    ("SIM12", 'Modify student(advisor := 5) Where name = "x"'),
+    ("SIM12", "Insert nosuch(x := 1)"),
+]
+
+
+def measure_lint(students: int = 40, repeats: int = 3) -> dict:
+    """The numbers ``BENCH_lint.json`` records."""
+    db = build_university(departments=4, instructors=10,
+                          students=students, courses=20, seed=7)
+
+    # Schema lint throughput.
+    started = time.perf_counter()
+    schema_diagnostics = lint_schema(UNIVERSITY_DDL)
+    schema_lint_ms = (time.perf_counter() - started) * 1000.0
+
+    # Static pipeline vs end-to-end execution over the workload.
+    compile_wall = float("inf")
+    execute_wall = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for text in UNIVERSITY_QUERIES:
+            db.compile(text)
+        compile_wall = min(compile_wall, time.perf_counter() - started)
+        started = time.perf_counter()
+        for text in UNIVERSITY_QUERIES:
+            db.query(text)
+        execute_wall = min(execute_wall, time.perf_counter() - started)
+
+    workload_diagnostics = []
+    for text in UNIVERSITY_QUERIES:
+        workload_diagnostics.extend(db.compile(text).diagnostics)
+
+    # Plan verification across the workload.
+    verified = 0
+    for text in UNIVERSITY_QUERIES:
+        query = parse_dml(text)
+        tree = db.qualifier.resolve_retrieve(query)
+        plan = db.optimizer.choose_plan(query, tree)
+        if verify_plan(db.schema, tree, plan) == []:
+            verified += 1
+
+    # Detection coverage of the seeded defects.
+    detected = 0
+    for prefix, text in SEEDED_DEFECTS:
+        try:
+            db.compile(text)
+        except StaticAnalysisError as exc:
+            if (exc.diagnostic_code or "").startswith(prefix):
+                detected += 1
+
+    return {
+        "queries": len(UNIVERSITY_QUERIES),
+        "schema_lint_ms": schema_lint_ms,
+        "schema_errors": sum(1 for d in schema_diagnostics
+                             if d.severity == "error"),
+        "schema_warnings": sum(1 for d in schema_diagnostics
+                               if d.severity == "warning"),
+        "schema_notes": sum(1 for d in schema_diagnostics
+                            if d.severity == "info"),
+        "compile_wall_ms": compile_wall * 1000.0,
+        "execute_wall_ms": execute_wall * 1000.0,
+        "lint_overhead_ratio": (compile_wall / execute_wall
+                                if execute_wall else float("inf")),
+        "workload_errors": sum(1 for d in workload_diagnostics
+                               if d.severity == "error"),
+        "workload_warnings": sum(1 for d in workload_diagnostics
+                                 if d.severity == "warning"),
+        "plans_verified": verified,
+        "defects_seeded": len(SEEDED_DEFECTS),
+        "defects_detected": detected,
+    }
+
+
+def test_e15_lint_overhead_and_coverage(benchmark):
+    measured = measure_lint()
+
+    assert measured["schema_errors"] == 0
+    assert measured["schema_warnings"] == 0
+    assert measured["workload_errors"] == 0
+    assert measured["workload_warnings"] == 0
+    assert measured["plans_verified"] == measured["queries"]
+    assert measured["defects_detected"] == measured["defects_seeded"]
+    # The static pipeline must stay cheap relative to execution.
+    assert measured["lint_overhead_ratio"] < 0.5
+
+    benchmark(lambda: None)
+    attach(benchmark,
+           schema_lint_ms=round(measured["schema_lint_ms"], 3),
+           compile_wall_ms=round(measured["compile_wall_ms"], 3),
+           execute_wall_ms=round(measured["execute_wall_ms"], 3),
+           lint_overhead_ratio=round(measured["lint_overhead_ratio"], 3),
+           plans_verified=measured["plans_verified"],
+           defects_detected=measured["defects_detected"])
+
+
+@pytest.mark.parametrize("prefix,text", SEEDED_DEFECTS)
+def test_e15_seeded_defects_are_rejected(benchmark, prefix, text):
+    db = build_university(departments=2, instructors=4, students=8,
+                          courses=6, seed=7)
+    with pytest.raises(StaticAnalysisError) as exc:
+        db.compile(text)
+    assert (exc.value.diagnostic_code or "").startswith(prefix)
+    benchmark(lambda: None)
+    attach(benchmark, code=exc.value.diagnostic_code)

@@ -20,6 +20,10 @@ perf trajectory from PR to PR.
 ``--recovery`` runs the E14 crash-torture/recovery measurement and writes
 ``BENCH_recovery.json`` (crash points recovered consistent, recovery and
 checker latency, transient-retry cost).
+
+``--lint`` runs the E15 static-analysis measurement and writes
+``BENCH_lint.json`` (lint overhead ratio, workload cleanliness, seeded
+defect detection).
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ _EXPERIMENT_TITLES = {
     "e12": "E12 — MV DVA mapping (§5.2)",
     "e13": "E13 — read-path caches & memoization",
     "e14": "E14 — fault injection, crash torture & consistency checking",
+    "e15": "E15 — simcheck static analysis (overhead & coverage)",
 }
 
 
@@ -80,6 +85,24 @@ def write_recovery_report(out_path: str) -> int:
     return 0
 
 
+def write_lint_report(out_path: str) -> int:
+    """Run the E15 measurement and emit ``BENCH_lint.json``."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_lint import measure_lint
+    measured = measure_lint()
+    with open(out_path, "w") as handle:
+        json.dump(measured, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}: "
+          f"{measured['queries']} queries compile clean, "
+          f"{measured['plans_verified']}/{measured['queries']} plans "
+          f"verified, lint overhead "
+          f"{measured['lint_overhead_ratio']:.3f}x of execution, "
+          f"{measured['defects_detected']}/{measured['defects_seeded']} "
+          f"seeded defects detected")
+    return 0
+
+
 def experiment_of(name: str) -> str:
     match = re.match(r"test_(e\d+)_", name)
     if match:
@@ -102,6 +125,9 @@ def main(argv) -> int:
     if len(argv) >= 2 and argv[1] == "--recovery":
         out_path = argv[2] if len(argv) > 2 else "BENCH_recovery.json"
         return write_recovery_report(out_path)
+    if len(argv) >= 2 and argv[1] == "--lint":
+        out_path = argv[2] if len(argv) > 2 else "BENCH_lint.json"
+        return write_lint_report(out_path)
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2

@@ -6,6 +6,7 @@ Usage::
     python -m repro schema.ddl --load data.dml  # run a DML script first
     python -m repro schema.ddl -c "From c Retrieve x"   # one statement
     python -m repro --university                # the paper's demo database
+    python -m repro lint schema.ddl [q.dml ...] # simcheck static analysis
 
 Inside the REPL, ``.help`` lists the dot-commands (``.schema``,
 ``.classes``, ``.stats``, ``.design``, ``.explain``, ``.io``, ``.quit``).
@@ -60,6 +61,11 @@ def open_database(args) -> Database:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         database = open_database(args)

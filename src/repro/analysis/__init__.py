@@ -1,0 +1,46 @@
+"""simcheck: compile-time diagnostics for SIM schemas, DML and plans.
+
+Three analyzers share one diagnostics framework
+(:mod:`repro.analysis.diagnostics`):
+
+* :func:`lint_schema` — structural DDL lint (generalization DAG, inverse
+  symmetry, subroles, VERIFY assertions, unused types);
+* :func:`lint_retrieve` / :func:`lint_update` — type checking and update
+  preconditions over the DML AST, before execution;
+* :func:`verify_plan` — the post-optimization structural contract between
+  the labelled query tree and the optimizer's plan (fail closed).
+
+``python -m repro lint <schema.ddl> [queries.dml ...]`` runs them from the
+command line (:mod:`repro.analysis.cli`).
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    ERROR,
+    INFO,
+    RULES,
+    Rule,
+    WARNING,
+    exception_for,
+    raise_for_errors,
+)
+from repro.analysis.plan_verify import verify_plan
+from repro.analysis.query_lint import lint_retrieve, lint_update
+from repro.analysis.schema_lint import lint_schema
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticSink",
+    "ERROR",
+    "INFO",
+    "RULES",
+    "Rule",
+    "WARNING",
+    "exception_for",
+    "lint_retrieve",
+    "lint_schema",
+    "lint_update",
+    "raise_for_errors",
+    "verify_plan",
+]

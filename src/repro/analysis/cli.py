@@ -1,0 +1,161 @@
+"""The simcheck command line: ``python -m repro lint``.
+
+Usage::
+
+    python -m repro lint schema.ddl [queries.dml ...] [--strict]
+
+Lints the schema first; when it is error-free, each DML file is split
+into statements (terminated by ``;`` or a blank line, the same convention
+the IQF scripts use) and every statement is taken through the full static
+pipeline — parse, qualification, type check, plan verification — without
+executing anything.
+
+Diagnostics print one per line in the compiler-standard form::
+
+    schema.ddl:12:3: SIM013 error: inverse pair is not mutual ... [hint: ...]
+
+The exit status is 1 when any error was reported (or any warning, with
+``--strict``), 0 otherwise — suitable for CI lanes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, TextIO, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, ERROR, INFO, WARNING
+from repro.analysis.schema_lint import lint_schema
+from repro.errors import (
+    DMLSyntaxError,
+    QualificationError,
+    SimError,
+    StaticAnalysisError,
+)
+from repro.lexer import Span
+
+
+def split_statements(text: str) -> List[Tuple[str, Span]]:
+    """Split a DML script into statements with their starting positions.
+
+    A statement ends at a line ending in ``;`` or at a blank line — the
+    convention of :mod:`repro.interfaces.iqf` scripts.  Dot-command lines
+    are skipped (they are session directives, not DML).
+    """
+    statements: List[Tuple[str, Span]] = []
+    buffered: List[str] = []
+    start_line = 0
+
+    def flush():
+        nonlocal buffered, start_line
+        statement = "\n".join(buffered).strip()
+        if statement:
+            statements.append((statement, Span(start_line, 1)))
+        buffered = []
+        start_line = 0
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not buffered and stripped.startswith("."):
+            continue
+        if not stripped:
+            flush()
+            continue
+        if not buffered:
+            start_line = number
+        buffered.append(line)
+        if stripped.endswith(";"):
+            flush()
+    flush()
+    return statements
+
+
+def lint_statement(database, statement: str, base: Span
+                   ) -> List[Diagnostic]:
+    """Run one DML statement through the static pipeline; every failure
+    mode comes back as diagnostics rebased onto the file position."""
+    try:
+        compiled = database.compile(statement)
+    except DMLSyntaxError as exc:
+        span = Span(exc.line, exc.column).offset(base)
+        return [Diagnostic("SIM100", ERROR, str(exc), span)]
+    except StaticAnalysisError as exc:
+        return [d.offset(base) for d in exc.diagnostics]
+    except QualificationError as exc:
+        code = exc.diagnostic_code or "SIM101"
+        return [Diagnostic(code, ERROR, str(exc), base)]
+    except SimError as exc:
+        # Anything else the front end rejects statically (binding errors,
+        # catalog misses) — report, keep linting the rest of the file.
+        return [Diagnostic(exc.diagnostic_code or "SIM101", ERROR,
+                           str(exc), base)]
+    return [d.offset(base) for d in compiled.diagnostics]
+
+
+def lint_files(schema_path: str, dml_paths: List[str],
+               out: Optional[TextIO] = None
+               ) -> List[Tuple[str, Diagnostic]]:
+    """Lint a schema and optional DML files; returns (path, diagnostic)
+    pairs in report order."""
+    out = out or sys.stdout
+    with open(schema_path) as handle:
+        ddl_text = handle.read()
+    reported: List[Tuple[str, Diagnostic]] = []
+    schema_diagnostics = lint_schema(ddl_text)
+    reported.extend((schema_path, d) for d in schema_diagnostics)
+
+    schema_broken = any(d.severity == ERROR for d in schema_diagnostics)
+    if dml_paths and schema_broken:
+        print(f"{schema_path}: schema has errors; DML files not checked",
+              file=out)
+    elif dml_paths:
+        from repro.database import Database
+        database = Database(ddl_text)
+        for path in dml_paths:
+            with open(path) as handle:
+                script = handle.read()
+            for statement, base in split_statements(script):
+                reported.extend(
+                    (path, d) for d in lint_statement(database, statement,
+                                                      base))
+    return reported
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="simcheck: compile-time diagnostics for SIM schemas, "
+                    "DML and query plans")
+    parser.add_argument("schema", help="DDL file to lint")
+    parser.add_argument("dml", nargs="*",
+                        help="DML script files to check against the schema")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too")
+    parser.add_argument("--no-notes", action="store_true",
+                        help="suppress info-severity notes")
+    args = parser.parse_args(argv)
+
+    try:
+        reported = lint_files(args.schema, args.dml)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    counts = {ERROR: 0, WARNING: 0, INFO: 0}
+    for path, diagnostic in reported:
+        counts[diagnostic.severity] += 1
+        if diagnostic.severity == INFO and args.no_notes:
+            continue
+        print(diagnostic.describe(path))
+
+    print(f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+          f"{counts[INFO]} note(s)")
+    if counts[ERROR]:
+        return 1
+    if args.strict and counts[WARNING]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

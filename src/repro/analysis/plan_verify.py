@@ -1,0 +1,172 @@
+"""Plan verification: the post-optimization structural contract (SIM2xx).
+
+The optimizer may only choose *how* domains are produced (scan vs index)
+and *in which order* the perspective roots are enumerated; it must never
+change what the labelled query tree means.  :func:`verify_plan` re-derives
+the TYPE 1/2/3 labels from the usage flags and checks the chosen plan
+against them, failing closed before execution:
+
+* every main-scope range variable is bound exactly once (the root order is
+  a permutation of the perspective variables; no loop node appears twice);
+* TYPE 2 existential subtrees stay off the enumeration spine (they are
+  checked by EXISTS probes, not enumerated);
+* TYPE 3 target-only branches keep their outer-join direction (they may
+  not feed the selection expression — that is what makes the dummy-entity
+  semantics of §4.5 sound);
+* access paths reference real roots, attributes and index keys.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticSink
+from repro.dml.query_tree import MAIN_SCOPE, TYPE1, TYPE2, TYPE3, QueryTree
+from repro.schema.schema import Schema
+
+
+def verify_plan(schema: Schema, tree: QueryTree,
+                plan=None) -> List[Diagnostic]:
+    """Check a labelled query tree (and the optimizer's plan, when one was
+    chosen) against the structural contract.  Returns diagnostics; any
+    error means the plan must not run."""
+    sink = DiagnosticSink(source="plan")
+    _verify_labels(tree, sink)
+    _verify_binding(tree, plan, sink)
+    _verify_type2_off_spine(tree, sink)
+    _verify_type3_direction(tree, sink)
+    if plan is not None:
+        _verify_access_paths(schema, tree, plan, sink)
+    return sink.sorted()
+
+
+def _verify_labels(tree: QueryTree, sink: DiagnosticSink) -> None:
+    """SIM200: stored labels must match a recomputation from usage flags."""
+    expected = {}
+
+    def compute(node, is_root):
+        target = node.used_in_target
+        selection = node.used_in_selection
+        for child in node.children.values():
+            child_target, child_selection = compute(child, False)
+            target = target or child_target
+            selection = selection or child_selection
+        if is_root:
+            expected[id(node)] = TYPE1
+        elif target and not selection:
+            expected[id(node)] = TYPE3
+        elif selection and not target:
+            expected[id(node)] = TYPE2
+        else:
+            expected[id(node)] = TYPE1
+        return target, selection
+
+    for root in tree.roots:
+        compute(root, True)
+    for node in tree.all_nodes():
+        want = expected.get(id(node))
+        if node.label is None:
+            sink.emit("SIM200",
+                      f"node {node.describe()} was never labelled")
+        elif node.label != want:
+            sink.emit("SIM200",
+                      f"node {node.describe()} is labelled TYPE{node.label} "
+                      f"but its usage implies TYPE{want}",
+                      hint="labels must be recomputed after any tree "
+                           "rewrite")
+
+
+def _verify_binding(tree: QueryTree, plan,
+                    sink: DiagnosticSink) -> None:
+    """SIM201: each range variable bound exactly once."""
+    root_vars = [root.var_name for root in tree.roots]
+    if plan is not None and plan.root_order is not None:
+        if sorted(plan.root_order) != sorted(root_vars):
+            sink.emit("SIM201",
+                      f"plan root order {plan.root_order} is not a "
+                      f"permutation of the perspective variables "
+                      f"{root_vars}")
+    seen = set()
+    for root in tree.roots:
+        for node in tree.loop_nodes(root):
+            if node.id in seen:
+                sink.emit("SIM201",
+                          f"range variable {node.describe()} appears more "
+                          f"than once on the enumeration spine")
+            seen.add(node.id)
+            if node.scope_id != MAIN_SCOPE:
+                sink.emit("SIM201",
+                          f"scoped node {node.describe()} (scope "
+                          f"{node.scope_id}) leaked onto the main "
+                          f"enumeration spine")
+
+
+def _verify_type2_off_spine(tree: QueryTree, sink: DiagnosticSink) -> None:
+    """SIM202: existential subtrees must not be enumerated."""
+    for root in tree.roots:
+        spine = {node.id for node in tree.loop_nodes(root)}
+        for node in _subtree(root):
+            if node.label == TYPE2 and node.id in spine:
+                sink.emit("SIM202",
+                          f"TYPE 2 node {node.describe()} was flattened "
+                          f"into the enumeration spine",
+                          hint="existential subtrees are evaluated by "
+                               "EXISTS probes, never enumerated")
+            if node.label == TYPE2:
+                # Everything below an existential root must stay TYPE 2.
+                for child in node.children.values():
+                    if child.label in (TYPE1, TYPE3):
+                        sink.emit("SIM202",
+                                  f"node {child.describe()} under the "
+                                  f"TYPE 2 subtree of {node.describe()} is "
+                                  f"labelled TYPE{child.label}")
+
+
+def _verify_type3_direction(tree: QueryTree, sink: DiagnosticSink) -> None:
+    """SIM203: target-only branches must not feed the selection."""
+    for root in tree.roots:
+        for node in _subtree(root):
+            if node.label != TYPE3:
+                continue
+            for member in _subtree(node):
+                if member.used_in_selection:
+                    sink.emit("SIM203",
+                              f"TYPE 3 node {member.describe()} is used in "
+                              f"the selection expression; the outer-join "
+                              f"(dummy entity) direction would be broken")
+
+
+def _verify_access_paths(schema: Schema, tree: QueryTree, plan,
+                         sink: DiagnosticSink) -> None:
+    """SIM204: access paths must reference real roots and attributes."""
+    roots = {root.var_name: root for root in tree.roots}
+    for var_name, access in plan.root_access.items():
+        root = roots.get(var_name)
+        if root is None:
+            sink.emit("SIM204",
+                      f"plan access path targets unknown root variable "
+                      f"{var_name!r}")
+            continue
+        if not schema.has_class(access.class_name):
+            sink.emit("SIM204",
+                      f"access path for {var_name!r} scans unknown class "
+                      f"{access.class_name!r}")
+            continue
+        if access.kind == "index":
+            sim_class = schema.get_class(access.class_name)
+            if (access.attr_name is None
+                    or not sim_class.has_attribute(access.attr_name)):
+                sink.emit("SIM204",
+                          f"index access for {var_name!r} uses unknown "
+                          f"attribute {access.attr_name!r} of "
+                          f"{access.class_name!r}")
+        elif access.kind != "scan":
+            sink.emit("SIM204",
+                      f"access path for {var_name!r} has unknown kind "
+                      f"{access.kind!r}")
+
+
+def _subtree(node):
+    yield node
+    for child in node.children.values():
+        yield from _subtree(child)

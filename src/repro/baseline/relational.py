@@ -14,7 +14,7 @@ operator methods (``scan``, ``select``, ``hash_join``, ``left_outer_join``,
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List
 
 from repro.errors import StorageError
 from repro.storage.buffer import BufferPool, Disk

@@ -18,7 +18,8 @@ optional Optimizer plan (:mod:`repro.optimizer`).
 from __future__ import annotations
 
 import contextlib
-from typing import Optional, Union
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
 
 from repro.dml.ast import RetrieveQuery
 from repro.dml.parser import parse_dml
@@ -32,6 +33,21 @@ from repro.mapper.physical import PhysicalDesign
 from repro.mapper.store import MapperStore
 from repro.schema.ddl_parser import parse_ddl
 from repro.schema.schema import Schema
+
+
+@dataclass
+class CompiledStatement:
+    """A statement taken through the static pipeline without executing.
+
+    ``diagnostics`` holds everything the analyzers reported (the compile
+    itself raises on error severity); ``tree`` and ``plan`` are populated
+    for Retrieve statements only.
+    """
+
+    statement: object
+    tree: object = None
+    plan: object = None
+    diagnostics: List = field(default_factory=list)
 
 
 class Database:
@@ -70,6 +86,7 @@ class Database:
             statement = parse_dml(statement)
         if isinstance(statement, RetrieveQuery):
             return self._run_retrieve(statement)
+        self._lint_update(statement)
         return self.updates.execute(statement)
 
     def query(self, text: str) -> ResultSet:
@@ -79,12 +96,58 @@ class Database:
             raise SimError("query() takes a Retrieve statement")
         return self._run_retrieve(statement)
 
+    def compile(self, statement: Union[str, object]) -> CompiledStatement:
+        """Take a statement through the full static pipeline — parse,
+        qualify, lint, plan, verify — without executing it.
+
+        Raises the same typed exceptions :meth:`execute` would for
+        error-severity diagnostics; returns the compiled artifacts plus
+        every diagnostic (warnings and notes included) otherwise.
+        """
+        from repro.analysis import raise_for_errors
+        if isinstance(statement, str):
+            statement = parse_dml(statement)
+        if not isinstance(statement, RetrieveQuery):
+            diagnostics = self._lint_update(statement)
+            return CompiledStatement(statement, diagnostics=diagnostics)
+        tree = self.qualifier.resolve_retrieve(statement)
+        diagnostics = self._lint_retrieve(statement)
+        plan = None
+        if self.use_optimizer:
+            plan = self.optimizer.choose_plan(statement, tree)
+        from repro.analysis import verify_plan
+        verdict = verify_plan(self.schema, tree, plan)
+        raise_for_errors(verdict)
+        diagnostics.extend(verdict)
+        return CompiledStatement(statement, tree, plan, diagnostics)
+
     def _run_retrieve(self, query: RetrieveQuery) -> ResultSet:
+        from repro.analysis import raise_for_errors, verify_plan
         tree = self.qualifier.resolve_retrieve(query)
+        diagnostics = self._lint_retrieve(query)
         plan = None
         if self.use_optimizer:
             plan = self.optimizer.choose_plan(query, tree)
-        return self.executor.run(query, tree, plan)
+        # Fail closed: a plan that breaks the structural contract between
+        # the labelled tree and the enumeration must never run.
+        raise_for_errors(verify_plan(self.schema, tree, plan))
+        result = self.executor.run(query, tree, plan)
+        result.diagnostics = diagnostics
+        return result
+
+    def _lint_retrieve(self, query: RetrieveQuery) -> List:
+        """Type-check a resolved Retrieve; raises on error severity and
+        returns the surviving (warning/info) diagnostics."""
+        from repro.analysis import lint_retrieve, raise_for_errors
+        diagnostics = lint_retrieve(self.schema, query)
+        raise_for_errors(diagnostics)
+        return diagnostics
+
+    def _lint_update(self, statement) -> List:
+        from repro.analysis import lint_update, raise_for_errors
+        diagnostics = lint_update(self.schema, statement)
+        raise_for_errors(diagnostics)
+        return diagnostics
 
     def explain(self, text: str) -> str:
         """The optimizer's strategy report for a Retrieve statement."""

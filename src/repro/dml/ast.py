@@ -9,7 +9,7 @@ catalog can always refer back to the source shape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from repro.naming import canon
 
@@ -38,6 +38,9 @@ class PathStep:
     #: attribute first); None for plain steps, (name,) for single-EVA
     #: closures
     transitive_chain: Optional[tuple] = None
+    #: source position of the step's name token (1-based; 0 = unknown)
+    line: int = 0
+    column: int = 0
 
     def __post_init__(self):
         self.name = canon(self.name)
@@ -101,6 +104,9 @@ class Path(Expression):
 @dataclass
 class Literal(Expression):
     value: object
+    #: source position of the literal token (1-based; 0 = unknown)
+    line: int = 0
+    column: int = 0
 
     def describe(self) -> str:
         if isinstance(self.value, str):
@@ -289,6 +295,9 @@ class Assignment:
     attribute: str
     op: str
     value: object
+    #: source position of the attribute name token (1-based; 0 = unknown)
+    line: int = 0
+    column: int = 0
 
     def __post_init__(self):
         self.attribute = canon(self.attribute)

@@ -36,10 +36,18 @@ aggregate only when followed by ``(``, etc.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.errors import DMLSyntaxError
-from repro.lexer import DECIMAL, EOF, IDENT, NUMBER, STRING, SYMBOL, TokenStream, tokenize
+from repro.lexer import (
+    DECIMAL,
+    IDENT,
+    NUMBER,
+    STRING,
+    SYMBOL,
+    TokenStream,
+    tokenize,
+)
 from repro.dml.ast import (
     Aggregate,
     Assignment,
@@ -243,7 +251,7 @@ class _DMLParser:
         return DeleteStatement(class_name, where)
 
     def _assignment(self) -> Assignment:
-        attribute = self.stream.expect_ident("attribute name").value
+        attr_token = self.stream.expect_ident("attribute name")
         self.stream.expect_symbol(":=")
         op = "set"
         if self.stream.accept_keyword("include"):
@@ -251,7 +259,8 @@ class _DMLParser:
         elif self.stream.accept_keyword("exclude"):
             op = "exclude"
         value = self._assignment_value()
-        return Assignment(attribute, op, value)
+        return Assignment(attr_token.value, op, value,
+                          line=attr_token.line, column=attr_token.column)
 
     def _assignment_value(self):
         """A WITH-selector if one follows, else a plain expression.
@@ -346,14 +355,16 @@ class _DMLParser:
         token = self.stream.current
         if token.kind == NUMBER:
             self.stream.advance()
-            return Literal(int(token.value))
+            return Literal(int(token.value), line=token.line,
+                           column=token.column)
         if token.kind == DECIMAL:
             self.stream.advance()
             from decimal import Decimal
-            return Literal(Decimal(token.value))
+            return Literal(Decimal(token.value), line=token.line,
+                           column=token.column)
         if token.kind == STRING:
             self.stream.advance()
-            return Literal(token.value)
+            return Literal(token.value, line=token.line, column=token.column)
         if token.kind == SYMBOL and token.value == "(":
             self.stream.advance()
             inner = self.parse_expr()
@@ -383,7 +394,8 @@ class _DMLParser:
             return FunctionCall(name, args)
         if word in ("true", "false"):
             self.stream.advance()
-            return Literal(word == "true")
+            return Literal(word == "true", line=token.line,
+                           column=token.column)
         return self._path()
 
     def _aggregate(self) -> Aggregate:
@@ -421,7 +433,8 @@ class _DMLParser:
             self.stream.advance()
             self.stream.expect_symbol("(")
             inverse_of = True
-        name = self.stream.expect_ident("qualification name").value
+        name_token = self.stream.expect_ident("qualification name")
+        name = name_token.value
         if inverse_of:
             self.stream.expect_symbol(")")
         if transitive:
@@ -435,4 +448,5 @@ class _DMLParser:
         if self.stream.accept_keyword("as"):
             as_class = self.stream.expect_ident("role class").value
         return PathStep(name, as_class, transitive, inverse_of,
-                        transitive_chain=tuple(chain) if chain else None)
+                        transitive_chain=tuple(chain) if chain else None,
+                        line=name_token.line, column=name_token.column)

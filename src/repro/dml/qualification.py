@@ -40,7 +40,6 @@ from repro.dml.ast import (
     PerspectiveRef,
     Quantified,
     RetrieveQuery,
-    TargetItem,
     Unary,
 )
 from repro.dml.query_tree import MAIN_SCOPE, QTNode, QueryTree
@@ -130,7 +129,8 @@ class Qualifier:
         for ref in perspectives:
             if not self.schema.has_class(ref.class_name):
                 raise QualificationError(
-                    f"unknown perspective class {ref.class_name!r}")
+                    f"unknown perspective class {ref.class_name!r}"
+                ).with_code("SIM104")
         tree = QueryTree()
         for ref in query.perspectives:
             tree.add_root(ref.effective_var, ref.class_name)
@@ -236,7 +236,8 @@ class Qualifier:
             scan(order.expression)
         if not found:
             raise QualificationError(
-                "cannot infer a perspective class; add a FROM clause")
+                "cannot infer a perspective class; add a FROM clause"
+            ).with_code("SIM104")
         return [PerspectiveRef(name) for name in found]
 
     # -- Expression walk -----------------------------------------------------------
@@ -260,7 +261,8 @@ class Qualifier:
                                require_entity=True)
             if not self.schema.has_class(expression.class_name):
                 raise QualificationError(
-                    f"unknown class {expression.class_name!r} in ISA")
+                    f"unknown class {expression.class_name!r} in ISA"
+                ).with_code("SIM101")
             return
         if isinstance(expression, FunctionCall):
             for arg in expression.args:
@@ -357,7 +359,8 @@ class Qualifier:
         if require_entity and (terminal_attr is not None
                                or getattr(path, "derived", None) is not None):
             raise QualificationError(
-                f"{path.describe()!r} must end at an entity, not a value")
+                f"{path.describe()!r} must end at an entity, not a value"
+            ).with_code("SIM110")
         # Usage marking (binding labels) applies to main-scope nodes only;
         # in_target=None means "scoped resolution, do not mark" — the
         # enclosing construct marks its anchors itself.
@@ -446,7 +449,8 @@ class Qualifier:
                 break
         if not candidates:
             raise QualificationError(
-                f"cannot qualify {path.describe()!r} to any perspective")
+                f"cannot qualify {path.describe()!r} to any perspective"
+            ).with_code("SIM101")
         unique = {(a.id, tuple(s.name for s in c)) for a, c in candidates}
         if len(unique) > 1:
             descriptions = sorted(
@@ -454,7 +458,7 @@ class Qualifier:
                 for a, c in candidates)
             raise QualificationError(
                 f"ambiguous qualification {path.describe()!r}; candidates: "
-                + "; ".join(descriptions))
+                + "; ".join(descriptions)).with_code("SIM102")
         anchor, completed = candidates[0]
         return anchor, completed
 
@@ -505,11 +509,12 @@ class Qualifier:
 
     def _check_role_conversion(self, from_class: str, to_class: str) -> None:
         if not self.schema.has_class(to_class):
-            raise QualificationError(f"unknown class {to_class!r} in AS")
+            raise QualificationError(
+                f"unknown class {to_class!r} in AS").with_code("SIM103")
         if not self.schema.graph.same_hierarchy(from_class, to_class):
             raise QualificationError(
                 f"AS conversion from {from_class!r} to {to_class!r} crosses "
-                f"generalization hierarchies")
+                f"generalization hierarchies").with_code("SIM103")
 
     def _walk_steps(self, anchor: QTNode, remaining: List[PathStep],
                     context: _ScopeContext,
@@ -538,7 +543,7 @@ class Qualifier:
                 if attr is None:
                     raise QualificationError(
                         f"no EVA with inverse {step.name!r} on "
-                        f"{current_class!r}")
+                        f"{current_class!r}").with_code("SIM101")
             else:
                 if not sim_class.has_attribute(step.name):
                     derived = self.schema.find_derived(current_class,
@@ -548,7 +553,7 @@ class Qualifier:
                         return chain_nodes, None, None, derived
                     raise QualificationError(
                         f"class {current_class!r} has no attribute "
-                        f"{step.name!r}")
+                        f"{step.name!r}").with_code("SIM101")
                 attr = sim_class.attribute(step.name)
 
             if attr.is_eva:
@@ -576,7 +581,7 @@ class Qualifier:
                 if not is_last:
                     raise QualificationError(
                         f"{step.name!r} is not an EVA; it cannot be "
-                        f"qualified through")
+                        f"qualified through").with_code("SIM101")
                 if attr.multi_valued:
                     step_key = ("mvdva", attr.owner_name, attr.name)
 
@@ -611,18 +616,18 @@ class Qualifier:
             if not sim_class.has_attribute(name):
                 raise QualificationError(
                     f"class {hop_class!r} has no attribute {name!r} in "
-                    f"transitive chain")
+                    f"transitive chain").with_code("SIM101")
             attr = sim_class.attribute(name)
             if not attr.is_eva:
                 raise QualificationError(
-                    f"TRANSITIVE needs EVAs, got {name!r}")
+                    f"TRANSITIVE needs EVAs, got {name!r}").with_code("SIM101")
             hop_evas.append(attr)
             hop_class = attr.range_class_name
         if not (graph.is_ancestor(hop_class, current_class)
                 or graph.is_ancestor(current_class, hop_class)):
             raise QualificationError(
                 f"transitive({' of '.join(chain_names)}) is not cyclic "
-                f"from {current_class!r}")
+                f"from {current_class!r}").with_code("SIM101")
         step_key = ("transitive", chain_names, step.as_class)
         range_class = hop_class
         if step.as_class is not None:

@@ -11,7 +11,7 @@ Wraps the Mapper with the semantics the DML needs:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.mapper.store import MapperStore
 from repro.types.tvl import NULL, is_null
@@ -202,7 +202,7 @@ class EntityAccessor:
             frontier = next_frontier
         return results
 
-    # -- Domains ------------------------------------------------------------------------
+    # -- Domains -----------------------------------------------------------------------
 
     def class_extent(self, class_name: str) -> Iterator[int]:
         return self.store.scan_class(class_name)

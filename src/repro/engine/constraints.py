@@ -24,7 +24,7 @@ leaves the null case unspecified).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.errors import ConstraintViolation
 from repro.dml.ast import (
@@ -221,7 +221,8 @@ class ConstraintManager:
                                                        walker.eva.inverse))
                 current = back
                 walker = walker.parent
-            if walker is not None and walker.kind == "root"                     and walker.var_name.startswith("#all-"):
+            if (walker is not None and walker.kind == "root"
+                    and walker.var_name.startswith("#all-")):
                 correlated = False
             if correlated:
                 candidates.update(current)

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dml.ast import Aggregate, Literal, Path, RetrieveQuery
 from repro.dml.qualification import Qualifier
-from repro.dml.query_tree import TYPE1, TYPE2, TYPE3, QTNode, QueryTree
+from repro.dml.query_tree import TYPE2, TYPE3, QTNode, QueryTree
 from repro.engine.access import DUMMY, EntityAccessor
 from repro.engine.expressions import ExpressionEvaluator
 from repro.engine.output import ResultSet, build_structured

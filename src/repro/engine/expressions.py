@@ -62,7 +62,7 @@ class ExpressionEvaluator:
 
         yield from recurse(0)
 
-    # -- Evaluation ---------------------------------------------------------------------
+    # -- Evaluation --------------------------------------------------------------------
 
     def value(self, expression, env: Dict):
         """Evaluate an expression to a value (which may be NULL/UNKNOWN)."""
@@ -144,7 +144,7 @@ class ExpressionEvaluator:
         result = self.accessor.has_role(entity, test.class_name)
         return UNKNOWN if result is None else result
 
-    # -- Operators ------------------------------------------------------------------------
+    # -- Operators ---------------------------------------------------------------------
 
     def _unary(self, expression: Unary, env: Dict):
         if expression.op == "not":
@@ -221,7 +221,7 @@ class ExpressionEvaluator:
         raise ExecutionError(
             f"unknown quantifier {quantified.quantifier!r}")
 
-    # -- Aggregates ---------------------------------------------------------------------
+    # -- Aggregates --------------------------------------------------------------------
 
     def _aggregate(self, aggregate: Aggregate, env: Dict):
         """Aggregate over the construct's own scope (paper §4.6).
@@ -264,7 +264,7 @@ class ExpressionEvaluator:
             return max(values)
         raise ExecutionError(f"unknown aggregate {func!r}")
 
-    # -- Functions -----------------------------------------------------------------------
+    # -- Functions ---------------------------------------------------------------------
 
     def _function(self, call: FunctionCall, env: Dict):
         args = [self.value(a, env) for a in call.args]

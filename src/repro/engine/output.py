@@ -43,6 +43,9 @@ class ResultSet:
         self.formats = formats or []
         #: read-path counter delta for this query (PerfCounters or None)
         self.perf = perf
+        #: non-error static-analysis diagnostics (warnings/notes) the
+        #: front end attached — see :mod:`repro.analysis`
+        self.diagnostics: List = []
 
     def __len__(self):
         return len(self.rows)

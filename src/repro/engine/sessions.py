@@ -29,7 +29,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.dml.ast import (
     DeleteStatement,
@@ -38,7 +38,7 @@ from repro.dml.ast import (
     RetrieveQuery,
 )
 from repro.dml.parser import parse_dml
-from repro.errors import SimError, TransactionError
+from repro.errors import SimError
 
 
 class LockConflict(SimError):
@@ -168,7 +168,7 @@ class Session:
     def holdings(self) -> Dict[str, str]:
         return self.locks.holdings(self.session_id)
 
-    # -- Internals ----------------------------------------------------------------------
+    # -- Internals ---------------------------------------------------------------------
 
     def _ensure_transaction(self) -> None:
         if self._transaction is not None and self._transaction.active:

@@ -17,14 +17,13 @@ re-raises, leaving the database exactly as before the statement.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import (
     CardinalityViolation,
     CatalogError,
     IntegrityError,
     RequiredViolation,
-    TypeMismatchError,
 )
 from repro.dml.ast import (
     Assignment,
@@ -381,7 +380,7 @@ class UpdateEngine:
             raise IntegrityError(
                 f"attribute {attr.owner_name}.{attr.name} is DISTINCT")
 
-    # -- Selectors and RHS evaluation ---------------------------------------------------
+    # -- Selectors and RHS evaluation --------------------------------------------------
 
     def _selector_targets(self, surrogate: int, eva, value,
                           excluding: bool) -> List[int]:

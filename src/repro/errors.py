@@ -10,7 +10,19 @@ from __future__ import annotations
 
 
 class SimError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``diagnostic_code`` carries the stable ``SIM***`` rule code when the
+    error corresponds to a rule of the static-analysis catalog
+    (:mod:`repro.analysis`); it is ``None`` for purely runtime failures.
+    """
+
+    diagnostic_code = None
+
+    def with_code(self, code: str) -> "SimError":
+        """Tag this error with a static-analysis rule code (chaining)."""
+        self.diagnostic_code = code
+        return self
 
 
 class SchemaError(SimError):
@@ -64,6 +76,30 @@ class TypeMismatchError(DMLError):
     """An expression combines operands of incompatible types."""
 
 
+class StaticAnalysisError(SimError):
+    """Compile-time diagnostics with severity ``error`` were found.
+
+    Raised by :meth:`repro.database.Database.compile` and by the execute
+    path when the static analyzers (:mod:`repro.analysis`) reject a
+    statement before any data is touched.  ``diagnostics`` holds the full
+    :class:`repro.analysis.diagnostics.Diagnostic` list (warnings too).
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
+
+
+class StaticTypeError(TypeMismatchError, StaticAnalysisError):
+    """A statically detected type error (EVA/DVA misuse, incomparable
+    operand families...).  Subclasses :class:`TypeMismatchError` so code
+    catching the runtime type error also catches the compile-time one."""
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        TypeMismatchError.__init__(self, message)
+
+
 class IntegrityError(SimError):
     """A DML action would violate schema-defined integrity."""
 
@@ -75,6 +111,17 @@ class ConstraintViolation(IntegrityError):
         self.constraint_name = constraint_name
         self.user_message = message
         super().__init__(f"verify {constraint_name} failed: {message}")
+
+
+class StaticUpdateError(IntegrityError, StaticAnalysisError):
+    """A statically detected update error (assignment to a system
+    attribute, INCLUDE on a single-valued attribute...).  Subclasses
+    :class:`IntegrityError` so code catching the runtime enforcement
+    error also catches the compile-time one."""
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        IntegrityError.__init__(self, message)
 
 
 class UniquenessViolation(IntegrityError):
@@ -116,6 +163,17 @@ class TransactionError(StorageError):
 
 class ExecutionError(SimError):
     """Runtime failure while executing a query plan."""
+
+
+class PlanVerificationError(StaticAnalysisError):
+    """The post-optimization plan verifier rejected a chosen plan.
+
+    Raised *before* execution (fail closed) when the structural contract
+    between the labelled query tree and the optimizer's plan is broken:
+    a TYPE 2 existential subtree on the enumeration spine, a TYPE 3
+    target-only branch used in selection, or a range variable bound more
+    or less than exactly once.
+    """
 
 
 class CatalogError(SimError):

@@ -21,7 +21,7 @@ booleans), eliminating the quoting mistakes hand-built strings invite.
 from __future__ import annotations
 
 from decimal import Decimal
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
 from repro.errors import SimError
 from repro.types.dates import SimDate, SimTime

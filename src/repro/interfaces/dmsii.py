@@ -19,7 +19,7 @@ the SIM schema and copies the data:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.database import Database

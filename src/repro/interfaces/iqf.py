@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import io
 import sys
-from typing import List, Optional, TextIO
+from typing import Optional, TextIO
 
 from repro.database import Database
 from repro.errors import SimError
@@ -28,6 +28,7 @@ _HELP = """Commands:
   .design                 physical mapping decisions
   .explain <retrieve>     optimizer strategy report
   .analyze                collect optimizer statistics
+  .lint                   run the schema linter (simcheck) on the schema
   .perf                   read-path cache / memoization counters
   .save <path>            persist the database to a file
   .io                     block I/O counters (and reset)
@@ -61,6 +62,9 @@ class IQFSession:
         if isinstance(result, int):
             self._print(f"{result} entities affected")
         else:
+            for diagnostic in getattr(result, "diagnostics", []):
+                if diagnostic.severity == "warning":
+                    self._print(diagnostic.describe())
             self._print(result.pretty())
             self._print(f"({len(result)} rows)")
 
@@ -92,6 +96,13 @@ class IQFSession:
                 self._print(self.database.explain(argument))
             except SimError as exc:
                 self._print(f"error: {exc}")
+        elif command == ".lint":
+            from repro.analysis import lint_schema
+            diagnostics = lint_schema(self.database.schema)
+            for diagnostic in diagnostics:
+                self._print(diagnostic.describe())
+            if not diagnostics:
+                self._print("schema is clean")
         elif command == ".analyze":
             statistics = self.database.analyze()
             self._print(f"analyzed {len(statistics.class_cardinality)} "

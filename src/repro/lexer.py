@@ -35,6 +35,35 @@ _SYMBOLS = (
 )
 
 
+@dataclass(frozen=True)
+class Span:
+    """A 1-based source position (line, column); (0, 0) means unknown.
+
+    Spans originate here — every token carries its position — and are
+    threaded through the DDL/DML parsers onto schema objects and AST
+    nodes, so diagnostics (:mod:`repro.analysis`) can point back at the
+    exact source location.
+    """
+
+    line: int = 0
+    column: int = 0
+
+    def __bool__(self) -> bool:
+        return self.line > 0
+
+    def offset(self, base: "Span") -> "Span":
+        """This span, re-expressed in the coordinates of an enclosing
+        source whose extract started at ``base`` (both 1-based)."""
+        if not self or not base:
+            return self
+        if self.line == 1:
+            return Span(base.line, base.column + self.column - 1)
+        return Span(base.line + self.line - 1, self.column)
+
+    def describe(self) -> str:
+        return f"{self.line}:{self.column}" if self else "?:?"
+
+
 @dataclass
 class Token:
     """One lexical token with its source position (1-based)."""
@@ -43,6 +72,10 @@ class Token:
     value: str
     line: int
     column: int
+
+    @property
+    def span(self) -> Span:
+        return Span(self.line, self.column)
 
     def matches(self, kind: str, value: Optional[str] = None) -> bool:
         if self.kind != kind:

@@ -18,7 +18,6 @@ from typing import Dict, Iterator, Optional
 
 from repro.errors import SimError
 from repro.naming import canon
-from repro.types.tvl import NULL, is_null
 
 
 class LUCCursor:

@@ -18,10 +18,9 @@ ticks are deterministic, so tests can assert exact histories.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.naming import canon
-from repro.types.tvl import NULL, is_null
 
 
 @dataclass(frozen=True)

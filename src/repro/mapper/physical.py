@@ -25,7 +25,7 @@ default.  A :class:`PhysicalDesign` captures all the choices:
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.errors import SchemaError
 from repro.mapper.translate import canonical_eva
@@ -76,7 +76,8 @@ class PhysicalDesign:
                  block_size: int = 1024,
                  pool_capacity: int = 256,
                  surrogate_key_kind: SurrogateKeyKind = SurrogateKeyKind.HASH,
-                 default_hierarchy: HierarchyMapping = HierarchyMapping.VARIABLE_FORMAT):
+                 default_hierarchy: HierarchyMapping =
+                 HierarchyMapping.VARIABLE_FORMAT):
         if not schema.resolved:
             raise SchemaError("physical design needs a resolved schema")
         self.schema = schema

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import contextlib
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 #: sentinel distinguishing "not cached" from a cached ``None`` rid
 MISSING = object()

@@ -14,24 +14,13 @@ statement or transaction abort restores records and indexes alike.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import (
-    CatalogError,
-    IntegrityError,
-    StorageError,
-    UniquenessViolation,
-)
+from repro.errors import CatalogError, IntegrityError, UniquenessViolation
 from repro.mapper.history import HistoryJournal
 from repro.mapper.luc import LUCSchema
 from repro.mapper.read_cache import MISSING, ReadCache
-from repro.mapper.physical import (
-    EvaMapping,
-    HierarchyMapping,
-    MvDvaMapping,
-    PhysicalDesign,
-    SurrogateKeyKind,
-)
+from repro.mapper.physical import EvaMapping, MvDvaMapping, PhysicalDesign
 from repro.mapper.translate import canonical_eva, translate_schema
 from repro.naming import canon
 from repro.perf import PerfCounters
@@ -503,7 +492,8 @@ class MapperStore:
         class_name = canon(class_name)
         sim_class = self.schema.get_class(class_name)
         base = sim_class.base_class_name
-        chain = ([base] + [c for c in self.schema.graph.insertion_path(base, class_name)]
+        chain = ([base] + list(self.schema.graph.insertion_path(
+                     base, class_name))
                  if class_name != base else [base])
         by_class: Dict[str, Dict[str, object]] = {c: {} for c in chain}
         deferred_mv: List[Tuple[object, List[object]]] = []

@@ -13,7 +13,7 @@ costs 1.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.mapper.physical import EvaMapping
 from repro.mapper.store import MapperStore
@@ -116,7 +116,7 @@ class CostModel:
         return source_count * (
             first + max(fanout - 1.0, 0.0) * following + fanout * per_target)
 
-    # -- Root access costs ---------------------------------------------------------------
+    # -- Root access costs -------------------------------------------------------------
 
     def scan_cost(self, class_name: str) -> float:
         return float(self.class_blocks(class_name))

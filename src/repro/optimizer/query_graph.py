@@ -9,8 +9,8 @@ without considering physical mapping details".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.dml.query_tree import QueryTree, QTNode
 

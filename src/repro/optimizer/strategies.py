@@ -13,7 +13,7 @@ combination.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.dml.ast import Binary, Literal, Path, RetrieveQuery
 from repro.dml.query_tree import TYPE2, QTNode, QueryTree

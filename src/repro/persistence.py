@@ -20,7 +20,6 @@ version; it is a simulation artifact, not an interchange format.
 from __future__ import annotations
 
 import pickle
-from typing import Optional
 
 from repro.errors import SimError, TransactionError
 

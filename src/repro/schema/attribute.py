@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SchemaError
+from repro.lexer import Span
 from repro.naming import canon
 from repro.types.domain import DataType, SubroleType, SurrogateType
 
@@ -92,6 +93,9 @@ class Attribute:
         self.name = canon(name)
         self.options = options or AttributeOptions()
         self.owner_name: Optional[str] = None  # set during resolution
+        #: source position of the declaration (set by the DDL parser;
+        #: stays falsy for programmatically built schemas)
+        self.span = Span()
 
     @property
     def single_valued(self) -> bool:
@@ -187,7 +191,8 @@ class SubroleAttribute(DataValuedAttribute):
         return self.data_type.subclass_names
 
     def ddl(self) -> str:
-        return f"{self.name}: {self.data_type.ddl()}" + (" mv" if self.options.mv else "")
+        return (f"{self.name}: {self.data_type.ddl()}"
+                + (" mv" if self.options.mv else ""))
 
 
 class SurrogateAttribute(DataValuedAttribute):

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.errors import DDLSyntaxError
-from repro.lexer import IDENT, NUMBER, STRING, SYMBOL, Token, TokenStream, tokenize
+from repro.lexer import IDENT, STRING, SYMBOL, TokenStream, tokenize
 from repro.naming import canon
 from repro.schema.attribute import (
     AttributeOptions,
@@ -101,14 +101,17 @@ class _DDLParser:
     # -- Declarations -----------------------------------------------------------
 
     def _type_declaration(self) -> None:
-        name = self.stream.expect_ident("type name").value
+        name_token = self.stream.expect_ident("type name")
+        name = name_token.value
         self.stream.expect_symbol("=")
         data_type = self._type_spec()
         self.stream.expect_symbol(";")
         self.schema.define_type(name, data_type)
+        self.schema.type_spans[canon(name)] = name_token.span
 
     def _class_declaration(self, is_base: bool) -> None:
-        name = self.stream.expect_ident("class name").value
+        name_token = self.stream.expect_ident("class name")
+        name = name_token.value
         supers: List[str] = []
         if not is_base:
             self.stream.expect_keyword("of")
@@ -116,6 +119,7 @@ class _DDLParser:
             while self.stream.accept_keyword("and"):
                 supers.append(self.stream.expect_ident("superclass name").value)
         sim_class = SimClass(name, supers)
+        sim_class.span = name_token.span
         self.stream.expect_symbol("(")
         while not self.stream.check_symbol(")"):
             self._attribute(sim_class)
@@ -128,37 +132,46 @@ class _DDLParser:
         self.schema.add_class(sim_class)
 
     def _verify_declaration(self) -> None:
-        name = self.stream.expect_ident("constraint name").value
+        name_token = self.stream.expect_ident("constraint name")
+        name = name_token.value
         self.stream.expect_keyword("on")
         class_name = self.stream.expect_ident("class name").value
         self.stream.expect_keyword("assert")
+        assertion_span = self.stream.current.span
         assertion = self._capture_until_else()
         self.stream.expect_keyword("else")
         message_token = self.stream.advance()
         if message_token.kind != STRING:
             self.stream.fail("expected the ELSE message string")
         self.stream.accept_symbol(";")
-        self.schema.add_constraint(
-            VerifyConstraint(name, class_name, assertion, message_token.value))
+        constraint = VerifyConstraint(name, class_name, assertion,
+                                      message_token.value)
+        constraint.span = name_token.span
+        constraint.assertion_span = assertion_span
+        self.schema.add_constraint(constraint)
 
     def _derive_declaration(self) -> None:
-        name = self.stream.expect_ident("derived attribute name").value
+        name_token = self.stream.expect_ident("derived attribute name")
+        name = name_token.value
         self.stream.expect_keyword("on")
         class_name = self.stream.expect_ident("class name").value
         self.stream.expect_keyword("as")
         expression = self._capture_until(";")
         self.stream.accept_symbol(";")
-        self.schema.define_derived(name, class_name, expression)
+        derived = self.schema.define_derived(name, class_name, expression)
+        derived.span = name_token.span
 
     def _view_declaration(self) -> None:
-        name = self.stream.expect_ident("view name").value
+        name_token = self.stream.expect_ident("view name")
+        name = name_token.value
         self.stream.expect_keyword("of")
         class_name = self.stream.expect_ident("class name").value
         where_text = None
         if self.stream.accept_keyword("where"):
             where_text = self._capture_until(";")
         self.stream.accept_symbol(";")
-        self.schema.define_view(name, class_name, where_text)
+        view = self.schema.define_view(name, class_name, where_text)
+        view.span = name_token.span
 
     def _capture_until(self, terminator: str) -> str:
         """Collect raw expression text up to an unnested terminator symbol
@@ -213,7 +226,8 @@ class _DDLParser:
     # -- Attributes -----------------------------------------------------------
 
     def _attribute(self, sim_class: SimClass) -> None:
-        name = self.stream.expect_ident("attribute name").value
+        name_token = self.stream.expect_ident("attribute name")
+        name = name_token.value
         self.stream.expect_symbol(":")
         head = self.stream.expect_ident("attribute type")
         word = head.value.lower()
@@ -225,34 +239,28 @@ class _DDLParser:
                 values.append(self.stream.expect_ident("subclass name").value)
             self.stream.expect_symbol(")")
             mv = bool(self.stream.accept_keyword("mv"))
-            sim_class.add_attribute(
-                SubroleAttribute(name, SubroleType(values), mv=mv))
-            return
-
-        if word in _BUILTIN_TYPE_WORDS:
+            attribute = SubroleAttribute(name, SubroleType(values), mv=mv)
+        elif word in _BUILTIN_TYPE_WORDS:
             data_type = self._builtin_type(word)
             options = self._options()
-            sim_class.add_attribute(
-                DataValuedAttribute(name, data_type, options))
-            return
-
-        if canon(head.value) in self.schema.types:
+            attribute = DataValuedAttribute(name, data_type, options)
+        elif canon(head.value) in self.schema.types:
             data_type = self.schema.types.lookup(head.value)
             options = self._options()
-            sim_class.add_attribute(
-                DataValuedAttribute(name, data_type, options,
-                                    type_name=head.value))
-            return
-
-        # Otherwise it names a class (possibly forward-declared): an EVA.
-        inverse_name = None
-        if self.stream.check_keyword("inverse"):
-            self.stream.advance()
-            self.stream.expect_keyword("is")
-            inverse_name = self.stream.expect_ident("inverse name").value
-        options = self._options()
-        sim_class.add_attribute(
-            EntityValuedAttribute(name, head.value, inverse_name, options))
+            attribute = DataValuedAttribute(name, data_type, options,
+                                            type_name=head.value)
+        else:
+            # Otherwise it names a class (possibly forward-declared): an EVA.
+            inverse_name = None
+            if self.stream.check_keyword("inverse"):
+                self.stream.advance()
+                self.stream.expect_keyword("is")
+                inverse_name = self.stream.expect_ident("inverse name").value
+            options = self._options()
+            attribute = EntityValuedAttribute(name, head.value, inverse_name,
+                                              options)
+        attribute.span = name_token.span
+        sim_class.add_attribute(attribute)
 
     def _options(self) -> AttributeOptions:
         required = unique = mv = distinct = False

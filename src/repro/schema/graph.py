@@ -9,7 +9,7 @@ class."
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
 from repro.errors import SchemaError
 from repro.naming import canon

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SchemaError
+from repro.lexer import Span
 from repro.naming import canon
 from repro.schema.attribute import (
     Attribute,
@@ -39,6 +40,11 @@ class VerifyConstraint:
         self.class_name = canon(class_name)
         self.assertion_text = assertion_text.strip()
         self.else_message = else_message
+        #: source positions (DDL parser): the declaration and the start of
+        #: the assertion text, so assertion-relative spans can be offset
+        #: back into schema-file coordinates
+        self.span = Span()
+        self.assertion_span = Span()
 
     def ddl(self) -> str:
         return (f"verify {self.name} on {self.class_name}\n"
@@ -68,6 +74,7 @@ class DerivedAttribute:
         self.name = canon(name)
         self.class_name = canon(class_name)
         self.expression_text = expression_text.strip()
+        self.span = Span()
 
     def ddl(self) -> str:
         return (f"derive {self.name} on {self.class_name} as "
@@ -92,6 +99,7 @@ class ViewDefinition:
         self.name = canon(name)
         self.class_name = canon(class_name)
         self.where_text = where_text.strip() if where_text else None
+        self.span = Span()
 
     def ddl(self) -> str:
         text = f"view {self.name} of {self.class_name}"
@@ -117,6 +125,8 @@ class SimClass:
         self.superclass_names: List[str] = [canon(s) for s in superclass_names]
         if len(set(self.superclass_names)) != len(self.superclass_names):
             raise SchemaError(f"duplicate superclass in {self.name}")
+        #: source position of the declaration (set by the DDL parser)
+        self.span = Span()
         self.immediate_attributes: Dict[str, Attribute] = {}
         for attribute in attributes:
             self.add_attribute(attribute)

@@ -10,7 +10,7 @@ what the Mapper, optimizer and engine consume.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import SchemaError
 from repro.naming import canon
@@ -28,7 +28,7 @@ from repro.schema.klass import (
     VerifyConstraint,
     ViewDefinition,
 )
-from repro.types.domain import DataType, SubroleType, TypeRegistry, STANDARD_TYPES
+from repro.types.domain import DataType, SubroleType, TypeRegistry
 
 
 class Schema:
@@ -37,6 +37,8 @@ class Schema:
     def __init__(self, name: str = "schema"):
         self.name = canon(name)
         self.types = TypeRegistry()
+        #: source positions of named-type declarations (DDL parser)
+        self.type_spans: Dict[str, object] = {}
         self._classes: Dict[str, SimClass] = {}
         self.constraints: List[VerifyConstraint] = []
         self.graph = GeneralizationGraph()

@@ -29,7 +29,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import InjectedCrash, StorageError, TransientStorageError
 

@@ -22,7 +22,7 @@ exactly the steal/force discipline's undo pass.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 UPDATE = "update"
 COMMIT = "commit"

@@ -25,7 +25,8 @@ class SimDate:
         try:
             self._date = datetime.date(year, month, day)
         except ValueError as exc:
-            raise TypeMismatchError(f"invalid date {year}-{month}-{day}: {exc}") from exc
+            raise TypeMismatchError(
+                f"invalid date {year}-{month}-{day}: {exc}") from exc
 
     @classmethod
     def parse(cls, text: str) -> "SimDate":
@@ -93,7 +94,8 @@ class SimTime:
 
     def __init__(self, hour: int, minute: int = 0, second: int = 0):
         if not (0 <= hour < 24 and 0 <= minute < 60 and 0 <= second < 60):
-            raise TypeMismatchError(f"invalid time {hour:02d}:{minute:02d}:{second:02d}")
+            raise TypeMismatchError(
+                f"invalid time {hour:02d}:{minute:02d}:{second:02d}")
         self._seconds = hour * 3600 + minute * 60 + second
 
     @classmethod

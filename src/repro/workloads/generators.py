@@ -12,10 +12,9 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.database import Database
-from repro.mapper.physical import PhysicalDesign
 from repro.schema.attribute import (
     AttributeOptions,
     DataValuedAttribute,

@@ -76,6 +76,31 @@ Class Department (
   courses-offered: course mv );
 """
 
+#: The canonical UNIVERSITY workload: one query per major DML form of §4
+#: (retrieval, implicit joins, TYPE 3 target paths, TYPE 2 existentials,
+#: aggregates, quantifiers, ISA tests, AS role conversion, transitive
+#: closure).  The lint sweep and the E15 benchmark iterate this list; all
+#: of them compile without a single simcheck error or warning.
+UNIVERSITY_QUERIES = [
+    "From student Retrieve name, student-nbr",
+    "From student Retrieve name, name of advisor",
+    "From student Retrieve name, title of courses-enrolled",
+    "From instructor Retrieve name, salary Where salary + bonus > 50000",
+    "From student Retrieve name Where credits of courses-enrolled > 3",
+    "From student Retrieve name, sum(credits of courses-enrolled)",
+    "From instructor Retrieve name, count(advisees)",
+    "From instructor Retrieve name"
+    " Where 3 = some(credits of courses-taught)",
+    'From person Retrieve name'
+    ' Where person isa instructor and not person isa student',
+    "From student Retrieve name, teaching-load of student as"
+    " teaching-assistant",
+    "Retrieve title of Transitive(prerequisites) of course"
+    ' Where course-no of course = 101',
+    "From student, instructor Retrieve name of student, name of instructor"
+    " Where advisor of student = instructor",
+]
+
 _FIRST = ["John", "Jane", "Joe", "Ada", "Alan", "Grace", "Edsger", "Barbara",
           "Donald", "Leslie", "Tony", "Edgar", "Kristen", "Niklaus", "Dana",
           "Frances", "Ken", "Dennis", "Robin", "Radia"]

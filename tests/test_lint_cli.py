@@ -1,0 +1,128 @@
+"""Tests for ``python -m repro lint`` (repro.analysis.cli)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import lint_files, main, split_statements
+from repro.lexer import Span
+from repro.workloads import UNIVERSITY_DDL
+
+GOOD_DML = """\
+From student Retrieve name, name of advisor;
+
+From instructor Retrieve name
+  Where salary > 50000;
+.explain From student Retrieve name
+From course Retrieve title
+"""
+
+BAD_DML = """\
+From student Retrieve name Where salary;
+
+From student Retrieve name Where name > 3;
+"""
+
+BAD_DDL = """\
+Class a (
+  x: integer;
+  friend: b inverse is pal );
+"""
+
+
+class TestSplitStatements:
+    def test_semicolon_blank_line_and_eof_terminate(self):
+        statements = split_statements(GOOD_DML)
+        assert [s for s, _ in statements] == [
+            "From student Retrieve name, name of advisor;",
+            "From instructor Retrieve name\n  Where salary > 50000;",
+            "From course Retrieve title",
+        ]
+
+    def test_statements_carry_their_file_position(self):
+        statements = split_statements(GOOD_DML)
+        assert [base for _, base in statements] == [
+            Span(1, 1), Span(3, 1), Span(6, 1)]
+
+    def test_dot_commands_are_skipped(self):
+        statements = split_statements(".schema\n.lint\n")
+        assert statements == []
+
+
+@pytest.fixture()
+def schema_file(tmp_path):
+    path = tmp_path / "university.ddl"
+    path.write_text(UNIVERSITY_DDL)
+    return str(path)
+
+
+class TestLintMain:
+    def test_clean_schema_and_queries_exit_zero(self, schema_file,
+                                                tmp_path, capsys):
+        dml = tmp_path / "queries.dml"
+        dml.write_text(GOOD_DML)
+        assert main([schema_file, str(dml)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_errors_exit_nonzero_with_coded_spans(self, schema_file,
+                                                  tmp_path, capsys):
+        dml = tmp_path / "bad.dml"
+        dml.write_text(BAD_DML)
+        assert main([schema_file, str(dml)]) == 1
+        out = capsys.readouterr().out
+        # path:line:col: CODE severity: message
+        assert f"{dml}:1:34: SIM117 error:" in out
+        assert f"{dml}:3:34: SIM112 error:" in out
+
+    def test_schema_errors_reported_and_dml_skipped(self, tmp_path, capsys):
+        ddl = tmp_path / "bad.ddl"
+        ddl.write_text(BAD_DDL)
+        dml = tmp_path / "q.dml"
+        dml.write_text("From a Retrieve x;")
+        assert main([str(ddl), str(dml)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM010" in out
+        assert "DML files not checked" in out
+
+    def test_strict_promotes_warnings_to_failure(self, tmp_path, capsys):
+        ddl = tmp_path / "one-sided.ddl"
+        ddl.write_text("Class a ( friend: b inverse is pal );\n"
+                       "Class b ( x: integer );\n")
+        assert main([str(ddl)]) == 0
+        assert main([str(ddl), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "SIM012 warning:" in out
+
+    def test_no_notes_suppresses_info(self, schema_file, capsys):
+        assert main([schema_file, "--no-notes"]) == 0
+        out = capsys.readouterr().out
+        assert "SIM011" not in out        # info hidden...
+        assert "note(s)" in out           # ...but still counted
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.ddl")]) == 2
+
+    def test_syntax_error_in_dml_file(self, schema_file, tmp_path, capsys):
+        dml = tmp_path / "broken.dml"
+        dml.write_text("From student Retrieve name Where >;")
+        assert main([schema_file, str(dml)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM100 error:" in out
+
+    def test_lint_files_returns_path_diagnostic_pairs(self, schema_file):
+        reported = lint_files(schema_file, [])
+        assert all(path == schema_file for path, _ in reported)
+        assert all(d.severity == "info" for _, d in reported)
+
+
+class TestModuleEntryPoint:
+    def test_python_m_repro_lint(self, schema_file):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", schema_file],
+            capture_output=True, text=True, check=False)
+        assert completed.returncode == 0
+        assert "0 error(s)" in completed.stdout

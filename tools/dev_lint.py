@@ -1,0 +1,150 @@
+"""Dependency-free lint fallback for environments without ruff/mypy.
+
+``make lint`` and ``make typecheck`` prefer the real tools when they are
+on PATH (configured in ``pyproject.toml``); this script is the degraded
+lane the repository can always run.  It parses every Python file with
+:mod:`ast` and reports:
+
+* syntax errors;
+* unused imports (module scope);
+* duplicate top-level definitions;
+* ``except:`` without an exception class;
+* tabs in indentation and trailing whitespace;
+* lines longer than the configured limit.
+
+Usage::
+
+    python tools/dev_lint.py [--line-length N] [paths...]
+
+Exit status 1 when any finding is reported, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+Finding = Tuple[str, int, str]
+
+
+def iter_python_files(paths: List[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path) and path.endswith(".py"):
+            yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = [d for d in dirs
+                       if d not in ("__pycache__", ".git", ".ruff_cache")]
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def _imported_names(node: ast.AST) -> List[Tuple[str, int]]:
+    names = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            names.append((bound, node.lineno))
+    elif isinstance(node, ast.ImportFrom):
+        if node.module == "__future__":
+            return names        # compiler directives, not bindings
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            names.append((alias.asname or alias.name, node.lineno))
+    return names
+
+
+def _used_names(tree: ast.AST) -> set:
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # "repro.analysis.cli" used as "repro.analysis" — the root
+            # Name node covers it; nothing extra to record.
+            pass
+    # Names re-exported via __all__ strings count as used.
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets)):
+            for element in ast.walk(node.value):
+                if isinstance(element, ast.Constant) \
+                        and isinstance(element.value, str):
+                    used.add(element.value)
+    return used
+
+
+def check_file(path: str, line_length: int) -> List[Finding]:
+    findings: List[Finding] = []
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+
+    for number, line in enumerate(source.splitlines(), start=1):
+        stripped = line.rstrip("\n")
+        if stripped != stripped.rstrip():
+            findings.append((path, number, "trailing whitespace"))
+        indent = stripped[:len(stripped) - len(stripped.lstrip())]
+        if "\t" in indent:
+            findings.append((path, number, "tab in indentation"))
+        if len(stripped) > line_length:
+            findings.append(
+                (path, number,
+                 f"line too long ({len(stripped)} > {line_length})"))
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        findings.append((path, exc.lineno or 0, f"syntax error: {exc.msg}"))
+        return findings
+
+    used = _used_names(tree)
+    for node in tree.body:
+        for name, lineno in _imported_names(node):
+            if name not in used and not name.startswith("_"):
+                findings.append((path, lineno, f"unused import {name!r}"))
+
+    seen = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if node.name in seen:
+                findings.append(
+                    (path, node.lineno,
+                     f"duplicate top-level definition {node.name!r} "
+                     f"(first at line {seen[node.name]})"))
+            seen[node.name] = node.lineno
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append((path, node.lineno,
+                             "bare 'except:'; name the exception class"))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--line-length", type=int, default=88)
+    args = parser.parse_args(argv)
+
+    findings: List[Finding] = []
+    checked = 0
+    for path in iter_python_files(args.paths or ["src/repro"]):
+        checked += 1
+        findings.extend(check_file(path, args.line_length))
+
+    for path, lineno, message in findings:
+        print(f"{path}:{lineno}: {message}")
+    print(f"{checked} file(s) checked, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
