@@ -2,7 +2,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test torture bench bench-recovery bench-read-path bench-lint \
-	lint typecheck simcheck
+	bench-trace lint typecheck simcheck
 
 test:
 	python -m pytest -x -q
@@ -48,3 +48,7 @@ bench-read-path:
 
 bench-lint:
 	python benchmarks/make_report.py --lint
+
+# E16: tracing-overhead gate (fails if dormant tracing costs > 5%).
+bench-trace:
+	python benchmarks/make_report.py --trace

@@ -1,0 +1,119 @@
+"""E16 — end-to-end tracing overhead (EXPLAIN ANALYZE).
+
+Tracing threads span/count hooks through every Figure-1 layer; the deal
+that makes it acceptable as an always-available facility is that the
+*disabled* cost is one identity test per hook site.  This experiment
+pins that deal with numbers over the canonical 12-query UNIVERSITY
+sweep:
+
+* baseline: no recorder attached (``store.trace is None`` — the shipped
+  default);
+* disabled: recorder attached but ``enabled=False`` (the dormant state
+  ``Database.disable_tracing()`` leaves behind);
+* enabled: full span trees, per-node actuals, layer histograms.
+
+Shape claims asserted:
+* disabled-tracing overhead stays within the 5% bound (the CI gate);
+* every statement of the enabled sweep leaves zero open spans and a
+  complete span tree (parse/qualify/optimize/verify/execute all present);
+* enabled tracing is not catastrophic (bounded at 3x baseline).
+"""
+
+import time
+
+from repro.trace import attach_tracing, detach_tracing
+from repro.workloads import build_university
+from repro.workloads.university import UNIVERSITY_QUERIES
+
+from _harness import attach
+
+#: the CI gate: disabled tracing may cost at most this fraction extra
+DISABLED_OVERHEAD_BOUND = 0.05
+
+
+def _sweep(db) -> None:
+    for text in UNIVERSITY_QUERIES:
+        db.query(text)
+
+
+def measure_trace(students: int = 40, repeats: int = 7) -> dict:
+    """The numbers ``BENCH_trace.json`` records."""
+    db = build_university(departments=4, instructors=10, students=students,
+                          courses=20, seed=7)
+    _sweep(db)   # warm every cache once so all three modes measure warm
+
+    baseline_wall = disabled_wall = enabled_wall = float("inf")
+    # Interleave the three modes inside each repeat so clock drift hits
+    # them equally; keep the minimum (least-disturbed) pass of each.
+    for _ in range(repeats):
+        assert db.store.trace is None
+        started = time.perf_counter()
+        _sweep(db)
+        baseline_wall = min(baseline_wall, time.perf_counter() - started)
+
+        recorder = attach_tracing(db.store)
+        recorder.enabled = False
+        started = time.perf_counter()
+        _sweep(db)
+        disabled_wall = min(disabled_wall, time.perf_counter() - started)
+
+        recorder.enabled = True
+        started = time.perf_counter()
+        _sweep(db)
+        enabled_wall = min(enabled_wall, time.perf_counter() - started)
+        detach_tracing(db.store)
+
+    # One final enabled sweep to characterize what tracing captures.
+    recorder = attach_tracing(db.store)
+    recorder.clear()
+    _sweep(db)
+    span_counts = [sum(1 for _ in root.walk())
+                   for root in recorder.statements]
+    layer_names = set()
+    for root in recorder.statements:
+        for span in root.walk():
+            layer_names.add(span.layer)
+    open_after = recorder.open_spans()
+    detach_tracing(db.store)
+
+    return {
+        "queries": len(UNIVERSITY_QUERIES),
+        "repeats": repeats,
+        "baseline_wall_ms": baseline_wall * 1000.0,
+        "disabled_wall_ms": disabled_wall * 1000.0,
+        "enabled_wall_ms": enabled_wall * 1000.0,
+        "disabled_overhead_ratio": disabled_wall / baseline_wall - 1.0,
+        "enabled_overhead_ratio": enabled_wall / baseline_wall - 1.0,
+        "disabled_overhead_bound": DISABLED_OVERHEAD_BOUND,
+        "statements_traced": len(recorder.statements),
+        "spans_per_statement_mean": (sum(span_counts) / len(span_counts)
+                                     if span_counts else 0.0),
+        "layers_observed": sorted(layer_names),
+        "open_spans_after": open_after,
+    }
+
+
+def test_e16_trace_overhead(benchmark):
+    measured = measure_trace()
+
+    assert measured["statements_traced"] == measured["queries"]
+    assert measured["open_spans_after"] == 0
+    for layer in ("driver", "qualifier", "optimizer", "executor"):
+        assert layer in measured["layers_observed"]
+    # The CI gate: dormant tracing must be within the 5% bound.
+    assert (measured["disabled_overhead_ratio"]
+            <= measured["disabled_overhead_bound"])
+    # Enabled tracing records everything yet stays in the same ballpark.
+    assert measured["enabled_overhead_ratio"] < 2.0
+
+    benchmark(lambda: None)
+    attach(benchmark,
+           baseline_wall_ms=round(measured["baseline_wall_ms"], 3),
+           disabled_wall_ms=round(measured["disabled_wall_ms"], 3),
+           enabled_wall_ms=round(measured["enabled_wall_ms"], 3),
+           disabled_overhead_ratio=round(
+               measured["disabled_overhead_ratio"], 4),
+           enabled_overhead_ratio=round(
+               measured["enabled_overhead_ratio"], 4),
+           spans_per_statement_mean=round(
+               measured["spans_per_statement_mean"], 2))

@@ -24,6 +24,10 @@ checker latency, transient-retry cost).
 ``--lint`` runs the E15 static-analysis measurement and writes
 ``BENCH_lint.json`` (lint overhead ratio, workload cleanliness, seeded
 defect detection).
+
+``--trace`` runs the E16 tracing-overhead measurement and writes
+``BENCH_trace.json`` (disabled/enabled overhead ratios over the 12-query
+sweep, spans per statement, layers observed).
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ _EXPERIMENT_TITLES = {
     "e13": "E13 — read-path caches & memoization",
     "e14": "E14 — fault injection, crash torture & consistency checking",
     "e15": "E15 — simcheck static analysis (overhead & coverage)",
+    "e16": "E16 — end-to-end tracing overhead (EXPLAIN ANALYZE)",
 }
 
 
@@ -103,6 +108,28 @@ def write_lint_report(out_path: str) -> int:
     return 0
 
 
+def write_trace_report(out_path: str) -> int:
+    """Run the E16 measurement and emit ``BENCH_trace.json``."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_trace import measure_trace
+    measured = measure_trace()
+    with open(out_path, "w") as handle:
+        json.dump(measured, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}: "
+          f"disabled overhead {measured['disabled_overhead_ratio']:+.4f} "
+          f"(bound {measured['disabled_overhead_bound']:.2f}), "
+          f"enabled overhead {measured['enabled_overhead_ratio']:+.3f}, "
+          f"{measured['spans_per_statement_mean']:.1f} spans/statement "
+          f"over {measured['statements_traced']} statements")
+    if (measured["disabled_overhead_ratio"]
+            > measured["disabled_overhead_bound"]):
+        print("FAIL: disabled-tracing overhead exceeds the bound",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def experiment_of(name: str) -> str:
     match = re.match(r"test_(e\d+)_", name)
     if match:
@@ -128,6 +155,9 @@ def main(argv) -> int:
     if len(argv) >= 2 and argv[1] == "--lint":
         out_path = argv[2] if len(argv) > 2 else "BENCH_lint.json"
         return write_lint_report(out_path)
+    if len(argv) >= 2 and argv[1] == "--trace":
+        out_path = argv[2] if len(argv) > 2 else "BENCH_trace.json"
+        return write_trace_report(out_path)
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2

@@ -7,6 +7,8 @@ Usage::
     python -m repro schema.ddl -c "From c Retrieve x"   # one statement
     python -m repro --university                # the paper's demo database
     python -m repro lint schema.ddl [q.dml ...] # simcheck static analysis
+    python -m repro trace schema.ddl work.dml   # traced run -> JSON Lines
+    python -m repro trace --university          # trace the 12-query sweep
 
 Inside the REPL, ``.help`` lists the dot-commands (``.schema``,
 ``.classes``, ``.stats``, ``.design``, ``.explain``, ``.io``, ``.quit``).
@@ -60,12 +62,77 @@ def open_database(args) -> Database:
                     use_optimizer=not args.no_optimizer)
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run a workload with end-to-end tracing and emit one "
+                    "JSON span tree per statement (JSON Lines) on stdout")
+    parser.add_argument("schema", nargs="?",
+                        help="DDL file or saved .simdb database")
+    parser.add_argument("workload", nargs="?",
+                        help="DML script (';'-terminated statements; lines "
+                             "starting with -- are comments).  Defaults to "
+                             "the 12-query sweep with --university")
+    parser.add_argument("--university", action="store_true",
+                        help="trace against the populated UNIVERSITY demo")
+    parser.add_argument("--constraint-mode", default="immediate",
+                        choices=["immediate", "deferred", "off"])
+    parser.add_argument("--no-optimizer", action="store_true")
+    return parser
+
+
+def read_workload(path: str) -> list:
+    with open(path) as handle:
+        text = handle.read()
+    lines = [line for line in text.splitlines()
+             if not line.lstrip().startswith("--")]
+    statements = [part.strip() for part in "\n".join(lines).split(";")]
+    return [statement for statement in statements if statement]
+
+
+def trace_main(argv) -> int:
+    import json
+    args = build_trace_parser().parse_args(argv)
+    try:
+        database = open_database(args)
+        if args.workload:
+            statements = read_workload(args.workload)
+        elif args.university:
+            from repro.workloads.university import UNIVERSITY_QUERIES
+            statements = list(UNIVERSITY_QUERIES)
+        else:
+            raise SystemExit("error: provide a workload script or "
+                             "--university (see --help)")
+    except (OSError, SimError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    recorder = database.enable_tracing(
+        capacity=max(len(statements) + 1, 256))
+    # Metadata header first, so consumers can map span counters (which
+    # speak LUC / unit names) back to the semantic schema.
+    print(json.dumps({"schema": database.schema.name,
+                      "statements": len(statements),
+                      "layout": database.store.luc_schema.layout_summary()},
+                     sort_keys=True))
+    failures = 0
+    for statement in statements:
+        try:
+            database.execute(statement)
+        except SimError as exc:
+            failures += 1
+            print(f"error: {exc}", file=sys.stderr)
+    print(database.trace_jsonl())
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         database = open_database(args)

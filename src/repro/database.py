@@ -82,12 +82,28 @@ class Database:
         Returns a :class:`ResultSet` for Retrieve and the affected-entity
         count for updates.
         """
-        if isinstance(statement, str):
-            statement = parse_dml(statement)
-        if isinstance(statement, RetrieveQuery):
-            return self._run_retrieve(statement)
-        self._lint_update(statement)
-        return self.updates.execute(statement)
+        trace = self.store.trace
+        if trace is None or not trace.enabled:
+            if isinstance(statement, str):
+                statement = parse_dml(statement)
+            if isinstance(statement, RetrieveQuery):
+                return self._run_retrieve(statement)
+            self._lint_update(statement)
+            return self.updates.execute(statement)
+        text = statement if isinstance(statement, str) else repr(statement)
+        with self._statement_scope(trace, text) as root:
+            if isinstance(statement, str):
+                with trace.span("parse", layer="parser"):
+                    statement = parse_dml(statement)
+            if isinstance(statement, RetrieveQuery):
+                result = self._run_retrieve(statement)
+                if root is not None:
+                    result.trace = root
+                return result
+            with trace.span("lint", layer="analysis"):
+                self._lint_update(statement)
+            with trace.span("update", layer="engine"):
+                return self.updates.execute(statement)
 
     def query(self, text: str) -> ResultSet:
         """Run a Retrieve statement and return its result set."""
@@ -95,6 +111,25 @@ class Database:
         if not isinstance(statement, RetrieveQuery):
             raise SimError("query() takes a Retrieve statement")
         return self._run_retrieve(statement)
+
+    @contextlib.contextmanager
+    def _statement_scope(self, trace, text: str):
+        """Open one statement root span unless one is already open (the
+        Session path enters through _run_retrieve/updates directly).  The
+        root is closed however the statement ends — success, integrity
+        failure, or injected storage fault — so no span ever leaks."""
+        if trace is None or not trace.enabled or trace.open_spans():
+            yield None
+            return
+        root = trace.begin_statement(text)
+        error = None
+        try:
+            yield root
+        except BaseException as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            trace.end_statement(error)
 
     def compile(self, statement: Union[str, object]) -> CompiledStatement:
         """Take a statement through the full static pipeline — parse,
@@ -123,17 +158,37 @@ class Database:
 
     def _run_retrieve(self, query: RetrieveQuery) -> ResultSet:
         from repro.analysis import raise_for_errors, verify_plan
-        tree = self.qualifier.resolve_retrieve(query)
-        diagnostics = self._lint_retrieve(query)
-        plan = None
-        if self.use_optimizer:
-            plan = self.optimizer.choose_plan(query, tree)
-        # Fail closed: a plan that breaks the structural contract between
-        # the labelled tree and the enumeration must never run.
-        raise_for_errors(verify_plan(self.schema, tree, plan))
-        result = self.executor.run(query, tree, plan)
-        result.diagnostics = diagnostics
-        return result
+        trace = self.store.trace
+        if trace is None or not trace.enabled:
+            tree = self.qualifier.resolve_retrieve(query)
+            diagnostics = self._lint_retrieve(query)
+            plan = None
+            if self.use_optimizer:
+                plan = self.optimizer.choose_plan(query, tree)
+            # Fail closed: a plan that breaks the structural contract
+            # between the labelled tree and the enumeration must never run.
+            raise_for_errors(verify_plan(self.schema, tree, plan))
+            result = self.executor.run(query, tree, plan)
+            result.diagnostics = diagnostics
+            return result
+        with self._statement_scope(trace, repr(query)) as root:
+            with trace.span("qualify", layer="qualifier"):
+                tree = self.qualifier.resolve_retrieve(query)
+            with trace.span("lint", layer="analysis"):
+                diagnostics = self._lint_retrieve(query)
+            plan = None
+            if self.use_optimizer:
+                plan = self.optimizer.choose_plan(query, tree)
+            with trace.span("verify", layer="analysis"):
+                raise_for_errors(verify_plan(self.schema, tree, plan))
+            result = self.executor.run(query, tree, plan)
+            result.diagnostics = diagnostics
+            if root is not None:
+                result.trace = root
+            if result.node_stats and self.use_optimizer:
+                # Close the loop: traced actuals refine future estimates.
+                self.optimizer.observe_execution(tree, result.node_stats)
+            return result
 
     def _lint_retrieve(self, query: RetrieveQuery) -> List:
         """Type-check a resolved Retrieve; raises on error severity and
@@ -211,6 +266,8 @@ class Database:
         stats["io"] = repr(self.store.io_stats())
         stats["read_path"] = self.store.perf.as_dict()
         stats["storage"] = self.store.storage_statistics()
+        if self.store.trace is not None:
+            stats["trace"] = self.store.trace.histograms.as_dict()
         return stats
 
     @property
@@ -225,6 +282,46 @@ class Database:
     def reset_io_stats(self) -> None:
         self.store.reset_io_stats()
         self.store.perf.reset()
+
+    # -- Tracing / EXPLAIN ANALYZE ---------------------------------------------------
+
+    def enable_tracing(self, capacity: int = 256):
+        """Attach (or re-enable) end-to-end query tracing and return the
+        :class:`~repro.trace.TraceRecorder`.  Every statement then records
+        a hierarchical span tree — parse, qualification, optimization,
+        verification, per-node execution, mapper decodes/cache traffic and
+        storage I/O — rendered by ``ResultSet.explain_analyze()``."""
+        from repro.trace import attach_tracing
+        recorder = self.store.trace
+        if recorder is None:
+            recorder = attach_tracing(self.store, capacity=capacity)
+        recorder.enabled = True
+        return recorder
+
+    def disable_tracing(self, detach: bool = False) -> None:
+        """Stop recording.  With ``detach=True`` the recorder is removed
+        entirely (the layers' trace hooks revert to ``None``, restoring
+        the zero-overhead fast path's single identity test)."""
+        recorder = self.store.trace
+        if recorder is not None:
+            recorder.enabled = False
+        if detach:
+            from repro.trace import detach_tracing
+            detach_tracing(self.store)
+
+    @property
+    def trace(self):
+        """The attached TraceRecorder, or None when tracing is off."""
+        return self.store.trace
+
+    def trace_jsonl(self) -> str:
+        """The retained statement traces as JSON Lines — one span tree
+        per line, oldest first (``python -m repro trace`` emits this)."""
+        recorder = self.store.trace
+        if recorder is None:
+            raise SimError(
+                "tracing is not attached; call enable_tracing() first")
+        return recorder.to_jsonl()
 
     def cold_cache(self) -> None:
         self.store.cold_cache()

@@ -91,9 +91,9 @@ class EntityAccessor:
         except KeyError:
             pass
         else:
-            self.perf.memo_hits += 1
+            self.perf.bump("memo_hits")
             return value
-        self.perf.memo_misses += 1
+        self.perf.bump("memo_misses")
         if not self.store.has_role(surrogate, attr.owner_name):
             value = NULL
         else:
@@ -111,9 +111,9 @@ class EntityAccessor:
         key = (id(attr), surrogate)
         cached = self._mv_memo.get(key)
         if cached is not None:
-            self.perf.memo_hits += 1
+            self.perf.bump("memo_hits")
             return list(cached)
-        self.perf.memo_misses += 1
+        self.perf.bump("memo_misses")
         if not self.store.has_role(surrogate, attr.owner_name):
             values = []
         else:
@@ -134,9 +134,9 @@ class EntityAccessor:
         key = (id(eva), surrogate)
         cached = self._eva_memo.get(key)
         if cached is not None:
-            self.perf.memo_hits += 1
+            self.perf.bump("memo_hits")
             return list(cached)
-        self.perf.memo_misses += 1
+        self.perf.bump("memo_misses")
         targets = self._eva_targets_uncached(surrogate, eva)
         self._eva_memo[key] = tuple(targets)
         return targets
@@ -223,10 +223,13 @@ class EntityAccessor:
         key = (node.id, parent_instance)
         cached = self._domain_memo.get(key)
         if cached is not None:
-            self.perf.memo_hits += 1
+            self.perf.bump("memo_hits")
             return cached
-        self.perf.memo_misses += 1
-        self.perf.domain_enumerations += 1
+        self.perf.bump("memo_misses")
+        self.perf.bump("domain_enumerations")
+        trace = self.store.trace
+        if trace is not None and trace.enabled:
+            trace.count("engine.domain_enumerations")
         domain = tuple(self._node_domain_uncached(node, parent_instance))
         self._domain_memo[key] = domain
         return domain

@@ -52,7 +52,23 @@ class QueryExecutor:
 
     def run(self, query: RetrieveQuery, tree: QueryTree, plan=None
             ) -> ResultSet:
-        """Execute a query whose tree is already resolved (optimizer path)."""
+        """Execute a query whose tree is already resolved (optimizer path).
+
+        With tracing attached and enabled, the run is wrapped in an
+        ``execute`` span carrying per-node EXPLAIN ANALYZE counters
+        (§4.5 TYPE label, loop entries, instances bound) — otherwise the
+        only added work is this None test.
+        """
+        trace = self.store.trace
+        if trace is None or not trace.enabled:
+            return self._run(query, tree, plan, None, None)
+        with trace.span("execute", layer="executor") as span:
+            stats: Dict[int, List[int]] = {}
+            result = self._run(query, tree, plan, span, stats)
+            return result
+
+    def _run(self, query: RetrieveQuery, tree: QueryTree, plan,
+             span, stats) -> ResultSet:
         self.accessor.begin_query()
         perf_before = self.store.perf.snapshot()
         roots = list(tree.roots)
@@ -85,8 +101,10 @@ class QueryExecutor:
         # instead of once per enumerated combination.
         exists_nodes = self._exists_nodes(loop_nodes)
 
-        for _ in self._enumerate_loops(loop_nodes, 0, env, tree, plan):
-            if not self._selection_holds(query.where, exists_nodes, env):
+        for _ in self._enumerate_loops(loop_nodes, 0, env, tree, plan,
+                                       stats):
+            if not self._selection_holds(query.where, exists_nodes, env,
+                                         stats):
                 continue
             row = tuple(self._render(self.evaluator.value(item.expression, env))
                         for item in query.targets)
@@ -134,8 +152,41 @@ class QueryExecutor:
         formats = []
         if structured_mode:
             formats = [node.describe() for node in original_nodes]
-        return ResultSet(columns, rows, structured, formats,
-                         perf=self.store.perf.delta(perf_before))
+        result = ResultSet(columns, rows, structured, formats,
+                           perf=self.store.perf.delta(perf_before))
+        if span is not None:
+            span.attrs["output_rows"] = len(rows)
+            span.attrs["nodes"] = self._node_records(tree, plan, stats)
+            result.node_stats = stats
+        return result
+
+    def _node_records(self, tree: QueryTree, plan, stats) -> List[Dict]:
+        """Per-node EXPLAIN ANALYZE records, DF order over the whole tree
+        (TYPE 2 existential nodes included)."""
+        records: List[Dict] = []
+        estimates = getattr(plan, "node_estimates", None) or {}
+        trace = self.store.trace
+
+        def visit(node: QTNode, depth: int) -> None:
+            entry = stats.get(node.id, (0, 0))
+            label = f"TYPE {node.label}" if node.label else "?"
+            records.append({
+                "node_id": node.id,
+                "describe": node.describe(),
+                "label": label,
+                "depth": depth,
+                "est_rows": estimates.get(node.id),
+                "actual_rows": entry[1],
+                "loops": entry[0],
+            })
+            if trace is not None and trace.enabled:
+                trace.histograms.observe_rows(label, entry[1])
+            for child in node.children.values():
+                visit(child, depth + 1)
+
+        for root in tree.roots:
+            visit(root, 0)
+        return records
 
     def select_entities(self, class_name: str, where) -> List[int]:
         """Entities of ``class_name`` satisfying ``where`` (update/VERIFY
@@ -164,7 +215,7 @@ class QueryExecutor:
             from repro.optimizer.strategies import equality_conjuncts
             for attr_name, value in equality_conjuncts(where, root):
                 if self.store.has_index_on(root.class_name, attr_name):
-                    self.store.perf.index_selections += 1
+                    self.store.perf.bump("index_selections")
                     return sorted(self.store.find_by_dva(
                         root.class_name, attr_name, value))
         return self.accessor.class_extent(root.class_name)
@@ -179,8 +230,13 @@ class QueryExecutor:
     # -- Loop enumeration ----------------------------------------------------------
 
     def _enumerate_loops(self, loop_nodes: List[QTNode], index: int,
-                         env: Dict, tree: QueryTree, plan):
-        """Nested iteration over TYPE 1/TYPE 3 variables in DF order."""
+                         env: Dict, tree: QueryTree, plan, stats=None):
+        """Nested iteration over TYPE 1/TYPE 3 variables in DF order.
+
+        ``stats`` (tracing only) maps node id -> [loop entries, instances
+        bound]; the untraced path is a separate loop so the per-instance
+        bookkeeping costs nothing when tracing is off.
+        """
         if index == len(loop_nodes):
             yield env
             return
@@ -191,18 +247,28 @@ class QueryExecutor:
             domain = self.accessor.node_domain(node, env)
 
         produced = False
-        for instance in domain:
-            produced = True
-            env[node.id] = instance
-            yield from self._enumerate_loops(loop_nodes, index + 1, env,
-                                             tree, plan)
+        if stats is None:
+            for instance in domain:
+                produced = True
+                env[node.id] = instance
+                yield from self._enumerate_loops(loop_nodes, index + 1, env,
+                                                 tree, plan)
+        else:
+            entry = stats.setdefault(node.id, [0, 0])
+            entry[0] += 1
+            for instance in domain:
+                produced = True
+                entry[1] += 1
+                env[node.id] = instance
+                yield from self._enumerate_loops(loop_nodes, index + 1, env,
+                                                 tree, plan, stats)
         if not produced and node.label == TYPE3:
             # §4.5: "the domain of TYPE 3 variables will never be empty
             # (when empty, adding a dummy instance all of whose attributes
             # are null will achieve this)".
             env[node.id] = DUMMY
             yield from self._enumerate_loops(loop_nodes, index + 1, env,
-                                             tree, plan)
+                                             tree, plan, stats)
         env.pop(node.id, None)
 
     def _root_domain(self, node: QTNode, plan):
@@ -215,14 +281,14 @@ class QueryExecutor:
     # -- Selection ------------------------------------------------------------------
 
     def _selection_holds(self, where, exists_nodes: List[QTNode],
-                         env: Dict) -> bool:
+                         env: Dict, stats=None) -> bool:
         """The "such that for some Xm+1..Xn" clause: existential
         enumeration of TYPE 2 subtrees, then the 3-valued test."""
         if where is None:
             return True
         if not exists_nodes:
             return self.evaluator.is_true(where, env)
-        return self._exists(exists_nodes, 0, where, env)
+        return self._exists(exists_nodes, 0, where, env, stats)
 
     def _exists_nodes(self, loop_nodes: List[QTNode]) -> List[QTNode]:
         """All TYPE 2 existential subtree nodes below the loop variables,
@@ -245,16 +311,26 @@ class QueryExecutor:
                 collect(child)
         return result
 
-    def _exists(self, nodes: List[QTNode], index: int, where, env: Dict
-                ) -> bool:
+    def _exists(self, nodes: List[QTNode], index: int, where, env: Dict,
+                stats=None) -> bool:
         if index == len(nodes):
             return self.evaluator.is_true(where, env)
         node = nodes[index]
-        for instance in self.accessor.node_domain(node, env):
-            env[node.id] = instance
-            if self._exists(nodes, index + 1, where, env):
-                env.pop(node.id, None)
-                return True
+        if stats is None:
+            for instance in self.accessor.node_domain(node, env):
+                env[node.id] = instance
+                if self._exists(nodes, index + 1, where, env):
+                    env.pop(node.id, None)
+                    return True
+        else:
+            entry = stats.setdefault(node.id, [0, 0])
+            entry[0] += 1
+            for instance in self.accessor.node_domain(node, env):
+                entry[1] += 1
+                env[node.id] = instance
+                if self._exists(nodes, index + 1, where, env, stats):
+                    env.pop(node.id, None)
+                    return True
         env.pop(node.id, None)
         return False
 

@@ -46,6 +46,21 @@ class ResultSet:
         #: non-error static-analysis diagnostics (warnings/notes) the
         #: front end attached — see :mod:`repro.analysis`
         self.diagnostics: List = []
+        #: the statement's trace span tree when tracing was enabled
+        #: (:mod:`repro.trace`); render with :meth:`explain_analyze`
+        self.trace = None
+        #: node id -> [loop entries, instances bound] from a traced run
+        self.node_stats = None
+
+    def explain_analyze(self) -> str:
+        """The EXPLAIN ANALYZE view of this query's traced execution:
+        the annotated query tree with per-node TYPE labels, estimated vs.
+        actual cardinalities, and per-layer timings."""
+        if self.trace is None:
+            raise ValueError(
+                "query was not traced; enable tracing "
+                "(Database.enable_tracing()) and re-run it")
+        return self.trace.render()
 
     def __len__(self):
         return len(self.rows)

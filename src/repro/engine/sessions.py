@@ -179,7 +179,8 @@ class Session:
             # independently (the manager tracks one "current" at a time,
             # swapped around each statement).
             from repro.storage.transactions import Transaction
-            self._transaction = Transaction(manager)
+            manager._next_txn_id += 1
+            self._transaction = Transaction(manager, manager._next_txn_id)
         else:
             self._transaction = manager.begin()
             manager._current = None   # detach: sessions swap in explicitly

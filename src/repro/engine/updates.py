@@ -97,10 +97,18 @@ class UpdateEngine:
                 raise CatalogError(f"not an update statement: {statement!r}")
             if self.constraints is not None:
                 self.constraints.after_statement(touches)
-        except Exception:
-            transactions.current.rollback_to(savepoint)
-            if own_transaction:
-                transactions.abort()
+        except Exception as exc:
+            try:
+                transactions.current.rollback_to(savepoint)
+                if own_transaction:
+                    transactions.abort()
+            except Exception:
+                # The cleanup itself failed (e.g. the device died mid
+                # statement).  The statement's own error is the diagnosis
+                # the caller needs; re-raising it here keeps the rollback
+                # failure reachable as its __context__ instead of letting
+                # it mask the original.
+                raise exc
             raise
         if own_transaction:
             transactions.commit()

@@ -27,6 +27,8 @@ _HELP = """Commands:
   .stats                  schema and constraint statistics
   .design                 physical mapping decisions
   .explain <retrieve>     optimizer strategy report
+  .trace <retrieve>       EXPLAIN ANALYZE: run traced, print the span tree
+  .trace on|off           leave tracing on for following statements
   .analyze                collect optimizer statistics
   .lint                   run the schema linter (simcheck) on the schema
   .perf                   read-path cache / memoization counters
@@ -96,6 +98,35 @@ class IQFSession:
                 self._print(self.database.explain(argument))
             except SimError as exc:
                 self._print(f"error: {exc}")
+        elif command == ".trace":
+            if not argument:
+                self._print("usage: .trace <retrieve statement> | on | off")
+                return
+            if argument.lower() in ("on", "off"):
+                if argument.lower() == "on":
+                    self.database.enable_tracing()
+                    self._print("tracing on")
+                else:
+                    self.database.disable_tracing()
+                    self._print("tracing off")
+                return
+            was_enabled = (self.database.trace is not None
+                           and self.database.trace.enabled)
+            self.database.enable_tracing()
+            try:
+                result = self.database.execute(argument.rstrip(";"))
+            except SimError as exc:
+                self._print(f"error: {exc}")
+                return
+            finally:
+                if not was_enabled:
+                    self.database.disable_tracing()
+            if isinstance(result, int):
+                self._print(self.database.trace.last().render())
+                self._print(f"{result} entities affected")
+            else:
+                self._print(result.explain_analyze())
+                self._print(f"({len(result)} rows)")
         elif command == ".lint":
             from repro.analysis import lint_schema
             diagnostics = lint_schema(self.database.schema)
@@ -122,6 +153,9 @@ class IQFSession:
             self.database.reset_io_stats()
         elif command == ".perf":
             self._print(self.database.perf.describe())
+            recorder = self.database.trace
+            if recorder is not None and recorder.statements:
+                self._print(recorder.histograms.describe())
         else:
             self._print(f"unknown command {command!r}; try .help")
 

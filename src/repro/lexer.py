@@ -298,3 +298,10 @@ class TokenStream:
     def fail(self, message: str):
         token = self.current
         raise self._error(message, token.line, token.column)
+
+    def fail_from(self, message: str, cause: BaseException):
+        """Like :meth:`fail`, but keeps ``cause`` on the raised error's
+        ``__cause__`` so the original diagnosis survives the translation
+        into a position-annotated syntax error."""
+        token = self.current
+        raise self._error(message, token.line, token.column) from cause

@@ -147,6 +147,25 @@ class LUCSchema:
         raise SchemaError(
             f"no EVA relationship for {owner_class}.{eva_name}")
 
+    def layout_summary(self) -> Dict[str, object]:
+        """Compact layout description of the LUC translation — the
+        metadata header of a trace export (``python -m repro trace``), so
+        offline analysis can resolve decoded-record and relationship
+        counts back to the Directory's view of the schema."""
+        return {
+            "lucs": {
+                luc.name: {"kind": luc.kind,
+                           "class": luc.class_name,
+                           "fields": len(luc.fields)}
+                for luc in self._lucs.values()},
+            "relationships": {
+                rel.name: {"flavor": rel.flavor,
+                           "domain": rel.domain_luc,
+                           "range": rel.range_luc,
+                           "multiplicity": rel.multiplicity}
+                for rel in self._relationships.values()},
+        }
+
     def __repr__(self):
         return (f"<LUCSchema {len(self._lucs)} LUCs, "
                 f"{len(self._relationships)} relationships>")

@@ -39,6 +39,8 @@ class ReadCache:
                  fanout_capacity: int = 8192):
         self.perf = perf
         self.enabled = True
+        #: optional trace recorder (repro.trace.attach_tracing)
+        self.trace = None
         #: bumped on every invalidation; validates engine-level memos
         self.epoch = 0
         self.record_capacity = record_capacity
@@ -58,11 +60,16 @@ class ReadCache:
         if not self.enabled:
             return None
         entry = self._records.get((class_name, surrogate))
+        trace = self.trace
         if entry is None:
-            self.perf.record_cache_misses += 1
+            self.perf.bump("record_cache_misses")
+            if trace is not None and trace.enabled:
+                trace.count("mapper.record_cache_misses")
             return None
         self._records.move_to_end((class_name, surrogate))
-        self.perf.record_cache_hits += 1
+        self.perf.bump("record_cache_hits")
+        if trace is not None and trace.enabled:
+            trace.count("mapper.record_cache_hits")
         return entry
 
     def put_record(self, class_name: str, surrogate: int, rid,
@@ -79,10 +86,10 @@ class ReadCache:
             return MISSING
         entry = self._roles.get((class_name, surrogate), MISSING)
         if entry is MISSING:
-            self.perf.role_cache_misses += 1
+            self.perf.bump("role_cache_misses")
             return MISSING
         self._roles.move_to_end((class_name, surrogate))
-        self.perf.role_cache_hits += 1
+        self.perf.bump("role_cache_hits")
         return entry
 
     def put_role(self, class_name: str, surrogate: int,
@@ -98,11 +105,16 @@ class ReadCache:
         if not self.enabled:
             return None
         targets = self._fanout.get((rel_id, side, surrogate))
+        trace = self.trace
         if targets is None:
-            self.perf.fanout_cache_misses += 1
+            self.perf.bump("fanout_cache_misses")
+            if trace is not None and trace.enabled:
+                trace.count("mapper.fanout_cache_misses")
             return None
         self._fanout.move_to_end((rel_id, side, surrogate))
-        self.perf.fanout_cache_hits += 1
+        self.perf.bump("fanout_cache_hits")
+        if trace is not None and trace.enabled:
+            trace.count("mapper.fanout_cache_hits")
         return targets
 
     def put_fanout(self, rel_id: int, side: bool, surrogate: int,
@@ -119,7 +131,7 @@ class ReadCache:
         """Record a mutation that has no cached representation here (e.g.
         a separate-unit MV DVA write) so engine memos still expire."""
         self.epoch += 1
-        self.perf.invalidations += 1
+        self.perf.bump("invalidations")
 
     def invalidate_record(self, class_name: str, surrogate: int) -> None:
         self._records.pop((class_name, surrogate), None)
@@ -146,6 +158,9 @@ class ReadCache:
         self._roles.clear()
         self._fanout.clear()
         self.note_write()
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.event("cache_clear", epoch=self.epoch)
 
     @contextlib.contextmanager
     def disabled(self):

@@ -99,6 +99,9 @@ class MapperStore:
         self.wal.retry = self.retry
         #: optional fault injector (see install_faults)
         self.faults: Optional[FaultInjector] = None
+        #: optional trace recorder (see repro.trace.attach_tracing); None
+        #: by default so the hot-path guard is a single identity test
+        self.trace = None
         #: decoded-record / role / EVA fan-out caches (see read_cache.py)
         self.read_cache = ReadCache(self.perf)
         # Rollback surgery (abort or statement-level rollback_to) restores
@@ -539,7 +542,11 @@ class MapperStore:
             raise IntegrityError(
                 f"entity {surrogate} has no role {class_name!r}")
         _, values = self._class_file[class_name].read(rid)
-        self.perf.records_decoded += 1
+        self.perf.bump("records_decoded")
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.count("mapper.records_decoded")
+            trace.count(f"mapper.decoded[{class_name}]")
         self.read_cache.put_record(class_name, surrogate, rid, values)
         return rid, values
 

@@ -33,11 +33,15 @@ class CostModel:
     ("statistical optimization is not fully implemented yet").
     """
 
-    def __init__(self, store: MapperStore, statistics=None):
+    def __init__(self, store: MapperStore, statistics=None,
+                 fanout_feedback=None):
         self.store = store
         self.schema = store.schema
         self.design = store.design
         self.statistics = statistics
+        #: (owner, attr) -> observed mean fan-out, learned from traced
+        #: executions (EXPLAIN ANALYZE actuals fed back by the Optimizer)
+        self.fanout_feedback = fanout_feedback
 
     # -- Base statistics ---------------------------------------------------------
 
@@ -55,6 +59,10 @@ class CostModel:
         return self.store.blocking_factor(class_name)
 
     def eva_fanout(self, eva) -> float:
+        if self.fanout_feedback:
+            observed = self.fanout_feedback.get((eva.owner_name, eva.name))
+            if observed is not None:
+                return max(observed, 0.0)
         fanout = self.store.avg_fanout(eva)
         return max(fanout, 0.0)
 

@@ -50,6 +50,9 @@ class Plan:
     root_order: Optional[List[str]] = None
     estimated_cost: float = 0.0
     description: str = "canonical nested loops"
+    #: node id -> estimated instance count (EXPLAIN ANALYZE's "est" column;
+    #: filled in by Optimizer.choose_plan for the winning strategy)
+    node_estimates: Dict[int, float] = field(default_factory=dict)
 
     def root_iterator(self, node: QTNode, executor):
         """Domain iterator for a root node, or None for the default scan."""

@@ -60,12 +60,104 @@ class Optimizer:
         self.schema = database.schema
         #: collected by Database.analyze(); None = fixed-default estimates
         self.table_statistics = None
+        #: (owner, attr) -> [observation count, fan-out sum]; fed by
+        #: observe_execution from traced EXPLAIN ANALYZE actuals
+        self._fanout_observations = {}
+        self._considered = 0
 
     # -- Public API ---------------------------------------------------------------
 
     def choose_plan(self, query: RetrieveQuery, tree: QueryTree) -> Plan:
-        strategies = self.enumerate_strategies(query, tree)
-        return min(strategies, key=lambda plan: plan.estimated_cost)
+        trace = self.store.trace
+        if trace is not None and trace.enabled:
+            with trace.span("optimize", layer="optimizer") as span:
+                plan = self._choose_plan(query, tree)
+                span.attrs["strategy"] = plan.description
+                span.attrs["estimated_cost"] = round(plan.estimated_cost, 2)
+                span.attrs["strategies_considered"] = self._considered
+                return plan
+        return self._choose_plan(query, tree)
+
+    def _choose_plan(self, query: RetrieveQuery, tree: QueryTree) -> Plan:
+        cost_model = self._cost_model()
+        strategies = self.enumerate_strategies(query, tree, cost_model)
+        self._considered = len(strategies)
+        plan = min(strategies, key=lambda p: p.estimated_cost)
+        self._annotate_estimates(tree, plan, cost_model)
+        return plan
+
+    def _cost_model(self) -> CostModel:
+        return CostModel(self.store, self.table_statistics,
+                         fanout_feedback=self.fanout_feedback())
+
+    # -- Learned cardinality feedback ---------------------------------------------
+
+    def fanout_feedback(self):
+        """Mean observed fan-out per EVA direction, or None before any
+        traced execution has reported actuals."""
+        if not self._fanout_observations:
+            return None
+        return {key: total / count
+                for key, (count, total) in self._fanout_observations.items()}
+
+    def observe_execution(self, tree: QueryTree, node_stats) -> None:
+        """Learn actual cardinalities from one traced execution.
+
+        ``node_stats`` maps node id -> [domain enumerations, instances
+        bound] (the executor's EXPLAIN ANALYZE counters).  Each EVA edge
+        whose parent bound at least one instance contributes an observed
+        mean fan-out, which future cost models prefer over the store's
+        static average (paper §5.1's "statistical optimization", closed
+        into a feedback loop)."""
+        if not node_stats:
+            return
+
+        def visit(node):
+            parent_stats = node_stats.get(node.id)
+            for child in node.children.values():
+                child_stats = node_stats.get(child.id)
+                if (child.kind == "eva" and not child.transitive
+                        and parent_stats is not None
+                        and child_stats is not None
+                        and parent_stats[1] > 0):
+                    key = (child.eva.owner_name, child.eva.name)
+                    count, total = self._fanout_observations.get(key, (0, 0.0))
+                    fanout = child_stats[1] / parent_stats[1]
+                    if child.label == TYPE2:
+                        # Existential enumeration stops at the first
+                        # witness; its counts under-estimate true fan-out.
+                        fanout = max(fanout, 1.0) if child_stats[1] else 0.0
+                    self._fanout_observations[key] = (count + 1,
+                                                      total + fanout)
+                visit(child)
+
+        for root in tree.roots:
+            visit(root)
+
+    # -- Per-node estimates (EXPLAIN ANALYZE's "est" column) ------------------------
+
+    def _annotate_estimates(self, tree: QueryTree, plan: Plan,
+                            cost_model: CostModel) -> None:
+        estimates = {}
+        for root in tree.roots:
+            access = plan.root_access.get(root.var_name)
+            rows = (access.estimated_rows if access is not None
+                    else float(cost_model.class_cardinality(root.class_name)))
+            self._estimate_subtree(root, rows, cost_model, estimates)
+        plan.node_estimates = estimates
+
+    def _estimate_subtree(self, node: QTNode, rows: float,
+                          cost_model: CostModel, estimates) -> None:
+        estimates[node.id] = rows
+        for child in node.children.values():
+            existential = child.label == TYPE2
+            if child.kind == "eva":
+                fanout = max(cost_model.eva_fanout(child.eva), 0.0)
+                child_rows = rows * (min(fanout, 1.0) if existential
+                                     else fanout)
+            else:
+                child_rows = rows
+            self._estimate_subtree(child, child_rows, cost_model, estimates)
 
     def explain(self, query: RetrieveQuery, tree: QueryTree) -> str:
         graph = build_query_graph(tree)
@@ -80,9 +172,10 @@ class Optimizer:
 
     # -- Strategy enumeration -------------------------------------------------------
 
-    def enumerate_strategies(self, query: RetrieveQuery,
-                             tree: QueryTree) -> List[Plan]:
-        cost_model = CostModel(self.store, self.table_statistics)
+    def enumerate_strategies(self, query: RetrieveQuery, tree: QueryTree,
+                             cost_model: CostModel = None) -> List[Plan]:
+        if cost_model is None:
+            cost_model = self._cost_model()
         per_root: List[List[AccessPath]] = []
         for root in tree.roots:
             per_root.append(self._root_alternatives(query, root, cost_model))

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.errors import DDLSyntaxError
+from repro.errors import DDLSyntaxError, SchemaError
 from repro.lexer import IDENT, STRING, SYMBOL, TokenStream, tokenize
 from repro.naming import canon
 from repro.schema.attribute import (
@@ -302,8 +302,10 @@ class _DDLParser:
                                     distinct=distinct,
                                     max_cardinality=max_cardinality,
                                     ordered_by=ordered_by)
-        except Exception as exc:
-            self.stream.fail(str(exc))
+        except (SchemaError, ValueError) as exc:
+            # Only domain errors become position-annotated syntax errors;
+            # anything else (a genuine bug) must propagate untranslated.
+            self.stream.fail_from(str(exc), exc)
 
     # -- Type specs --------------------------------------------------------------
 

@@ -140,6 +140,8 @@ class BufferPool:
         #: optional :class:`~repro.storage.faults.RetryPolicy` applied to
         #: every disk access this pool makes (transient-fault absorption)
         self.retry = None
+        #: optional trace recorder (repro.trace.attach_tracing)
+        self.trace = None
         self._frames: "OrderedDict[Tuple[int,int], Block]" = OrderedDict()
         self._dirty: set = set()
         self.stats = IOStats()
@@ -172,6 +174,9 @@ class BufferPool:
             return block
         block = self._disk_read(file_id, block_no)
         self.stats.physical_reads += 1
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.count("storage.physical_reads")
         self._install(key, block)
         return block
 
@@ -193,6 +198,9 @@ class BufferPool:
                     self.wal.force()   # the WAL rule: log before data
                 self._disk_write(*victim_key, victim)
                 self.stats.physical_writes += 1
+                trace = self.trace
+                if trace is not None and trace.enabled:
+                    trace.count("storage.physical_writes")
                 self._dirty.discard(victim_key)
 
     # -- Maintenance --------------------------------------------------------------
@@ -201,9 +209,13 @@ class BufferPool:
         """Write all dirty blocks back to disk (keeps them resident)."""
         if self.wal is not None and self._dirty:
             self.wal.force()
+        trace = self.trace
+        tracing = trace is not None and trace.enabled
         for key in sorted(self._dirty):
             self._disk_write(*key, self._frames[key])
             self.stats.physical_writes += 1
+            if tracing:
+                trace.count("storage.physical_writes")
             self._dirty.discard(key)
 
     def invalidate(self) -> None:

@@ -230,6 +230,8 @@ class RetryPolicy:
         self.max_attempts = max_attempts
         self.delay = delay
         self.perf = perf
+        #: optional trace recorder (repro.trace.attach_tracing)
+        self.trace = None
         self.retries = 0
         self.giveups = 0
         self.backoff_ticks = 0
@@ -242,15 +244,22 @@ class RetryPolicy:
         while True:
             try:
                 return operation(*args, **kwargs)
-            except TransientStorageError:
+            except TransientStorageError as fault:
+                trace = self.trace
                 if attempt >= self.max_attempts:
                     self.giveups += 1
                     if self.perf is not None:
-                        self.perf.transient_giveups += 1
+                        self.perf.bump("transient_giveups")
+                    if trace is not None and trace.enabled:
+                        trace.event("transient_giveup", attempt=attempt,
+                                    fault=str(fault))
                     raise
                 self.retries += 1
                 if self.perf is not None:
-                    self.perf.transient_retries += 1
+                    self.perf.bump("transient_retries")
+                if trace is not None and trace.enabled:
+                    trace.event("transient_retry", attempt=attempt,
+                                fault=str(fault))
                 self.backoff_ticks += 2 ** attempt
                 if self.delay:
                     time.sleep(self.delay * (2 ** (attempt - 1)))

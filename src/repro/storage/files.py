@@ -160,6 +160,10 @@ class RecordFile:
 
     def _log(self, rid: RID, before, after) -> None:
         """Write-ahead log hook for one slot mutation."""
+        trace = self.pool.trace
+        if trace is not None and trace.enabled:
+            trace.count("storage.record_mutations")
+            trace.count(f"storage.mutated[{self.name}]")
         if self.wal is None:
             return
         txn_id, rolling_back = (self.txn_context()

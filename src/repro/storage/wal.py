@@ -59,6 +59,8 @@ class WriteAheadLog:
         #: a force is the log device's write, so it can fail too
         self.faults = None
         self.retry = None
+        #: optional trace recorder (repro.trace.attach_tracing)
+        self.trace = None
 
     # -- Writing -----------------------------------------------------------------
 
@@ -92,6 +94,7 @@ class WriteAheadLog:
         """
         if self._durable_upto >= len(self._records):
             return
+        forced = len(self._records) - self._durable_upto
         if self.faults is not None:
             if self.retry is not None:
                 self.retry.call(self.faults.on_force)
@@ -99,6 +102,10 @@ class WriteAheadLog:
                 self.faults.on_force()
         self._durable_upto = len(self._records)
         self.forces += 1
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.count("storage.wal_forces")
+            trace.count("storage.wal_records_forced", forced)
 
     # -- Crash / recovery ------------------------------------------------------------
 

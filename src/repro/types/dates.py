@@ -62,10 +62,31 @@ class SimDate:
         return self._date.toordinal()
 
     def add_days(self, days: int) -> "SimDate":
-        d = self._date + datetime.timedelta(days=days)
+        from repro.types.tvl import NULL, is_null
+        if is_null(days):
+            # 3VL: date arithmetic with a null offset is null.
+            return NULL
+        if isinstance(days, bool) or not isinstance(days, int):
+            raise TypeMismatchError(
+                f"date offset must be an integer day count, "
+                f"got {type(days).__name__}")
+        try:
+            d = self._date + datetime.timedelta(days=days)
+        except OverflowError as exc:
+            raise TypeMismatchError(
+                f"date out of range: {self} {days:+d} days leaves the "
+                f"calendar (0001-01-01 .. 9999-12-31)") from exc
         return SimDate(d.year, d.month, d.day)
 
     def days_until(self, other: "SimDate") -> int:
+        from repro.types.tvl import NULL, is_null
+        if is_null(other):
+            # 3VL: the distance to an unknown date is unknown.
+            return NULL
+        if not isinstance(other, SimDate):
+            raise TypeMismatchError(
+                f"days-until needs a date operand, "
+                f"got {type(other).__name__}")
         return (other._date - self._date).days
 
     def __eq__(self, other):
