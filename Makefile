@@ -2,7 +2,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test torture bench bench-recovery bench-read-path bench-lint \
-	bench-trace lint typecheck simcheck
+	bench-trace bench-batch lint typecheck simcheck
 
 test:
 	python -m pytest -x -q
@@ -52,3 +52,8 @@ bench-lint:
 # E16: tracing-overhead gate (fails if dormant tracing costs > 5%).
 bench-trace:
 	python benchmarks/make_report.py --trace
+
+# E17: batched-execution gate (fails below 2x on traversal queries or on
+# any row mismatch against the tuple-at-a-time interpreter).
+bench-batch:
+	python benchmarks/make_report.py --batch

@@ -28,6 +28,10 @@ defect detection).
 ``--trace`` runs the E16 tracing-overhead measurement and writes
 ``BENCH_trace.json`` (disabled/enabled overhead ratios over the 12-query
 sweep, spans per statement, layers observed).
+
+``--batch`` runs the E17 batched-execution measurement and writes
+``BENCH_batch.json`` (batched-over-tuple-at-a-time speedups per
+UNIVERSITY query, with row-identical verification).
 """
 
 from __future__ import annotations
@@ -53,6 +57,7 @@ _EXPERIMENT_TITLES = {
     "e14": "E14 — fault injection, crash torture & consistency checking",
     "e15": "E15 — simcheck static analysis (overhead & coverage)",
     "e16": "E16 — end-to-end tracing overhead (EXPLAIN ANALYZE)",
+    "e17": "E17 — batched Volcano execution vs tuple-at-a-time",
 }
 
 
@@ -130,6 +135,32 @@ def write_trace_report(out_path: str) -> int:
     return 0
 
 
+def write_batch_report(out_path: str) -> int:
+    """Run the E17 measurement and emit ``BENCH_batch.json``."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_batch import measure_batch
+    measured = measure_batch()
+    with open(out_path, "w") as handle:
+        json.dump(measured, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}: "
+          f"{measured['multi_eva_min_speedup']:.2f}x min / "
+          f"{measured['multi_eva_mean_speedup']:.2f}x mean batched-over-"
+          f"tuple on {measured['multi_eva_queries']} traversal queries "
+          f"(batch size {measured['batch_size']}), "
+          f"rows identical: {measured['rows_identical']}")
+    if not measured["rows_identical"]:
+        print("FAIL: batched execution returned different rows",
+              file=sys.stderr)
+        return 1
+    if measured["multi_eva_min_speedup"] < measured["min_speedup_bound"]:
+        print("FAIL: batched speedup on traversal queries below the "
+              f"{measured['min_speedup_bound']:.1f}x bound",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def experiment_of(name: str) -> str:
     match = re.match(r"test_(e\d+)_", name)
     if match:
@@ -158,6 +189,9 @@ def main(argv) -> int:
     if len(argv) >= 2 and argv[1] == "--trace":
         out_path = argv[2] if len(argv) > 2 else "BENCH_trace.json"
         return write_trace_report(out_path)
+    if len(argv) >= 2 and argv[1] == "--batch":
+        out_path = argv[2] if len(argv) > 2 else "BENCH_batch.json"
+        return write_batch_report(out_path)
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2

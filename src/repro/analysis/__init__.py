@@ -25,7 +25,7 @@ from repro.analysis.diagnostics import (
     exception_for,
     raise_for_errors,
 )
-from repro.analysis.plan_verify import verify_plan
+from repro.analysis.plan_verify import verify_physical, verify_plan
 from repro.analysis.query_lint import lint_retrieve, lint_update
 from repro.analysis.schema_lint import lint_schema
 
@@ -42,5 +42,6 @@ __all__ = [
     "lint_schema",
     "lint_update",
     "raise_for_errors",
+    "verify_physical",
     "verify_plan",
 ]

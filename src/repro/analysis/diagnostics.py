@@ -103,6 +103,9 @@ RULES = _catalog(
     ("SIM202", ERROR, "TYPE 2 existential subtree on the enumeration spine"),
     ("SIM203", ERROR, "TYPE 3 outer-join direction not preserved"),
     ("SIM204", ERROR, "plan access path references an unknown object"),
+    ("SIM205", ERROR, "physical spine does not cover the loop nodes"),
+    ("SIM206", ERROR, "existential node enumerated by the physical spine"),
+    ("SIM207", ERROR, "traversal operator kind contradicts the TYPE label"),
 )
 
 

@@ -14,6 +14,14 @@ against them, failing closed before execution:
   not feed the selection expression — that is what makes the dummy-entity
   semantics of §4.5 sound);
 * access paths reference real roots, attributes and index keys.
+
+:func:`verify_physical` extends the contract to the lowered operator DAG
+(:mod:`repro.optimizer.physical_plan`): the enumeration spine must bind
+every TYPE 1/TYPE 3 loop node exactly once, parents before children
+(SIM205); TYPE 2 existential nodes may only appear behind Semi/AntiSemi
+probes, never on the spine (SIM206); and each traversal operator's kind
+must agree with its node's TYPE label — OuterTraverse exactly for TYPE 3,
+EVATraverse for inner TYPE 1, Scan for roots (SIM207).
 """
 
 from __future__ import annotations
@@ -37,6 +45,81 @@ def verify_plan(schema: Schema, tree: QueryTree,
     _verify_type3_direction(tree, sink)
     if plan is not None:
         _verify_access_paths(schema, tree, plan, sink)
+    return sink.sorted()
+
+
+#: operator names that bind a spine node to a slot
+_SPINE_OPS = ("Scan", "EVATraverse", "OuterTraverse")
+#: operator names that probe existential subtrees
+_PROBE_OPS = ("Semi", "AntiSemi")
+
+
+def verify_physical(schema: Schema, tree: QueryTree,
+                    physical) -> List[Diagnostic]:
+    """Check a lowered physical operator DAG against the labelled tree
+    (SIM205-SIM207).  Returns diagnostics; any error means the DAG must
+    not run."""
+    sink = DiagnosticSink(source="plan")
+    operators = physical.root.chain()
+    spine_ops = [op for op in operators
+                 if op.name in _SPINE_OPS and op.node is not None]
+
+    expected = {}
+    for root in tree.roots:
+        for node in tree.loop_nodes(root):
+            expected[node.id] = node
+
+    bound: List[int] = []
+    for operator in spine_ops:
+        node = operator.node
+        if node.id in bound:
+            sink.emit("SIM205",
+                      f"node {node.describe()} is bound by more than one "
+                      f"spine operator")
+        elif node.id not in expected:
+            if node.label == TYPE2:
+                sink.emit("SIM206",
+                          f"TYPE 2 node {node.describe()} is enumerated by "
+                          f"{operator.describe()}",
+                          hint="existential subtrees are evaluated by "
+                               "Semi/AntiSemi probes, never enumerated")
+            else:
+                sink.emit("SIM205",
+                          f"spine operator {operator.describe()} binds "
+                          f"{node.describe()}, which is not a loop node")
+        elif node.kind != "root" and node.parent.id not in bound:
+            sink.emit("SIM205",
+                      f"node {node.describe()} is enumerated before its "
+                      f"parent {node.parent.describe()}")
+        bound.append(node.id)
+        if operator.name == "Scan" and node.kind != "root":
+            sink.emit("SIM207",
+                      f"Scan may only enumerate perspective roots, not "
+                      f"{node.describe()}")
+        elif operator.name == "OuterTraverse" and node.label != TYPE3:
+            sink.emit("SIM207",
+                      f"OuterTraverse on {node.describe()} "
+                      f"(TYPE{node.label}); the dummy-entity padding is "
+                      f"only sound for TYPE 3 branches")
+        elif operator.name == "EVATraverse" and node.label == TYPE3:
+            sink.emit("SIM207",
+                      f"TYPE 3 node {node.describe()} lowered to an inner "
+                      f"EVATraverse; its dummy-entity padding is lost")
+
+    for node_id, node in expected.items():
+        if node_id not in bound:
+            sink.emit("SIM205",
+                      f"loop node {node.describe()} is never bound by the "
+                      f"physical spine")
+
+    for operator in operators:
+        if operator.name not in _PROBE_OPS:
+            continue
+        for node in operator.nodes:
+            if node.label != TYPE2 and node.scope_id == MAIN_SCOPE:
+                sink.emit("SIM206",
+                          f"{operator.name} probe enumerates main-scope "
+                          f"node {node.describe()} (TYPE{node.label})")
     return sink.sorted()
 
 

@@ -57,7 +57,8 @@ class Database:
                  design: Optional[PhysicalDesign] = None,
                  constraint_mode: str = "immediate",
                  use_optimizer: bool = True,
-                 track_history: bool = False):
+                 track_history: bool = False,
+                 batch_size: Optional[int] = None):
         if isinstance(schema, str):
             schema = parse_ddl(schema)
         elif not schema.resolved:
@@ -68,7 +69,11 @@ class Database:
             self.store.enable_history()
         self.design = self.store.design
         self.qualifier = Qualifier(schema)
-        self.executor = QueryExecutor(self.store, self.qualifier)
+        if batch_size is None:
+            self.executor = QueryExecutor(self.store, self.qualifier)
+        else:
+            self.executor = QueryExecutor(self.store, self.qualifier,
+                                          batch_size=batch_size)
         self.constraints = ConstraintManager(self.executor, constraint_mode)
         self.updates = UpdateEngine(self.executor, self.constraints)
         self.use_optimizer = use_optimizer

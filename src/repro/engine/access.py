@@ -103,6 +103,64 @@ class EntityAccessor:
             self._dva_memo[key] = value
         return value
 
+    def dva_batch(self, attr, instances) -> List:
+        """Batched :meth:`dva` over a column of instances.
+
+        Exactly one memo hit *or* miss is accounted per non-dummy
+        instance — the same totals as per-instance calls, aggregated
+        into at most two counter bumps — and the records behind all the
+        misses decode through one :meth:`MapperStore.fetch_many` call.
+        Attributes outside the batched shape (subroles, surrogates, MV)
+        fall back to per-instance reads.
+        """
+        if attr.is_surrogate:
+            return [NULL if inst is DUMMY or is_null(inst) else inst
+                    for inst in instances]
+        if attr.is_subrole or attr.multi_valued or attr.is_eva:
+            return [self.dva(inst, attr) for inst in instances]
+        self._sync()
+        memo = self._dva_memo
+        attr_id = id(attr)
+        values = [NULL] * len(instances)
+        hits = misses = 0
+        pending = {}                 # surrogate -> positions awaiting value
+        for position, instance in enumerate(instances):
+            if instance is DUMMY or is_null(instance):
+                continue
+            key = (attr_id, instance)
+            if key in memo:
+                hits += 1
+                values[position] = memo[key]
+            elif instance in pending:
+                # Second occurrence in this batch: the sequential path
+                # would find the memo filled by now — a hit.
+                hits += 1
+                pending[instance].append(position)
+            else:
+                misses += 1
+                pending[instance] = [position]
+        if hits:
+            self.perf.bump("memo_hits", hits)
+        if misses:
+            self.perf.bump("memo_misses", misses)
+        if pending:
+            store = self.store
+            owner = attr.owner_name
+            holders = [surrogate for surrogate in pending
+                       if store.has_role(surrogate, owner)]
+            records = store.fetch_many(owner, holders) if holders else {}
+            for surrogate, positions in pending.items():
+                record = records.get(surrogate)
+                if record is None:
+                    value = NULL
+                else:
+                    value = record[1].get(attr.name, NULL)
+                if not isinstance(value, list):
+                    memo[(attr_id, surrogate)] = value
+                for position in positions:
+                    values[position] = value
+        return values
+
     def mv_values(self, surrogate, attr) -> List:
         """The value multiset of an MV DVA (empty for dummy / missing role)."""
         if surrogate is DUMMY or is_null(surrogate):
@@ -140,6 +198,56 @@ class EntityAccessor:
         targets = self._eva_targets_uncached(surrogate, eva)
         self._eva_memo[key] = tuple(targets)
         return targets
+
+    def eva_targets_batch(self, sources, eva) -> List[List[int]]:
+        """Batched :meth:`eva_targets` over a column of source entities.
+
+        Memo hit/miss totals match per-source calls; misses traverse the
+        store through one :meth:`MapperStore.traverse_eva_batch` call
+        (``ordered by`` EVAs fall back to the per-source path, which owns
+        the range-class sort)."""
+        self._sync()
+        memo = self._eva_memo
+        eva_id = id(eva)
+        results: List = [None] * len(sources)
+        hits = misses = 0
+        pending = {}                 # source -> positions awaiting targets
+        for position, source in enumerate(sources):
+            if source is DUMMY or is_null(source):
+                results[position] = []
+                continue
+            cached = memo.get((eva_id, source))
+            if cached is not None:
+                hits += 1
+                results[position] = list(cached)
+            elif source in pending:
+                hits += 1
+                pending[source].append(position)
+            else:
+                misses += 1
+                pending[source] = [position]
+        if hits:
+            self.perf.bump("memo_hits", hits)
+        if misses:
+            self.perf.bump("memo_misses", misses)
+        if pending:
+            if eva.options.ordered_by is not None:
+                resolved = {source: self._eva_targets_uncached(source, eva)
+                            for source in pending}
+            else:
+                store = self.store
+                owner = eva.owner_name
+                holders = [source for source in pending
+                           if store.has_role(source, owner)]
+                traversed = (store.traverse_eva_batch(holders, eva)
+                             if holders else {})
+                resolved = {source: traversed.get(source, [])
+                            for source in pending}
+            for source, targets in resolved.items():
+                memo[(eva_id, source)] = tuple(targets)
+                for position in pending[source]:
+                    results[position] = list(targets)
+        return results
 
     def _eva_targets_uncached(self, surrogate, eva) -> List[int]:
         if not self.store.has_role(surrogate, eva.owner_name):
@@ -233,6 +341,54 @@ class EntityAccessor:
         domain = tuple(self._node_domain_uncached(node, parent_instance))
         self._domain_memo[key] = domain
         return domain
+
+    def node_domains_batch(self, node, parent_instances) -> List[tuple]:
+        """Batched :meth:`node_domain` over a column of parent instances.
+
+        The caller passes the parent node's slot values directly (no env
+        dicts).  Hit/miss, ``domain_enumerations`` and trace totals match
+        per-instance calls; plain (non-transitive) EVA nodes resolve their
+        misses through :meth:`eva_targets_batch`, everything else falls
+        back to the per-instance enumerator."""
+        self._sync()
+        memo = self._domain_memo
+        node_id = node.id
+        domains: List = [None] * len(parent_instances)
+        hits = 0
+        pending = {}           # parent instance -> positions awaiting domain
+        for position, parent_instance in enumerate(parent_instances):
+            cached = memo.get((node_id, parent_instance))
+            if cached is not None:
+                hits += 1
+                domains[position] = cached
+            elif parent_instance in pending:
+                hits += 1
+                pending[parent_instance].append(position)
+            else:
+                pending[parent_instance] = [position]
+        if hits:
+            self.perf.bump("memo_hits", hits)
+        misses = len(pending)
+        if misses:
+            self.perf.bump("memo_misses", misses)
+            self.perf.bump("domain_enumerations", misses)
+            trace = self.store.trace
+            if trace is not None and trace.enabled:
+                trace.count("engine.domain_enumerations", misses)
+            missed = list(pending)
+            if node.kind == "eva" and not node.transitive:
+                sources = [self._unwrap(node.parent, instance)
+                           for instance in missed]
+                resolved = self.eva_targets_batch(sources, node.eva)
+            else:
+                resolved = [self._node_domain_uncached(node, instance)
+                            for instance in missed]
+            for parent_instance, targets in zip(missed, resolved):
+                domain = tuple(targets)
+                memo[(node_id, parent_instance)] = domain
+                for position in pending[parent_instance]:
+                    domains[position] = domain
+        return domains
 
     def _node_domain_uncached(self, node, parent_instance) -> List:
         if node.kind == "eva":

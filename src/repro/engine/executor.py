@@ -1,6 +1,6 @@
-"""The Retrieve executor: the paper's nested-loop semantics program (§4.5).
+"""The Retrieve executor: a thin driver over the physical operator DAG.
 
-For a labelled query tree, the executor runs::
+The paper's nested-loop semantics program (§4.5)::
 
     for each X1 in domain(X1)
       for each X2 in domain(X2)
@@ -10,9 +10,17 @@ For a labelled query tree, the executor runs::
               for some Xm+1 ... Xn        -- TYPE 2, existential
                 if <selection> then print <target list>
 
-with the two refinements the paper spells out: the domain of a TYPE 3
-variable is never empty (an all-null dummy instance is supplied), and the
-loop nesting order *is* the output order (perspective-implied ordering).
+is no longer interpreted recursively here.  The labelled query tree is
+lowered (:mod:`repro.optimizer.physical_plan`) into a chain of batched
+Volcano-style operators (:mod:`repro.engine.operators`) — Scan,
+EVATraverse/OuterTraverse, Filter/Semi/AntiSemi, Aggregate, Project,
+Sort, Distinct — and this module merely verifies the DAG (SIM205-207,
+fail closed), drains it, and assembles the :class:`ResultSet`.
+
+The two §4.5 refinements live in the operators now: the domain of a
+TYPE 3 variable is never empty (OuterTraverse pads with the all-null
+dummy instance), and the loop nesting order *is* the output order
+(Sort restores it when the plan reordered the roots, §5.1).
 
 Access paths for the root variables come from a plan object; the default
 plan scans class extents, and the optimizer can substitute index lookups
@@ -21,28 +29,39 @@ plan scans class extents, and the optimizer can substitute index lookups
 
 from __future__ import annotations
 
-from decimal import Decimal
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
+from repro.analysis import raise_for_errors, verify_physical
 from repro.dml.ast import Aggregate, Literal, Path, RetrieveQuery
 from repro.dml.qualification import Qualifier
-from repro.dml.query_tree import TYPE2, TYPE3, QTNode, QueryTree
-from repro.engine.access import DUMMY, EntityAccessor
+from repro.dml.query_tree import QTNode, QueryTree
+from repro.engine.access import EntityAccessor
 from repro.engine.expressions import ExpressionEvaluator
+from repro.engine.operators import (
+    DEFAULT_BATCH_SIZE,
+    ExecContext,
+    _Reversed,
+    _instance_key,
+    _sort_key,
+    selection_holds,
+    validate_batch_size,
+)
 from repro.engine.output import ResultSet, build_structured
-from repro.types.dates import SimDate, SimTime
-from repro.types.tvl import NULL, UNKNOWN, is_null
+
+__all__ = ["QueryExecutor", "_Reversed", "_instance_key", "_sort_key"]
 
 
 class QueryExecutor:
     """Executes resolved Retrieve queries against a Mapper store."""
 
-    def __init__(self, store, qualifier: Optional[Qualifier] = None):
+    def __init__(self, store, qualifier: Optional[Qualifier] = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE):
         self.store = store
         self.schema = store.schema
         self.qualifier = qualifier or Qualifier(store.schema)
         self.accessor = EntityAccessor(store)
         self.evaluator = ExpressionEvaluator(self.accessor)
+        self.batch_size = validate_batch_size(batch_size)
 
     # -- Public API -----------------------------------------------------------------
 
@@ -56,8 +75,9 @@ class QueryExecutor:
 
         With tracing attached and enabled, the run is wrapped in an
         ``execute`` span carrying per-node EXPLAIN ANALYZE counters
-        (§4.5 TYPE label, loop entries, instances bound) — otherwise the
-        only added work is this None test.
+        (§4.5 TYPE label, loop entries, instances bound) plus one record
+        per physical operator — otherwise the only added work is this
+        None test.
         """
         trace = self.store.trace
         if trace is None or not trace.enabled:
@@ -69,94 +89,55 @@ class QueryExecutor:
 
     def _run(self, query: RetrieveQuery, tree: QueryTree, plan,
              span, stats) -> ResultSet:
+        # Imported lazily: the lowering module imports the operator
+        # algebra from this package, so a module-level import here would
+        # be circular for entry points that load the optimizer first.
+        from repro.optimizer.physical_plan import lower_plan
         self.accessor.begin_query()
         perf_before = self.store.perf.snapshot()
-        roots = list(tree.roots)
-        reordered = False
-        if plan is not None and getattr(plan, "root_order", None):
-            by_var = {root.var_name: root for root in roots}
-            planned = [by_var[name] for name in plan.root_order]
-            reordered = planned != roots
-            roots = planned
-        loop_nodes: List[QTNode] = []
-        for root in roots:
-            loop_nodes.extend(tree.loop_nodes(root))
+
+        physical = lower_plan(query, tree, plan, self)
+        # Fail closed: a DAG that breaks the structural contract between
+        # the labelled tree and the operators must never run.
+        raise_for_errors(verify_physical(self.schema, tree, physical))
+
+        ctx = ExecContext(self, physical, stats)
+        structured_mode = query.mode == "structure"
+        rows: List[tuple] = []
+        snapshots = []
+        for batch in physical.root.run(ctx):
+            for out_row in batch:
+                if not out_row.duplicate:
+                    rows.append(out_row.values)
+                if structured_mode:
+                    snapshots.append((out_row.snapshot, out_row.values))
+
+        columns = [item.label or item.expression.describe()
+                   for item in query.targets]
         original_nodes: List[QTNode] = []
         for root in tree.roots:
             original_nodes.extend(tree.loop_nodes(root))
-        columns = [item.label or item.expression.describe()
-                   for item in query.targets]
-
-        snapshots: List[Tuple[tuple, tuple]] = []
-        rows: List[tuple] = []
-        order_keys: List[tuple] = []
-        env: Dict = {}
-
-        needs_order = bool(query.order_by)
-        structured_mode = query.mode == "structure"
-        perspective_keys: List[tuple] = []
-
-        # The TYPE 2 existential subtrees are a property of the labelled
-        # tree, not of the enumerated row: collect them once per query
-        # instead of once per enumerated combination.
-        exists_nodes = self._exists_nodes(loop_nodes)
-
-        for _ in self._enumerate_loops(loop_nodes, 0, env, tree, plan,
-                                       stats):
-            if not self._selection_holds(query.where, exists_nodes, env,
-                                         stats):
-                continue
-            row = tuple(self._render(self.evaluator.value(item.expression, env))
-                        for item in query.targets)
-            rows.append(row)
-            if needs_order:
-                order_keys.append(tuple(
-                    _sort_key(self.evaluator.value(order.expression, env),
-                              order.descending)
-                    for order in query.order_by))
-            if reordered:
-                # Key for restoring the perspective-implied output order
-                # (the §5.1 semantics-preservation sort the plan paid for).
-                perspective_keys.append(tuple(
-                    _instance_key(env.get(node.id))
-                    for node in original_nodes))
-            if structured_mode:
-                snapshots.append(
-                    (tuple(env.get(node.id) for node in original_nodes), row))
-
-        if reordered:
-            permutation = sorted(range(len(rows)),
-                                 key=lambda i: perspective_keys[i])
-            rows = [rows[i] for i in permutation]
-            if needs_order:
-                order_keys = [order_keys[i] for i in permutation]
-            if structured_mode:
-                snapshots = [snapshots[i] for i in permutation]
-
-        if needs_order:
-            paired = sorted(
-                zip(order_keys, range(len(rows))),
-                key=lambda pair: pair[0])
-            rows = [rows[i] for _, i in paired]
-            if structured_mode:
-                snapshots = [snapshots[i] for _, i in paired]
-
-        if query.distinct:
-            rows = _distinct(rows)
 
         structured = None
+        formats: List[str] = []
         if structured_mode:
             node_targets = self._targets_by_node(query, tree, original_nodes)
             structured = build_structured(original_nodes, node_targets,
                                           columns, snapshots)
-        formats = []
-        if structured_mode:
             formats = [node.describe() for node in original_nodes]
+
+        perf = self.store.perf
+        operators = physical.operators
+        perf.bump("batches_dispatched",
+                  sum(operator.batches for operator in operators))
+        perf.bump("batch_rows",
+                  sum(operator.rows_out for operator in operators))
         result = ResultSet(columns, rows, structured, formats,
-                           perf=self.store.perf.delta(perf_before))
+                           perf=perf.delta(perf_before))
         if span is not None:
             span.attrs["output_rows"] = len(rows)
             span.attrs["nodes"] = self._node_records(tree, plan, stats)
+            span.attrs["operators"] = physical.operator_records()
             result.node_stats = stats
         return result
 
@@ -193,146 +174,55 @@ class QueryExecutor:
         path: single perspective, existential TYPE 2 semantics).
 
         When the predicate carries an equality conjunct on an indexed DVA
-        of the root class, the candidates come from the index instead of a
-        full extent scan (sorted by surrogate, matching the optimizer's
-        semantics-preservation rule for index paths)."""
+        of the root class — or a range conjunct on an *ordered*-indexed
+        DVA — the candidates come from the index instead of a full extent
+        scan (sorted by surrogate, matching the optimizer's
+        semantics-preservation rule for index paths).  The selection runs
+        through the same operator algebra as queries: a root Scan feeding
+        the shared Filter/Semi/AntiSemi stage."""
+        from repro.optimizer.physical_plan import lower_selection
         self.accessor.begin_query()
         tree = self.qualifier.resolve_selection(class_name, where)
         root = tree.roots[0]
-        exists_nodes = self._exists_nodes([root])
+        domain = self._selection_domain(root, where)
+        physical = lower_selection(tree, where, domain)
+        ctx = ExecContext(self, physical)
+        slot = physical.slots[root.id]
         selected: List[int] = []
-        env: Dict = {}
-        for surrogate in self._selection_domain(root, where):
-            env[root.id] = surrogate
-            if self._selection_holds(where, exists_nodes, env):
-                selected.append(surrogate)
+        for batch in physical.root.run(ctx):
+            selected.extend(row[slot] for row in batch)
         return selected
 
     def _selection_domain(self, root: QTNode, where):
-        """Candidate surrogates for a selection scan: the first equality
-        conjunct on an indexed DVA wins, else the full class extent."""
-        if where is not None:
-            from repro.optimizer.strategies import equality_conjuncts
-            for attr_name, value in equality_conjuncts(where, root):
-                if self.store.has_index_on(root.class_name, attr_name):
-                    self.store.perf.bump("index_selections")
-                    return sorted(self.store.find_by_dva(
-                        root.class_name, attr_name, value))
-        return self.accessor.class_extent(root.class_name)
+        """Index candidates for a selection scan, or None for the full
+        class extent: the first equality conjunct on an indexed DVA wins,
+        then the first range conjunct on an ordered-indexed DVA."""
+        if where is None:
+            return None
+        from repro.optimizer.strategies import (equality_conjuncts,
+                                                range_conjuncts)
+        for attr_name, value in equality_conjuncts(where, root):
+            if self.store.has_index_on(root.class_name, attr_name):
+                self.store.perf.bump("index_selections")
+                return sorted(self.store.find_by_dva(
+                    root.class_name, attr_name, value))
+        for attr_name, low, high, include_low, include_high \
+                in range_conjuncts(where, root):
+            if self.store.has_ordered_index_on(root.class_name, attr_name):
+                self.store.perf.bump("index_selections")
+                return sorted(self.store.find_by_dva_range(
+                    root.class_name, attr_name, low, high,
+                    include_low, include_high))
+        return None
 
     def predicate_holds(self, tree: QueryTree, where, surrogate) -> bool:
         """Evaluate a pre-resolved single-perspective predicate for one
         entity (VERIFY assertions)."""
+        from repro.optimizer.physical_plan import exists_subtrees
         root = tree.roots[0]
         env = {root.id: surrogate}
-        return self._selection_holds(where, self._exists_nodes([root]), env)
-
-    # -- Loop enumeration ----------------------------------------------------------
-
-    def _enumerate_loops(self, loop_nodes: List[QTNode], index: int,
-                         env: Dict, tree: QueryTree, plan, stats=None):
-        """Nested iteration over TYPE 1/TYPE 3 variables in DF order.
-
-        ``stats`` (tracing only) maps node id -> [loop entries, instances
-        bound]; the untraced path is a separate loop so the per-instance
-        bookkeeping costs nothing when tracing is off.
-        """
-        if index == len(loop_nodes):
-            yield env
-            return
-        node = loop_nodes[index]
-        if node.kind == "root":
-            domain = self._root_domain(node, plan)
-        else:
-            domain = self.accessor.node_domain(node, env)
-
-        produced = False
-        if stats is None:
-            for instance in domain:
-                produced = True
-                env[node.id] = instance
-                yield from self._enumerate_loops(loop_nodes, index + 1, env,
-                                                 tree, plan)
-        else:
-            entry = stats.setdefault(node.id, [0, 0])
-            entry[0] += 1
-            for instance in domain:
-                produced = True
-                entry[1] += 1
-                env[node.id] = instance
-                yield from self._enumerate_loops(loop_nodes, index + 1, env,
-                                                 tree, plan, stats)
-        if not produced and node.label == TYPE3:
-            # §4.5: "the domain of TYPE 3 variables will never be empty
-            # (when empty, adding a dummy instance all of whose attributes
-            # are null will achieve this)".
-            env[node.id] = DUMMY
-            yield from self._enumerate_loops(loop_nodes, index + 1, env,
-                                             tree, plan, stats)
-        env.pop(node.id, None)
-
-    def _root_domain(self, node: QTNode, plan):
-        if plan is not None:
-            iterator = plan.root_iterator(node, self)
-            if iterator is not None:
-                return iterator
-        return self.accessor.root_domain(node)
-
-    # -- Selection ------------------------------------------------------------------
-
-    def _selection_holds(self, where, exists_nodes: List[QTNode],
-                         env: Dict, stats=None) -> bool:
-        """The "such that for some Xm+1..Xn" clause: existential
-        enumeration of TYPE 2 subtrees, then the 3-valued test."""
-        if where is None:
-            return True
-        if not exists_nodes:
-            return self.evaluator.is_true(where, env)
-        return self._exists(exists_nodes, 0, where, env, stats)
-
-    def _exists_nodes(self, loop_nodes: List[QTNode]) -> List[QTNode]:
-        """All TYPE 2 existential subtree nodes below the loop variables,
-        in DF order — a per-query constant."""
-        exists_nodes: List[QTNode] = []
-        for node in loop_nodes:
-            exists_nodes.extend(self._type2_subtree(node))
-        return exists_nodes
-
-    def _type2_subtree(self, node: QTNode) -> List[QTNode]:
-        result: List[QTNode] = []
-
-        def collect(candidate: QTNode):
-            result.append(candidate)
-            for child in candidate.children.values():
-                collect(child)
-
-        for child in node.children.values():
-            if child.label == TYPE2:
-                collect(child)
-        return result
-
-    def _exists(self, nodes: List[QTNode], index: int, where, env: Dict,
-                stats=None) -> bool:
-        if index == len(nodes):
-            return self.evaluator.is_true(where, env)
-        node = nodes[index]
-        if stats is None:
-            for instance in self.accessor.node_domain(node, env):
-                env[node.id] = instance
-                if self._exists(nodes, index + 1, where, env):
-                    env.pop(node.id, None)
-                    return True
-        else:
-            entry = stats.setdefault(node.id, [0, 0])
-            entry[0] += 1
-            for instance in self.accessor.node_domain(node, env):
-                entry[1] += 1
-                env[node.id] = instance
-                if self._exists(nodes, index + 1, where, env, stats):
-                    env.pop(node.id, None)
-                    return True
-        env.pop(node.id, None)
-        return False
+        return selection_holds(self.evaluator, self.accessor, where,
+                               exists_subtrees([root]), env)
 
     # -- Output helpers ----------------------------------------------------------------
 
@@ -371,13 +261,6 @@ class QueryExecutor:
                 deepest = node
         return deepest
 
-    @staticmethod
-    def _render(value):
-        """Row values: unwrap transitive instances, keep NULL as-is."""
-        if value is UNKNOWN:
-            return NULL
-        return value
-
 
 def _paths_of(expression):
     from repro.dml.ast import Binary, FunctionCall, IsaTest, Quantified, Unary
@@ -398,61 +281,3 @@ def _paths_of(expression):
     elif isinstance(expression, Aggregate):
         if expression.outer_path is not None:
             yield expression.outer_path
-
-
-_TYPE_RANK = {bool: 0, int: 1, float: 1, Decimal: 1, str: 2,
-              SimDate: 3, SimTime: 4, tuple: 5}
-
-
-class _Reversed:
-    """Wrapper inverting sort order for DESC keys."""
-
-    __slots__ = ("key",)
-
-    def __init__(self, key):
-        self.key = key
-
-    def __lt__(self, other):
-        return other.key < self.key
-
-    def __eq__(self, other):
-        return other.key == self.key
-
-
-def _instance_key(instance):
-    """Total order over loop-node instances for the restore sort."""
-    if instance is None:
-        return (0, 0)
-    if isinstance(instance, tuple):      # transitive (value, level)
-        instance = instance[0]
-    if isinstance(instance, int):
-        return (1, instance)
-    return (2, str(instance))
-
-
-def _sort_key(value, descending: bool):
-    """Total order over mixed-type values; NULL sorts first (last if DESC)."""
-    if is_null(value) or value is UNKNOWN:
-        key = (0, 0)
-    else:
-        rank = _TYPE_RANK.get(type(value), 9)
-        if isinstance(value, Decimal):
-            value = float(value)
-        key = (1, rank, value)
-    return _Reversed(key) if descending else key
-
-
-def _distinct(rows: List[tuple]) -> List[tuple]:
-    seen = set()
-    unique: List[tuple] = []
-    for row in rows:
-        try:
-            marker = row
-            if marker in seen:
-                continue
-            seen.add(marker)
-        except TypeError:
-            if row in unique:
-                continue
-        unique.append(row)
-    return unique

@@ -1,0 +1,781 @@
+"""Volcano-style batched operator algebra for the Retrieve path (§4.5).
+
+The paper's nested-loop semantics program::
+
+    for each X1 in domain(X1)
+      ...
+        for each Xm in domain(Xm)       -- TYPE 1 and TYPE 3, DF order
+          such that
+            for some Xm+1 ... Xn        -- TYPE 2, existential
+              if <selection> then print <target list>
+
+is realized here as a chain of physical operators, each pulling *batches*
+of slot rows from its child instead of single tuples:
+
+* :class:`Scan` — root enumeration (extent or index access path);
+* :class:`EVATraverse` — TYPE 1 inner-join fan-out across an EVA or MV
+  DVA, one batched accessor call per input batch;
+* :class:`OuterTraverse` — TYPE 3 directed outer join: an empty domain
+  yields the all-null dummy instance instead of dropping the row;
+* :class:`Filter` — 3VL predicate over a batch (with a vectorized path
+  for plain DVA-vs-literal comparisons);
+* :class:`Semi` / :class:`AntiSemi` — TYPE 2 SOME/NO existential
+  subtrees as semijoins on the current binding;
+* :class:`Aggregate`, :class:`Project`, :class:`Sort`,
+  :class:`Distinct` — target evaluation and result shaping.
+
+A *slot row* is a plain list, one slot per enumeration-spine node (in
+planned DF order) plus one per precomputed aggregate; unbound slots hold
+the :data:`UNBOUND` sentinel.  Environments (node id -> instance) are
+materialized per row only where the expression evaluator is actually
+needed — the batched fast paths never build them.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Dict, List, Optional
+
+from repro.dml.ast import Binary, Literal, Path, Quantified
+from repro.engine.access import DUMMY
+from repro.engine.expressions import _compare
+from repro.errors import SimError
+from repro.types.dates import SimDate, SimTime
+from repro.types.tvl import NULL, UNKNOWN, is_null
+
+
+class _Unbound:
+    """Sentinel for slots whose node has not been enumerated yet."""
+
+    def __repr__(self):
+        return "UNBOUND"
+
+    def __bool__(self):
+        return False
+
+
+UNBOUND = _Unbound()
+
+MIN_BATCH_SIZE = 1
+MAX_BATCH_SIZE = 65536
+DEFAULT_BATCH_SIZE = 64
+
+#: comparison operators the batched fast paths share with ``_compare``
+_COMPARISON_OPS = ("=", "neq", "<", "<=", ">", ">=", "like")
+
+
+def validate_batch_size(value) -> int:
+    """Bounds-checked batch size (the ``Database`` / IQF ``.set`` knob)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SimError(f"batch_size must be an integer, got {value!r}")
+    if not MIN_BATCH_SIZE <= value <= MAX_BATCH_SIZE:
+        raise SimError(f"batch_size must be between {MIN_BATCH_SIZE} and "
+                       f"{MAX_BATCH_SIZE}, got {value}")
+    return value
+
+
+class ExecContext:
+    """Per-execution state shared by every operator of one physical DAG."""
+
+    __slots__ = ("executor", "accessor", "evaluator", "store", "stats",
+                 "batch_size", "slots", "width", "_slot_items")
+
+    def __init__(self, executor, physical, stats=None):
+        self.executor = executor
+        self.accessor = executor.accessor
+        self.evaluator = executor.evaluator
+        self.store = executor.store
+        self.stats = stats
+        self.batch_size = executor.batch_size
+        self.slots = physical.slots
+        self.width = physical.width
+        self._slot_items = tuple(physical.slots.items())
+
+    def env_of(self, row) -> Dict:
+        """Node environment for one row (evaluator-facing view)."""
+        env = {}
+        for node_id, slot in self._slot_items:
+            instance = row[slot]
+            if instance is not UNBOUND:
+                env[node_id] = instance
+        return env
+
+
+class OutRow:
+    """One projected result row plus its sort/output bookkeeping."""
+
+    __slots__ = ("values", "order_key", "restore_key", "snapshot",
+                 "duplicate")
+
+    def __init__(self, values, order_key=None, restore_key=None,
+                 snapshot=None):
+        self.values = values
+        self.order_key = order_key
+        self.restore_key = restore_key
+        self.snapshot = snapshot
+        self.duplicate = False
+
+
+class Operator:
+    """Base batched iterator.  ``run(ctx)`` yields lists (batches) of
+    slot rows; per-operator batch/row counters feed EXPLAIN ANALYZE."""
+
+    name = "operator"
+
+    def __init__(self, child: Optional["Operator"] = None):
+        self.child = child
+        self.node = None
+        self.batches = 0
+        self.rows_in = 0
+        self.rows_out = 0
+
+    def run(self, ctx: ExecContext):
+        raise NotImplementedError
+
+    def detail(self) -> str:
+        return ""
+
+    def describe(self) -> str:
+        detail = self.detail()
+        return f"{self.name}({detail})" if detail else self.name
+
+    def _emit(self, batch):
+        self.batches += 1
+        self.rows_out += len(batch)
+        return batch
+
+    def chain(self) -> List["Operator"]:
+        """The operator pipeline, innermost (leaf) first."""
+        ops: List[Operator] = []
+        cursor = self
+        while cursor is not None:
+            ops.append(cursor)
+            cursor = cursor.child
+        ops.reverse()
+        return ops
+
+
+class Scan(Operator):
+    """Root-variable enumeration: class extent or index access path.
+
+    With no child this is the outermost loop.  With a child it re-opens
+    per input row — the nested cross product of multi-perspective
+    queries — over a domain materialized once per execution.
+    """
+
+    name = "Scan"
+
+    def __init__(self, node, plan=None, access=None, child=None,
+                 domain=None):
+        super().__init__(child)
+        self.node = node
+        self.plan = plan
+        self.access = access
+        self.domain_override = domain
+
+    def detail(self) -> str:
+        if self.domain_override is not None:
+            return f"{self.node.describe()}, candidates"
+        if self.access is not None and self.access.kind == "index":
+            return f"{self.node.describe()}, index"
+        return f"{self.node.describe()}, extent"
+
+    def _open(self, ctx: ExecContext):
+        if self.domain_override is not None:
+            return self.domain_override
+        if self.plan is not None:
+            iterator = self.plan.root_iterator(self.node, ctx.executor)
+            if iterator is not None:
+                return iterator
+        return ctx.accessor.root_domain(self.node)
+
+    def run(self, ctx: ExecContext):
+        slot = ctx.slots[self.node.id]
+        size = ctx.batch_size
+        stats = ctx.stats
+        if self.child is None:
+            entry = None
+            if stats is not None:
+                entry = stats.setdefault(self.node.id, [0, 0])
+                entry[0] += 1
+            width = ctx.width
+            out = []
+            for instance in self._open(ctx):
+                if entry is not None:
+                    entry[1] += 1
+                row = [UNBOUND] * width
+                row[slot] = instance
+                out.append(row)
+                if len(out) >= size:
+                    yield self._emit(out)
+                    out = []
+            if out:
+                yield self._emit(out)
+            return
+        domain = None
+        for batch in self.child.run(ctx):
+            self.rows_in += len(batch)
+            if domain is None:
+                domain = list(self._open(ctx))
+            if stats is not None:
+                entry = stats.setdefault(self.node.id, [0, 0])
+                entry[0] += len(batch)
+                entry[1] += len(batch) * len(domain)
+            out = []
+            for row in batch:
+                for instance in domain:
+                    new_row = row.copy()
+                    new_row[slot] = instance
+                    out.append(new_row)
+                    if len(out) >= size:
+                        yield self._emit(out)
+                        out = []
+            if out:
+                yield self._emit(out)
+
+
+class EVATraverse(Operator):
+    """TYPE 1 inner-join fan-out across an EVA (or MV DVA): the domains
+    of a whole batch of parent instances resolve in one accessor call."""
+
+    name = "EVATraverse"
+    outer = False
+
+    def __init__(self, node, child):
+        super().__init__(child)
+        self.node = node
+
+    def detail(self) -> str:
+        return self.node.describe()
+
+    def run(self, ctx: ExecContext):
+        node = self.node
+        slot = ctx.slots[node.id]
+        parent_slot = ctx.slots[node.parent.id]
+        size = ctx.batch_size
+        stats = ctx.stats
+        outer = self.outer
+        for batch in self.child.run(ctx):
+            self.rows_in += len(batch)
+            domains = ctx.accessor.node_domains_batch(
+                node, [row[parent_slot] for row in batch])
+            entry = None
+            if stats is not None:
+                entry = stats.setdefault(node.id, [0, 0])
+                entry[0] += len(batch)
+            out = []
+            for row, domain in zip(batch, domains):
+                if entry is not None:
+                    entry[1] += len(domain)
+                if not domain:
+                    if outer:
+                        # §4.5: "the domain of TYPE 3 variables will never
+                        # be empty (when empty, adding a dummy instance all
+                        # of whose attributes are null will achieve this)".
+                        new_row = row.copy()
+                        new_row[slot] = DUMMY
+                        out.append(new_row)
+                        if len(out) >= size:
+                            yield self._emit(out)
+                            out = []
+                    continue
+                for instance in domain:
+                    new_row = row.copy()
+                    new_row[slot] = instance
+                    out.append(new_row)
+                    if len(out) >= size:
+                        yield self._emit(out)
+                        out = []
+            if out:
+                yield self._emit(out)
+
+
+class OuterTraverse(EVATraverse):
+    """TYPE 3 directed outer join (§4.5): target-only branches pad with
+    the all-null dummy instance instead of dropping the parent row."""
+
+    name = "OuterTraverse"
+    outer = True
+
+
+class Filter(Operator):
+    """3VL predicate over a batch.  Plain ``<path> <op> <literal>``
+    comparisons on spine DVAs read the whole column through the batched
+    DVA path; everything else goes through the expression evaluator."""
+
+    name = "Filter"
+
+    def __init__(self, where, child, slots=None):
+        super().__init__(child)
+        self.where = where
+        self._fast = (comparison_fast_path(where, slots)
+                      if slots is not None else None)
+
+    def detail(self) -> str:
+        return self.where.describe()
+
+    def run(self, ctx: ExecContext):
+        fast = self._fast
+        where = self.where
+        evaluator = ctx.evaluator
+        for batch in self.child.run(ctx):
+            self.rows_in += len(batch)
+            if fast is not None:
+                out = fast(ctx, batch)
+            else:
+                out = [row for row in batch
+                       if evaluator.is_true(where, ctx.env_of(row))]
+            if out:
+                yield self._emit(out)
+
+
+class Semi(Operator):
+    """TYPE 2 existential semijoin: a row survives iff some binding of
+    the off-spine subtree nodes satisfies the test (§4.5 "such that for
+    some Xm+1 ... Xn").
+
+    Two forms share the operator: the *predicate* form re-evaluates the
+    full WHERE clause per binding (main-scope TYPE 2 subtrees), and the
+    *comparison* form folds ``<left> <op> some(<argument>)`` over the
+    quantifier's own scope, the left operand evaluated once per row.
+    """
+
+    name = "Semi"
+
+    def __init__(self, nodes, child, where=None, comparison=None):
+        super().__init__(child)
+        self.nodes = list(nodes)
+        self.where = where
+        self.comparison = comparison    # (op, left expr, argument expr)
+
+    def detail(self) -> str:
+        return ", ".join(node.describe() for node in self.nodes)
+
+    def run(self, ctx: ExecContext):
+        stats = ctx.stats
+        for batch in self.child.run(ctx):
+            self.rows_in += len(batch)
+            out = [row for row in batch if self._keep(ctx, row, stats)]
+            if out:
+                yield self._emit(out)
+
+    def _keep(self, ctx: ExecContext, row, stats) -> bool:
+        env = ctx.env_of(row)
+        if self.comparison is None:
+            return exists_probe(ctx.evaluator, ctx.accessor, self.nodes, 0,
+                                self.where, env, stats)
+        op, left_expr, argument = self.comparison
+        left = ctx.evaluator.value(left_expr, env)
+        return self._some(ctx, env, 0, op, left, argument)
+
+    def _some(self, ctx, env, index, op, left, argument) -> bool:
+        if index == len(self.nodes):
+            return _compare(op, left,
+                            ctx.evaluator.value(argument, env)) is True
+        node = self.nodes[index]
+        if node.kind == "root":
+            domain = ctx.accessor.root_domain(node)
+        else:
+            domain = ctx.accessor.node_domain(node, env)
+        for instance in domain:
+            env[node.id] = instance
+            if self._some(ctx, env, index + 1, op, left, argument):
+                env.pop(node.id, None)
+                return True
+        env.pop(node.id, None)
+        return False
+
+
+class AntiSemi(Operator):
+    """NO-quantifier comparison as an anti-semijoin: a row survives iff
+    *no* scope binding compares true — and none compares UNKNOWN (3VL:
+    ``no`` negates ``some``, so an UNKNOWN witness makes the whole test
+    UNKNOWN, which is not true).  An empty scope keeps the row."""
+
+    name = "AntiSemi"
+
+    def __init__(self, nodes, child, comparison):
+        super().__init__(child)
+        self.nodes = list(nodes)
+        self.comparison = comparison    # (op, left expr, argument expr)
+
+    def detail(self) -> str:
+        return ", ".join(node.describe() for node in self.nodes)
+
+    def run(self, ctx: ExecContext):
+        for batch in self.child.run(ctx):
+            self.rows_in += len(batch)
+            out = [row for row in batch if self._keep(ctx, row)]
+            if out:
+                yield self._emit(out)
+
+    def _keep(self, ctx: ExecContext, row) -> bool:
+        op, left_expr, argument = self.comparison
+        env = ctx.env_of(row)
+        left = ctx.evaluator.value(left_expr, env)
+        verdict = self._scan(ctx, env, 0, op, left, argument)
+        return verdict is not False and verdict is not UNKNOWN
+
+    def _scan(self, ctx, env, index, op, left, argument):
+        """False on a true witness (reject, early exit), UNKNOWN when any
+        binding compared UNKNOWN, None when every binding was false."""
+        if index == len(self.nodes):
+            outcome = _compare(op, left,
+                               ctx.evaluator.value(argument, env))
+            if outcome is True:
+                return False
+            return UNKNOWN if outcome is UNKNOWN else None
+        node = self.nodes[index]
+        if node.kind == "root":
+            domain = ctx.accessor.root_domain(node)
+        else:
+            domain = ctx.accessor.node_domain(node, env)
+        saw_unknown = False
+        for instance in domain:
+            env[node.id] = instance
+            verdict = self._scan(ctx, env, index + 1, op, left, argument)
+            if verdict is False:
+                env.pop(node.id, None)
+                return False
+            if verdict is UNKNOWN:
+                saw_unknown = True
+        env.pop(node.id, None)
+        return UNKNOWN if saw_unknown else None
+
+
+class Aggregate(Operator):
+    """Evaluates aggregate target/order expressions once per row into
+    dedicated extra slots, ahead of projection (scoped enumeration per
+    §4.6 happens inside the evaluator)."""
+
+    name = "Aggregate"
+
+    def __init__(self, items, child):
+        super().__init__(child)
+        self.items = list(items)        # [(Aggregate expr, slot)]
+
+    def detail(self) -> str:
+        return ", ".join(expr.describe() for expr, _ in self.items)
+
+    def run(self, ctx: ExecContext):
+        evaluator = ctx.evaluator
+        items = self.items
+        for batch in self.child.run(ctx):
+            self.rows_in += len(batch)
+            for row in batch:
+                env = ctx.env_of(row)
+                for expr, slot in items:
+                    row[slot] = evaluator.value(expr, env)
+            yield self._emit(batch)
+
+
+class Project(Operator):
+    """Target-list evaluation into :class:`OutRow` batches.
+
+    Plain Path targets whose value node sits on the spine read their
+    column through the batched DVA path; aggregate targets read their
+    precomputed slot; everything else evaluates per row.  Order keys,
+    the §5.1 restore key and structured-output snapshots are attached
+    here so the downstream operators never need node environments.
+    """
+
+    name = "Project"
+
+    def __init__(self, query, original_nodes, reordered, structured,
+                 slots, agg_slots, child):
+        super().__init__(child)
+        self.query = query
+        self.reordered = reordered
+        self.structured = structured
+        self.original_slots = [slots[node.id] for node in original_nodes]
+        self.targets = [self._lower_expr(item.expression, slots, agg_slots)
+                        for item in query.targets]
+        self.order = [(self._lower_expr(order.expression, slots, agg_slots),
+                       order.descending)
+                      for order in (query.order_by or [])]
+        self._needs_env = (any(kind == "eval" for kind, _ in self.targets)
+                           or any(kind == "eval"
+                                  for (kind, _), _ in self.order))
+
+    @staticmethod
+    def _lower_expr(expression, slots, agg_slots):
+        slot = agg_slots.get(id(expression))
+        if slot is not None:
+            return ("slot", slot)
+        if isinstance(expression, Path):
+            column = path_column(expression, slots)
+            if column is not None:
+                return ("column", column)
+        return ("eval", expression)
+
+    def detail(self) -> str:
+        return ", ".join(item.label or item.expression.describe()
+                         for item in self.query.targets)
+
+    def run(self, ctx: ExecContext):
+        evaluator = ctx.evaluator
+        for batch in self.child.run(ctx):
+            self.rows_in += len(batch)
+            envs = None
+            if self._needs_env:
+                envs = [ctx.env_of(row) for row in batch]
+            columns = [self._column(ctx, batch, envs, plan)
+                       for plan in self.targets]
+            order_columns = [self._column(ctx, batch, envs, plan)
+                             for plan, _ in self.order]
+            out = []
+            for i, row in enumerate(batch):
+                values = tuple(column[i] for column in columns)
+                out_row = OutRow(values)
+                if self.order:
+                    out_row.order_key = tuple(
+                        _sort_key(column[i], descending)
+                        for column, (_, descending)
+                        in zip(order_columns, self.order))
+                if self.reordered:
+                    out_row.restore_key = tuple(
+                        _instance_key(row[slot])
+                        for slot in self.original_slots)
+                if self.structured:
+                    out_row.snapshot = tuple(row[slot]
+                                             for slot in self.original_slots)
+                out.append(out_row)
+            yield self._emit(out)
+
+    def _column(self, ctx, batch, envs, plan):
+        kind, payload = plan
+        if kind == "slot":
+            return [_render(row[payload]) for row in batch]
+        if kind == "column":
+            return [_render(value) for value in payload(ctx, batch)]
+        evaluator = ctx.evaluator
+        return [_render(evaluator.value(payload, env)) for env in envs]
+
+
+class Sort(Operator):
+    """Blocking sort: the §5.1 semantics-preservation (restore) sort when
+    the plan reordered the roots, then the user's Order By — both stable,
+    in that sequence, exactly as the output contract requires."""
+
+    name = "Sort"
+
+    def __init__(self, restore, order, child):
+        super().__init__(child)
+        self.restore = restore
+        self.order = order
+
+    def detail(self) -> str:
+        parts = []
+        if self.restore:
+            parts.append("restore perspective order")
+        if self.order:
+            parts.append("order by")
+        return ", ".join(parts)
+
+    def run(self, ctx: ExecContext):
+        rows: List[OutRow] = []
+        for batch in self.child.run(ctx):
+            self.rows_in += len(batch)
+            rows.extend(batch)
+        if self.restore:
+            rows.sort(key=lambda out_row: out_row.restore_key)
+        if self.order:
+            rows.sort(key=lambda out_row: out_row.order_key)
+        size = ctx.batch_size
+        for start in range(0, len(rows), size):
+            yield self._emit(rows[start:start + size])
+
+
+class Distinct(Operator):
+    """Duplicate elimination on the projected values.  Duplicates are
+    *marked*, not dropped: structured output still lists every binding
+    (the row list deduplicates, the instance snapshots do not)."""
+
+    name = "Distinct"
+
+    def __init__(self, child):
+        super().__init__(child)
+
+    def run(self, ctx: ExecContext):
+        seen = set()
+        kept_values: List[tuple] = []
+        for batch in self.child.run(ctx):
+            self.rows_in += len(batch)
+            emitted = 0
+            for out_row in batch:
+                values = out_row.values
+                try:
+                    if values in seen:
+                        out_row.duplicate = True
+                        continue
+                    seen.add(values)
+                except TypeError:
+                    if values in kept_values:
+                        out_row.duplicate = True
+                        continue
+                kept_values.append(values)
+                emitted += 1
+            self.batches += 1
+            self.rows_out += emitted
+            yield batch
+
+
+# ------------------------------------------------------------ probe helpers
+
+def exists_probe(evaluator, accessor, nodes, index, where, env,
+                 stats=None) -> bool:
+    """Existential enumeration of TYPE 2 subtree nodes, earliest exit on
+    the first witness; ``stats`` (tracing only) maps node id -> [loop
+    entries, instances bound], matching EXPLAIN ANALYZE's contract."""
+    if index == len(nodes):
+        return evaluator.is_true(where, env)
+    node = nodes[index]
+    if stats is None:
+        for instance in accessor.node_domain(node, env):
+            env[node.id] = instance
+            if exists_probe(evaluator, accessor, nodes, index + 1, where,
+                            env):
+                env.pop(node.id, None)
+                return True
+    else:
+        entry = stats.setdefault(node.id, [0, 0])
+        entry[0] += 1
+        for instance in accessor.node_domain(node, env):
+            entry[1] += 1
+            env[node.id] = instance
+            if exists_probe(evaluator, accessor, nodes, index + 1, where,
+                            env, stats):
+                env.pop(node.id, None)
+                return True
+    env.pop(node.id, None)
+    return False
+
+
+def selection_holds(evaluator, accessor, where, exists_nodes, env,
+                    stats=None) -> bool:
+    """The "such that for some Xm+1..Xn" clause for one binding (shared
+    by :class:`Semi`, ``select_entities`` and VERIFY's predicate path)."""
+    if where is None:
+        return True
+    if not exists_nodes:
+        return evaluator.is_true(where, env)
+    return exists_probe(evaluator, accessor, exists_nodes, 0, where, env,
+                        stats)
+
+
+# ----------------------------------------------------------- batched columns
+
+def path_column(path, slots):
+    """Batched reader for a plain Path over a spine slot, or None when
+    the path needs the general evaluator (derived attributes, off-spine
+    value nodes).  The reader returns one value per row, reading DVA
+    columns through the accessor's batched path."""
+    if getattr(path, "derived", None) is not None:
+        return None
+    node = path.value_node
+    if node is None or node.id not in slots:
+        return None
+    slot = slots[node.id]
+    attr = path.terminal_attr
+    transitive = node.kind == "eva" and node.transitive
+
+    def read(ctx, batch):
+        instances = []
+        for row in batch:
+            instance = row[slot]
+            if transitive and isinstance(instance, tuple):
+                instance = instance[0]
+            instances.append(instance)
+        if attr is None:
+            return [NULL if instance is DUMMY else instance
+                    for instance in instances]
+        return ctx.accessor.dva_batch(attr, instances)
+
+    return read
+
+
+def comparison_fast_path(where, slots):
+    """Vectorized row filter for ``<path> <op> <literal>`` (either
+    order) over a spine DVA, or None when the shape does not apply.
+    Semantics are exactly ``_compare`` — the same 3VL comparison the
+    evaluator would run per row."""
+    if not isinstance(where, Binary) or where.op not in _COMPARISON_OPS:
+        return None
+    op = where.op
+    left, right = where.left, where.right
+    swapped = False
+    if isinstance(left, Literal) and isinstance(right, Path):
+        left, right = right, left
+        swapped = True
+    if not (isinstance(left, Path) and isinstance(right, Literal)):
+        return None
+    column = path_column(left, slots)
+    if column is None:
+        return None
+    literal = right.value
+
+    def run(ctx, batch):
+        values = column(ctx, batch)
+        out = []
+        for row, value in zip(batch, values):
+            if swapped:
+                outcome = _compare(op, literal, value)
+            else:
+                outcome = _compare(op, value, literal)
+            if outcome is True:
+                out.append(row)
+        return out
+
+    return run
+
+
+# ------------------------------------------------------------- row rendering
+
+def _render(value):
+    """Row values: transitive instances arrive unwrapped; UNKNOWN
+    renders as NULL."""
+    if value is UNKNOWN:
+        return NULL
+    return value
+
+
+_TYPE_RANK = {bool: 0, int: 1, float: 1, Decimal: 1, str: 2,
+              SimDate: 3, SimTime: 4, tuple: 5}
+
+
+class _Reversed:
+    """Wrapper inverting sort order for DESC keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return other.key == self.key
+
+
+def _instance_key(instance):
+    """Total order over loop-node instances for the restore sort."""
+    if instance is None or instance is UNBOUND:
+        return (0, 0)
+    if isinstance(instance, tuple):      # transitive (value, level)
+        instance = instance[0]
+    if isinstance(instance, int):
+        return (1, instance)
+    return (2, str(instance))
+
+
+def _sort_key(value, descending: bool):
+    """Total order over mixed-type values; NULL/UNKNOWN sorts last in
+    both directions (deterministic NULLS LAST, ascending or DESC)."""
+    if is_null(value) or value is UNKNOWN:
+        return (1, 0)
+    rank = _TYPE_RANK.get(type(value), 9)
+    if isinstance(value, Decimal):
+        value = float(value)
+    key = (rank, value)
+    return (0, _Reversed(key)) if descending else (0, key)

@@ -32,6 +32,7 @@ _HELP = """Commands:
   .analyze                collect optimizer statistics
   .lint                   run the schema linter (simcheck) on the schema
   .perf                   read-path cache / memoization counters
+  .set [batch-size <n>]   show or change executor tuning knobs
   .save <path>            persist the database to a file
   .io                     block I/O counters (and reset)
   .help                   this text
@@ -148,6 +149,23 @@ class IQFSession:
                 self._print(f"saved to {argument}")
             except SimError as exc:
                 self._print(f"error: {exc}")
+        elif command == ".set":
+            from repro.engine.operators import validate_batch_size
+            if not argument:
+                self._print(
+                    f"  batch-size: {self.database.executor.batch_size}")
+                return
+            parts = argument.split()
+            if len(parts) != 2 or parts[0].lower() != "batch-size":
+                self._print("usage: .set [batch-size <n>]")
+                return
+            try:
+                size = validate_batch_size(int(parts[1]))
+            except (ValueError, SimError) as exc:
+                self._print(f"error: {exc}")
+                return
+            self.database.executor.batch_size = size
+            self._print(f"batch-size set to {size}")
         elif command == ".io":
             self._print(repr(self.database.io_stats))
             self.database.reset_io_stats()

@@ -89,6 +89,7 @@ class PhysicalDesign:
         self._eva_overrides: Dict[Tuple[str, str], EvaMapping] = {}
         self._mvdva_overrides: Dict[Tuple[str, str], MvDvaMapping] = {}
         self._value_indexes: Set[Tuple[str, str]] = set()
+        self._value_index_kinds: Dict[Tuple[str, str], str] = {}
         self._finalized = False
 
     # -- Overrides ------------------------------------------------------------
@@ -130,16 +131,28 @@ class PhysicalDesign:
         self._mvdva_overrides[(canon(attr.owner_name), canon(attr_name))] = mapping
         return self
 
-    def add_value_index(self, class_name: str,
-                        attr_name: str) -> "PhysicalDesign":
-        """Request a secondary value index on a single-valued DVA."""
+    def add_value_index(self, class_name: str, attr_name: str,
+                        kind: str = "hash") -> "PhysicalDesign":
+        """Request a secondary value index on a single-valued DVA.
+
+        ``kind`` is ``"hash"`` (equality lookups) or ``"ordered"`` (also
+        serves range predicates on the update/VERIFY selection path)."""
         self._mutable()
+        if kind not in ("hash", "ordered"):
+            raise SchemaError(
+                f"value index kind must be 'hash' or 'ordered', "
+                f"not {kind!r}")
         attr = self.schema.get_class(class_name).attribute(attr_name)
         if attr.is_eva or attr.multi_valued:
             raise SchemaError(
                 f"value index needs a single-valued DVA, not "
                 f"{class_name}.{attr_name}")
-        self._value_indexes.add((canon(attr.owner_name), canon(attr_name)))
+        key = (canon(attr.owner_name), canon(attr_name))
+        self._value_indexes.add(key)
+        if kind == "ordered":
+            self._value_index_kinds[key] = kind
+        else:
+            self._value_index_kinds.pop(key, None)
         return self
 
     def finalize(self) -> "PhysicalDesign":
@@ -211,6 +224,11 @@ class PhysicalDesign:
 
     def value_indexes(self) -> List[Tuple[str, str]]:
         return sorted(self._value_indexes)
+
+    def value_index_kind(self, owner_name: str, attr_name: str) -> str:
+        """Index kind for one requested value index ('hash' default)."""
+        return self._value_index_kinds.get(
+            (canon(owner_name), canon(attr_name)), "hash")
 
     def describe(self) -> str:
         """Human-readable summary of every mapping decision (for examples)."""

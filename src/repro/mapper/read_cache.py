@@ -80,6 +80,35 @@ class ReadCache:
         if len(self._records) > self.record_capacity:
             self._records.popitem(last=False)
 
+    def get_record_batch(self, class_name: str, surrogates):
+        """Batched record lookup: ``(found, missing)`` where ``found``
+        maps surrogate -> (rid, values) and ``missing`` lists the rest in
+        input order.  Counter totals match per-surrogate ``get_record``
+        calls exactly, but hit/miss bumps aggregate into two lock
+        acquisitions instead of one per surrogate."""
+        found: Dict[int, tuple] = {}
+        if not self.enabled:
+            return found, list(surrogates)
+        missing = []
+        records = self._records
+        for surrogate in surrogates:
+            entry = records.get((class_name, surrogate))
+            if entry is None:
+                missing.append(surrogate)
+            else:
+                records.move_to_end((class_name, surrogate))
+                found[surrogate] = entry
+        trace = self.trace
+        if found:
+            self.perf.bump("record_cache_hits", len(found))
+            if trace is not None and trace.enabled:
+                trace.count("mapper.record_cache_hits", len(found))
+        if missing:
+            self.perf.bump("record_cache_misses", len(missing))
+            if trace is not None and trace.enabled:
+                trace.count("mapper.record_cache_misses", len(missing))
+        return found, missing
+
     def get_role(self, class_name: str, surrogate: int):
         """Cached rid (``None`` = cached negative) or :data:`MISSING`."""
         if not self.enabled:
@@ -116,6 +145,34 @@ class ReadCache:
         if trace is not None and trace.enabled:
             trace.count("mapper.fanout_cache_hits")
         return targets
+
+    def get_fanout_batch(self, rel_id: int, side: bool, surrogates):
+        """Batched fan-out lookup: ``(found, missing)`` where ``found``
+        maps surrogate -> target tuple and ``missing`` lists the rest in
+        input order.  Same counter totals as per-surrogate lookups,
+        aggregated into two bumps."""
+        found: Dict[int, tuple] = {}
+        if not self.enabled:
+            return found, list(surrogates)
+        missing = []
+        fanout = self._fanout
+        for surrogate in surrogates:
+            targets = fanout.get((rel_id, side, surrogate))
+            if targets is None:
+                missing.append(surrogate)
+            else:
+                fanout.move_to_end((rel_id, side, surrogate))
+                found[surrogate] = targets
+        trace = self.trace
+        if found:
+            self.perf.bump("fanout_cache_hits", len(found))
+            if trace is not None and trace.enabled:
+                trace.count("mapper.fanout_cache_hits", len(found))
+        if missing:
+            self.perf.bump("fanout_cache_misses", len(missing))
+            if trace is not None and trace.enabled:
+                trace.count("mapper.fanout_cache_misses", len(missing))
+        return found, missing
 
     def put_fanout(self, rel_id: int, side: bool, surrogate: int,
                    targets: tuple) -> None:

@@ -219,7 +219,8 @@ class MapperStore:
                         f"uniq--{class_name}--{attr.name}", unique=True)
         for class_name, attr_name in self.design.value_indexes():
             if (class_name, attr_name) not in self._unique_index:
-                self._value_index[(class_name, attr_name)] = HashIndex(
+                self._value_index[(class_name, attr_name)] = make_index(
+                    self.design.value_index_kind(class_name, attr_name),
                     f"val--{class_name}--{attr_name}")
 
     def _build_mvdva_unit(self, class_name: str, attr) -> None:
@@ -550,6 +551,39 @@ class MapperStore:
         self.read_cache.put_record(class_name, surrogate, rid, values)
         return rid, values
 
+    def fetch_many(self, class_name: str, surrogates
+                   ) -> Dict[int, Tuple[RID, Dict[str, object]]]:
+        """Batched :meth:`record_of`: decoded records for every surrogate
+        (each must hold the role).  Cache traffic and decode counters
+        match per-surrogate calls exactly, but the cache probe and the
+        counter bumps aggregate over the whole batch — the operator
+        algebra's amortized decode path."""
+        class_name = canon(class_name)
+        found, missing = self.read_cache.get_record_batch(class_name,
+                                                          surrogates)
+        if not missing:
+            return found
+        record_file = self._class_file[class_name]
+        decoded = 0
+        for surrogate in missing:
+            if surrogate in found:      # duplicate within the batch
+                continue
+            rid = self._role_rid(surrogate, class_name)
+            if rid is None:
+                raise IntegrityError(
+                    f"entity {surrogate} has no role {class_name!r}")
+            _, values = record_file.read(rid)
+            decoded += 1
+            self.read_cache.put_record(class_name, surrogate, rid, values)
+            found[surrogate] = (rid, values)
+        if decoded:
+            self.perf.bump("records_decoded", decoded)
+            trace = self.trace
+            if trace is not None and trace.enabled:
+                trace.count("mapper.records_decoded", decoded)
+                trace.count(f"mapper.decoded[{class_name}]", decoded)
+        return found
+
     def read_dva(self, surrogate: int, attr):
         """Read a DVA (single value, or list for MV)."""
         owner = canon(attr.owner_name)
@@ -753,6 +787,32 @@ class MapperStore:
         self.read_cache.put_fanout(info.rel_id, side, surrogate,
                                    tuple(targets))
         return targets
+
+    def traverse_eva_batch(self, surrogates, eva: EntityValuedAttribute
+                           ) -> Dict[int, List[int]]:
+        """Batched :meth:`eva_targets` for distinct ``surrogates``: one
+        fan-out cache probe covers the whole batch, misses traverse the
+        physical mapping individually.  Per-surrogate cache counters are
+        identical to individual calls, aggregated into two bumps."""
+        info = self.eva_info(eva)
+        canonical = info.canonical
+        side = bool(info.self_inverse or eva is canonical)
+        found, missing = self.read_cache.get_fanout_batch(info.rel_id, side,
+                                                          surrogates)
+        results = {surrogate: list(targets)
+                   for surrogate, targets in found.items()}
+        for surrogate in missing:
+            if surrogate in results:    # duplicate within the batch
+                continue
+            if info.self_inverse:
+                targets = (self._traverse(info, surrogate, forward=True)
+                           + self._traverse(info, surrogate, forward=False))
+            else:
+                targets = self._traverse(info, surrogate, forward=side)
+            self.read_cache.put_fanout(info.rel_id, side, surrogate,
+                                       tuple(targets))
+            results[surrogate] = targets
+        return results
 
     def _traverse(self, info: _EvaInfo, surrogate: int,
                   forward: bool) -> List[int]:
@@ -1019,12 +1079,45 @@ class MapperStore:
                 results.append(surrogate)
         return results
 
+    def find_by_dva_range(self, class_name: str, attr_name: str,
+                          low=None, high=None, include_low: bool = True,
+                          include_high: bool = True) -> List[int]:
+        """Entities of ``class_name`` whose DVA falls inside the given
+        bounds, served by an *ordered* value index (NULLs never match a
+        range; an open bound is None)."""
+        class_name = canon(class_name)
+        sim_class = self.schema.get_class(class_name)
+        attr = sim_class.attribute(attr_name)
+        owner = canon(attr.owner_name)
+        index = self._value_index.get((owner, attr.name))
+        if index is None or index.kind != "ordered":
+            raise CatalogError(
+                f"no ordered index on {class_name}.{attr_name}")
+        record_file = self._class_file[owner]
+        surrogates = []
+        for _key, rid in index.range(low, high, include_low, include_high):
+            _, record = record_file.read(rid)
+            surrogates.append(record["surrogate"])
+        if owner != class_name:
+            surrogates = [s for s in surrogates
+                          if self.has_role(s, class_name)]
+        return surrogates
+
     def has_index_on(self, class_name: str, attr_name: str) -> bool:
         sim_class = self.schema.get_class(canon(class_name))
         attr = sim_class.attribute(attr_name)
         owner = canon(attr.owner_name)
         return ((owner, attr.name) in self._unique_index
                 or (owner, attr.name) in self._value_index)
+
+    def has_ordered_index_on(self, class_name: str, attr_name: str) -> bool:
+        """True when an *ordered* value index can serve range predicates
+        on this DVA (the ``select_entities`` range fast path)."""
+        sim_class = self.schema.get_class(canon(class_name))
+        attr = sim_class.attribute(attr_name)
+        owner = canon(attr.owner_name)
+        index = self._value_index.get((owner, attr.name))
+        return index is not None and index.kind == "ordered"
 
     # -------------------------------------------------------------- statistics
 
@@ -1142,7 +1235,9 @@ class MapperStore:
             self._unique_index[key] = HashIndex(
                 f"uniq--{key[0]}--{key[1]}", unique=True)
         for key in self._value_index:
-            self._value_index[key] = HashIndex(f"val--{key[0]}--{key[1]}")
+            self._value_index[key] = make_index(
+                self.design.value_index_kind(key[0], key[1]),
+                f"val--{key[0]}--{key[1]}")
         for key in self._mvdva_index:
             self._mvdva_index[key] = HashIndex(f"mvidx--{key[0]}--{key[1]}")
         self._mvdva_seq = {}

@@ -13,7 +13,7 @@ combination.
 from __future__ import annotations
 
 import itertools
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.dml.ast import Binary, Literal, Path, RetrieveQuery
 from repro.dml.query_tree import TYPE2, QTNode, QueryTree
@@ -49,6 +49,56 @@ def equality_conjuncts(where, root: QTNode) -> List[Tuple[str, object]]:
     if where is not None:
         walk(where)
     return conjuncts
+
+
+#: op -> (is_lower_bound, inclusive)
+_RANGE_OPS = {">": (True, False), ">=": (True, True),
+              "<": (False, False), "<=": (False, True)}
+#: mirror ops for ``<literal> <op> <root attr>`` conjuncts
+_FLIPPED = {">": "<", ">=": "<=", "<": ">", "<=": ">="}
+
+
+def range_conjuncts(where, root: QTNode
+                    ) -> List[Tuple[str, object, object, bool, bool]]:
+    """Top-level AND-ed range bounds on root attributes, folded per
+    attribute into ``(attr, low, high, include_low, include_high)``
+    (either bound may be None).  Bounds may be loose — the selection
+    stage re-checks the full predicate — so only the first lower and
+    first upper bound per attribute are kept."""
+    bounds: Dict[str, List] = {}
+
+    def note(attr_name, op, value):
+        entry = bounds.setdefault(attr_name, [None, None, True, True])
+        lower, inclusive = _RANGE_OPS[op]
+        if lower and entry[0] is None:
+            entry[0], entry[2] = value, inclusive
+        elif not lower and entry[1] is None:
+            entry[1], entry[3] = value, inclusive
+
+    def walk(expression):
+        if isinstance(expression, Binary):
+            if expression.op == "and":
+                walk(expression.left)
+                walk(expression.right)
+                return
+            if expression.op in _RANGE_OPS:
+                left, right = expression.left, expression.right
+                if (isinstance(left, Path) and isinstance(right, Literal)
+                        and left.anchor_node is root
+                        and not left.chain_nodes
+                        and left.terminal_attr is not None):
+                    note(left.terminal_attr.name, expression.op, right.value)
+                elif (isinstance(left, Literal) and isinstance(right, Path)
+                        and right.anchor_node is root
+                        and not right.chain_nodes
+                        and right.terminal_attr is not None):
+                    note(right.terminal_attr.name,
+                         _FLIPPED[expression.op], left.value)
+
+    if where is not None:
+        walk(where)
+    return [(attr_name, entry[0], entry[1], entry[2], entry[3])
+            for attr_name, entry in bounds.items()]
 
 
 class Optimizer:

@@ -44,6 +44,8 @@ COUNTER_FIELDS = (
     "invalidations",          # cache invalidation events (incl. undo paths)
     "transient_retries",      # transient I/O faults absorbed by retry
     "transient_giveups",      # transient faults that exhausted the policy
+    "batches_dispatched",     # operator batches that flowed between operators
+    "batch_rows",             # slot rows carried by those batches
 )
 
 

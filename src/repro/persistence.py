@@ -45,6 +45,9 @@ def design_to_dict(design) -> dict:
             for (owner, name), mapping in design._mvdva_overrides.items()},
         "value_indexes": [f"{owner}.{name}"
                           for owner, name in design.value_indexes()],
+        "value_index_kinds": {
+            f"{owner}.{name}": kind
+            for (owner, name), kind in design._value_index_kinds.items()},
     }
 
 
@@ -71,9 +74,10 @@ def design_from_dict(schema, spec: dict):
     for key, mapping in spec["mvdva_overrides"].items():
         owner, name = key.split(".", 1)
         design.override_mv_dva(owner, name, MvDvaMapping(mapping))
+    kinds = spec.get("value_index_kinds", {})   # absent in older files
     for key in spec["value_indexes"]:
         owner, name = key.split(".", 1)
-        design.add_value_index(owner, name)
+        design.add_value_index(owner, name, kind=kinds.get(key, "hash"))
     return design.finalize()
 
 

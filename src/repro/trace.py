@@ -119,7 +119,7 @@ class Span:
         header += f"  {self.duration_ms:.3f} ms"
         decor = []
         for key, value in self.attrs.items():
-            if key == "nodes":
+            if key in ("nodes", "operators"):
                 continue
             decor.append(f"{key}={_short(value)}")
         if self.error is not None:
@@ -137,6 +137,10 @@ class Span:
         if isinstance(nodes, list):
             for record in nodes:
                 lines.append(indent + "  " + _render_node(record))
+        operators = self.attrs.get("operators")
+        if isinstance(operators, list):
+            for record in operators:
+                lines.append(indent + "  " + _render_operator(record))
         for child in self.children:
             child._render_into(lines, depth + 1)
 
@@ -157,6 +161,23 @@ def _render_node(record: Dict[str, object]) -> str:
                 est=est_text,
                 actual=record.get("actual_rows", 0),
                 loops=record.get("loops", 0)))
+
+
+def _render_operator(record: Dict[str, object]) -> str:
+    """One line per physical operator (batched Volcano pipeline order)."""
+    label = record.get("label")
+    label_text = f" [{label}]" if label else ""
+    est = record.get("est_rows")
+    est_text = "" if est is None else f" est={float(est):.1f}"
+    return ("op {op}({detail}){label}  batches={batches} in={rows_in} "
+            "out={rows_out}{est}".format(
+                op=record.get("op", "?"),
+                detail=_short(record.get("detail", "")),
+                label=label_text,
+                batches=record.get("batches", 0),
+                rows_in=record.get("rows_in", 0),
+                rows_out=record.get("rows_out", 0),
+                est=est_text))
 
 
 def _short(value, limit: int = 60) -> str:

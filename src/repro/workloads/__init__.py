@@ -3,6 +3,7 @@ synthetic generators for the benchmarks."""
 
 from repro.workloads.university import (
     UNIVERSITY_DDL,
+    UNIVERSITY_QUERIES,
     build_university,
     populate_university,
 )
@@ -16,6 +17,7 @@ from repro.workloads.generators import (
 
 __all__ = [
     "UNIVERSITY_DDL",
+    "UNIVERSITY_QUERIES",
     "build_university",
     "populate_university",
     "build_adds_schema",

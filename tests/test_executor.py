@@ -205,10 +205,10 @@ class TestOrderingAndDistinct:
             "From course Retrieve title, credits Order By credits Desc").rows
         assert [r[1] for r in rows] == [5, 4, 3]
 
-    def test_order_by_nulls_first(self, small_university):
+    def test_order_by_nulls_last(self, small_university):
         rows = small_university.query(
             "From person Retrieve name Order By birthdate").rows
-        assert rows[0] == ("Lone Wolf",)   # null birthdate sorts first
+        assert rows[-1] == ("Lone Wolf",)   # null birthdate sorts last
 
     def test_distinct(self, small_university):
         rows = small_university.query(
