@@ -2,7 +2,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test torture bench bench-recovery bench-read-path bench-lint \
-	bench-trace bench-batch lint typecheck simcheck
+	bench-trace bench-batch bench-scale lint typecheck simcheck
 
 test:
 	python -m pytest -x -q
@@ -57,3 +57,9 @@ bench-trace:
 # any row mismatch against the tuple-at-a-time interpreter).
 bench-batch:
 	python benchmarks/make_report.py --batch
+
+# E18: morsel-parallelism gate at 10^5 entities (fails below 2x aggregate
+# speedup at 4 workers on traversal-heavy queries, or on any row drift
+# between parallel and serial execution).
+bench-scale:
+	python benchmarks/make_report.py --scale

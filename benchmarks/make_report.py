@@ -32,6 +32,12 @@ sweep, spans per statement, layers observed).
 ``--batch`` runs the E17 batched-execution measurement and writes
 ``BENCH_batch.json`` (batched-over-tuple-at-a-time speedups per
 UNIVERSITY query, with row-identical verification).
+
+``--scale`` runs the E18 morsel-parallelism measurement at 10^5 entities
+and writes ``BENCH_scale.json`` (rows/sec and speedup vs serial at
+1/2/4/8 workers on the scale workload, populate rate and peak RSS per
+entity count, with row-identical verification).  ``--scale-smoke`` runs
+the same measurement at 10^4 entities for CI.
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ _EXPERIMENT_TITLES = {
     "e15": "E15 — simcheck static analysis (overhead & coverage)",
     "e16": "E16 — end-to-end tracing overhead (EXPLAIN ANALYZE)",
     "e17": "E17 — batched Volcano execution vs tuple-at-a-time",
+    "e18": "E18 — morsel-parallel execution at scale",
 }
 
 
@@ -161,6 +168,35 @@ def write_batch_report(out_path: str) -> int:
     return 0
 
 
+def write_scale_report(out_path: str, entities: int = 100_000,
+                       enforce_bound: bool = True) -> int:
+    """Run the E18 measurement and emit ``BENCH_scale.json``."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_scale import measure_scale
+    measured = measure_scale(entities=entities)
+    with open(out_path, "w") as handle:
+        json.dump(measured, handle, indent=2)
+        handle.write("\n")
+    aggregates = ", ".join(
+        f"{workers}w {speedup:.2f}x"
+        for workers, speedup in measured["aggregate_speedup"].items())
+    print(f"wrote {out_path}: {measured['entities']} entities, "
+          f"traversal-query speedup {aggregates} "
+          f"(read latency {measured['read_latency_us']:.0f} us), "
+          f"rows identical: {measured['rows_identical']}")
+    if not measured["rows_identical"]:
+        print("FAIL: parallel execution returned different rows",
+              file=sys.stderr)
+        return 1
+    if (enforce_bound and measured["aggregate_speedup_at_4"]
+            < measured["min_aggregate_speedup"]):
+        print("FAIL: aggregate speedup at 4 workers below the "
+              f"{measured['min_aggregate_speedup']:.1f}x bound",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def experiment_of(name: str) -> str:
     match = re.match(r"test_(e\d+)_", name)
     if match:
@@ -192,6 +228,15 @@ def main(argv) -> int:
     if len(argv) >= 2 and argv[1] == "--batch":
         out_path = argv[2] if len(argv) > 2 else "BENCH_batch.json"
         return write_batch_report(out_path)
+    if len(argv) >= 2 and argv[1] == "--scale":
+        out_path = argv[2] if len(argv) > 2 else "BENCH_scale.json"
+        return write_scale_report(out_path)
+    if len(argv) >= 2 and argv[1] == "--scale-smoke":
+        out_path = argv[2] if len(argv) > 2 else "BENCH_scale_smoke.json"
+        # 10^4-entity CI lane: row identity is enforced, the 2x bound is
+        # only asserted at the full 10^5 scale.
+        return write_scale_report(out_path, entities=10_000,
+                                  enforce_bound=False)
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2

@@ -106,6 +106,7 @@ RULES = _catalog(
     ("SIM205", ERROR, "physical spine does not cover the loop nodes"),
     ("SIM206", ERROR, "existential node enumerated by the physical spine"),
     ("SIM207", ERROR, "traversal operator kind contradicts the TYPE label"),
+    ("SIM208", ERROR, "morsel barrier misplaced in the physical pipeline"),
 )
 
 

@@ -58,7 +58,8 @@ class Database:
                  constraint_mode: str = "immediate",
                  use_optimizer: bool = True,
                  track_history: bool = False,
-                 batch_size: Optional[int] = None):
+                 batch_size: Optional[int] = None,
+                 parallelism: Optional[int] = None):
         if isinstance(schema, str):
             schema = parse_ddl(schema)
         elif not schema.resolved:
@@ -69,11 +70,12 @@ class Database:
             self.store.enable_history()
         self.design = self.store.design
         self.qualifier = Qualifier(schema)
-        if batch_size is None:
-            self.executor = QueryExecutor(self.store, self.qualifier)
-        else:
-            self.executor = QueryExecutor(self.store, self.qualifier,
-                                          batch_size=batch_size)
+        knobs = {}
+        if batch_size is not None:
+            knobs["batch_size"] = batch_size
+        if parallelism is not None:
+            knobs["parallelism"] = parallelism
+        self.executor = QueryExecutor(self.store, self.qualifier, **knobs)
         self.constraints = ConstraintManager(self.executor, constraint_mode)
         self.updates = UpdateEngine(self.executor, self.constraints)
         self.use_optimizer = use_optimizer

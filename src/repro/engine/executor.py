@@ -47,6 +47,7 @@ from repro.engine.operators import (
     validate_batch_size,
 )
 from repro.engine.output import ResultSet, build_structured
+from repro.engine.parallel import DEFAULT_PARALLELISM, validate_parallelism
 
 __all__ = ["QueryExecutor", "_Reversed", "_instance_key", "_sort_key"]
 
@@ -55,13 +56,15 @@ class QueryExecutor:
     """Executes resolved Retrieve queries against a Mapper store."""
 
     def __init__(self, store, qualifier: Optional[Qualifier] = None,
-                 batch_size: int = DEFAULT_BATCH_SIZE):
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 parallelism: int = DEFAULT_PARALLELISM):
         self.store = store
         self.schema = store.schema
         self.qualifier = qualifier or Qualifier(store.schema)
         self.accessor = EntityAccessor(store)
         self.evaluator = ExpressionEvaluator(self.accessor)
         self.batch_size = validate_batch_size(batch_size)
+        self.parallelism = validate_parallelism(parallelism)
 
     # -- Public API -----------------------------------------------------------------
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 from decimal import Decimal
 from typing import Dict, List, Optional
 
-from repro.dml.ast import Binary, Literal, Path, Quantified
+from repro.dml.ast import Binary, Literal, Path
 from repro.engine.access import DUMMY
 from repro.engine.expressions import _compare
 from repro.errors import SimError
@@ -90,6 +90,23 @@ class ExecContext:
         self.slots = physical.slots
         self.width = physical.width
         self._slot_items = tuple(physical.slots.items())
+
+    def spawn_worker(self, accessor, evaluator, stats) -> "ExecContext":
+        """A per-worker view for morsel-parallel segments: same slot
+        layout and batching, but the worker's own accessor/evaluator (the
+        per-query memos are sharded, not locked) and its own stats dict
+        (merged at the barrier)."""
+        clone = object.__new__(ExecContext)
+        clone.executor = self.executor
+        clone.accessor = accessor
+        clone.evaluator = evaluator
+        clone.store = self.store
+        clone.stats = stats
+        clone.batch_size = self.batch_size
+        clone.slots = self.slots
+        clone.width = self.width
+        clone._slot_items = self._slot_items
+        return clone
 
     def env_of(self, row) -> Dict:
         """Node environment for one row (evaluator-facing view)."""

@@ -32,7 +32,8 @@ _HELP = """Commands:
   .analyze                collect optimizer statistics
   .lint                   run the schema linter (simcheck) on the schema
   .perf                   read-path cache / memoization counters
-  .set [batch-size <n>]   show or change executor tuning knobs
+  .set [batch-size <n> | parallelism <n>]
+                          show or change executor tuning knobs
   .save <path>            persist the database to a file
   .io                     block I/O counters (and reset)
   .help                   this text
@@ -151,21 +152,27 @@ class IQFSession:
                 self._print(f"error: {exc}")
         elif command == ".set":
             from repro.engine.operators import validate_batch_size
+            from repro.engine.parallel import validate_parallelism
+            executor = self.database.executor
             if not argument:
-                self._print(
-                    f"  batch-size: {self.database.executor.batch_size}")
+                self._print(f"  batch-size: {executor.batch_size}")
+                self._print(f"  parallelism: {executor.parallelism}")
                 return
             parts = argument.split()
-            if len(parts) != 2 or parts[0].lower() != "batch-size":
-                self._print("usage: .set [batch-size <n>]")
+            knob = parts[0].lower() if parts else ""
+            if len(parts) != 2 or knob not in ("batch-size", "parallelism"):
+                self._print("usage: .set [batch-size <n> | parallelism <n>]")
                 return
             try:
-                size = validate_batch_size(int(parts[1]))
+                value = int(parts[1])
+                if knob == "batch-size":
+                    executor.batch_size = validate_batch_size(value)
+                else:
+                    executor.parallelism = validate_parallelism(value)
             except (ValueError, SimError) as exc:
                 self._print(f"error: {exc}")
                 return
-            self.database.executor.batch_size = size
-            self._print(f"batch-size set to {size}")
+            self._print(f"{knob} set to {value}")
         elif command == ".io":
             self._print(repr(self.database.io_stats))
             self.database.reset_io_stats()

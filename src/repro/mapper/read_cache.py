@@ -24,6 +24,7 @@ integer compare decides whether memoized values are still current.
 from __future__ import annotations
 
 import contextlib
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -51,6 +52,11 @@ class ReadCache:
         self._roles: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
         self._fanout: "OrderedDict[Tuple[int, bool, int], tuple]" \
             = OrderedDict()
+        # One lock over all three LRUs: concurrent morsel workers probe
+        # and promote entries, and OrderedDict.move_to_end racing a
+        # popitem corrupts the linked order (KeyErrors, lost entries).
+        # Re-entrant because invalidation paths may nest through clear().
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ lookups
 
@@ -59,14 +65,16 @@ class ReadCache:
         callers must treat it as read-only (every write path invalidates)."""
         if not self.enabled:
             return None
-        entry = self._records.get((class_name, surrogate))
+        with self._lock:
+            entry = self._records.get((class_name, surrogate))
+            if entry is not None:
+                self._records.move_to_end((class_name, surrogate))
         trace = self.trace
         if entry is None:
             self.perf.bump("record_cache_misses")
             if trace is not None and trace.enabled:
                 trace.count("mapper.record_cache_misses")
             return None
-        self._records.move_to_end((class_name, surrogate))
         self.perf.bump("record_cache_hits")
         if trace is not None and trace.enabled:
             trace.count("mapper.record_cache_hits")
@@ -76,9 +84,10 @@ class ReadCache:
                    values: Dict) -> None:
         if not self.enabled:
             return
-        self._records[(class_name, surrogate)] = (rid, values)
-        if len(self._records) > self.record_capacity:
-            self._records.popitem(last=False)
+        with self._lock:
+            self._records[(class_name, surrogate)] = (rid, values)
+            if len(self._records) > self.record_capacity:
+                self._records.popitem(last=False)
 
     def get_record_batch(self, class_name: str, surrogates):
         """Batched record lookup: ``(found, missing)`` where ``found``
@@ -91,13 +100,14 @@ class ReadCache:
             return found, list(surrogates)
         missing = []
         records = self._records
-        for surrogate in surrogates:
-            entry = records.get((class_name, surrogate))
-            if entry is None:
-                missing.append(surrogate)
-            else:
-                records.move_to_end((class_name, surrogate))
-                found[surrogate] = entry
+        with self._lock:
+            for surrogate in surrogates:
+                entry = records.get((class_name, surrogate))
+                if entry is None:
+                    missing.append(surrogate)
+                else:
+                    records.move_to_end((class_name, surrogate))
+                    found[surrogate] = entry
         trace = self.trace
         if found:
             self.perf.bump("record_cache_hits", len(found))
@@ -113,11 +123,13 @@ class ReadCache:
         """Cached rid (``None`` = cached negative) or :data:`MISSING`."""
         if not self.enabled:
             return MISSING
-        entry = self._roles.get((class_name, surrogate), MISSING)
+        with self._lock:
+            entry = self._roles.get((class_name, surrogate), MISSING)
+            if entry is not MISSING:
+                self._roles.move_to_end((class_name, surrogate))
         if entry is MISSING:
             self.perf.bump("role_cache_misses")
             return MISSING
-        self._roles.move_to_end((class_name, surrogate))
         self.perf.bump("role_cache_hits")
         return entry
 
@@ -125,22 +137,25 @@ class ReadCache:
                  rid: Optional[object]) -> None:
         if not self.enabled:
             return
-        self._roles[(class_name, surrogate)] = rid
-        if len(self._roles) > self.role_capacity:
-            self._roles.popitem(last=False)
+        with self._lock:
+            self._roles[(class_name, surrogate)] = rid
+            if len(self._roles) > self.role_capacity:
+                self._roles.popitem(last=False)
 
     def get_fanout(self, rel_id: int, side: bool, surrogate: int):
         """Cached target tuple or None (an empty result caches as ``()``)."""
         if not self.enabled:
             return None
-        targets = self._fanout.get((rel_id, side, surrogate))
+        with self._lock:
+            targets = self._fanout.get((rel_id, side, surrogate))
+            if targets is not None:
+                self._fanout.move_to_end((rel_id, side, surrogate))
         trace = self.trace
         if targets is None:
             self.perf.bump("fanout_cache_misses")
             if trace is not None and trace.enabled:
                 trace.count("mapper.fanout_cache_misses")
             return None
-        self._fanout.move_to_end((rel_id, side, surrogate))
         self.perf.bump("fanout_cache_hits")
         if trace is not None and trace.enabled:
             trace.count("mapper.fanout_cache_hits")
@@ -156,13 +171,14 @@ class ReadCache:
             return found, list(surrogates)
         missing = []
         fanout = self._fanout
-        for surrogate in surrogates:
-            targets = fanout.get((rel_id, side, surrogate))
-            if targets is None:
-                missing.append(surrogate)
-            else:
-                fanout.move_to_end((rel_id, side, surrogate))
-                found[surrogate] = targets
+        with self._lock:
+            for surrogate in surrogates:
+                targets = fanout.get((rel_id, side, surrogate))
+                if targets is None:
+                    missing.append(surrogate)
+                else:
+                    fanout.move_to_end((rel_id, side, surrogate))
+                    found[surrogate] = targets
         trace = self.trace
         if found:
             self.perf.bump("fanout_cache_hits", len(found))
@@ -178,9 +194,10 @@ class ReadCache:
                    targets: tuple) -> None:
         if not self.enabled:
             return
-        self._fanout[(rel_id, side, surrogate)] = targets
-        if len(self._fanout) > self.fanout_capacity:
-            self._fanout.popitem(last=False)
+        with self._lock:
+            self._fanout[(rel_id, side, surrogate)] = targets
+            if len(self._fanout) > self.fanout_capacity:
+                self._fanout.popitem(last=False)
 
     # ------------------------------------------------------------- invalidation
 
@@ -191,29 +208,33 @@ class ReadCache:
         self.perf.bump("invalidations")
 
     def invalidate_record(self, class_name: str, surrogate: int) -> None:
-        self._records.pop((class_name, surrogate), None)
+        with self._lock:
+            self._records.pop((class_name, surrogate), None)
         self.note_write()
 
     def invalidate_role(self, class_name: str, surrogate: int) -> None:
         """A role appeared or disappeared: drop membership and record."""
-        self._roles.pop((class_name, surrogate), None)
-        self._records.pop((class_name, surrogate), None)
+        with self._lock:
+            self._roles.pop((class_name, surrogate), None)
+            self._records.pop((class_name, surrogate), None)
         self.note_write()
 
     def invalidate_eva(self, rel_id: int, *surrogates: int) -> None:
         """A relationship instance changed: drop both traversal directions
         for every involved endpoint (covers self-inverse EVAs)."""
-        for surrogate in surrogates:
-            self._fanout.pop((rel_id, True, surrogate), None)
-            self._fanout.pop((rel_id, False, surrogate), None)
+        with self._lock:
+            for surrogate in surrogates:
+                self._fanout.pop((rel_id, True, surrogate), None)
+                self._fanout.pop((rel_id, False, surrogate), None)
         self.note_write()
 
     def clear(self) -> None:
         """Drop everything (cold-cache benchmarks, crash recovery, and
         the transaction manager's rollback hook)."""
-        self._records.clear()
-        self._roles.clear()
-        self._fanout.clear()
+        with self._lock:
+            self._records.clear()
+            self._roles.clear()
+            self._fanout.clear()
         self.note_write()
         trace = self.trace
         if trace is not None and trace.enabled:

@@ -56,7 +56,7 @@ class PhysicalPlan:
         records = []
         for operator in self.operators:
             node = operator.node
-            records.append({
+            record = {
                 "op": operator.name,
                 "detail": operator.detail(),
                 "label": (f"TYPE {node.label}"
@@ -66,7 +66,16 @@ class PhysicalPlan:
                 "rows_out": operator.rows_out,
                 "est_rows": (estimates.get(node.id)
                              if node is not None else None),
-            })
+            }
+            workers = getattr(operator, "workers", None)
+            if workers is None:
+                workers = getattr(operator, "workers_used", None) or None
+            if workers is not None:
+                record["workers"] = workers
+                morsels = getattr(operator, "morsels", None)
+                if morsels is not None:
+                    record["morsels"] = morsels
+            records.append(record)
         return records
 
     def describe(self) -> str:
@@ -213,6 +222,15 @@ def lower_plan(query: RetrieveQuery, tree: QueryTree, plan,
     operator = _lower_selection_ops(operator,
                                     None if pushed else query.where,
                                     exists_nodes, slots)
+
+    # The selection stage above is the parallel-safe segment; when the
+    # executor allows workers, the Parallel barrier wraps it here, and
+    # everything below (Aggregate, Project, Sort, Distinct) stays serial
+    # on the dispatching thread.
+    parallelism = getattr(executor, "parallelism", 1)
+    if parallelism > 1:
+        from repro.engine.parallel import Parallel
+        operator = Parallel(operator, parallelism)
 
     # Aggregate expressions appearing directly as targets or order keys
     # evaluate once per row into dedicated extra slots.

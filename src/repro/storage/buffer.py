@@ -10,6 +10,8 @@ absolute addresses".
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -77,27 +79,42 @@ class Disk:
     Reading and writing a block each count one physical I/O.  Blocks are
     deep-copied across the "device boundary" so a buffered block and its
     disk image are genuinely distinct, as on real hardware.
+
+    ``read_latency`` models the device's per-read service time in
+    seconds (default 0.0: instantaneous, so every existing deterministic
+    I/O-count measurement is unaffected).  The sleep happens outside any
+    buffer-pool lock, so concurrent morsel workers overlap their reads
+    exactly the way threads overlap real blocking I/O.
     """
 
-    def __init__(self):
+    def __init__(self, read_latency: float = 0.0):
         self._blocks: Dict[Tuple[int, int], Block] = {}
         self.stats = IOStats()
+        #: modeled per-read device service time, seconds (0.0 = off)
+        self.read_latency = read_latency
+        # Serializes the stats counters only: concurrent morsel workers
+        # read through the buffer pool, and `n += 1` is not atomic.
+        self._stats_lock = threading.Lock()
         #: optional :class:`~repro.storage.faults.FaultInjector`; consulted
         #: on every read and write (may raise, or tear the written image)
         self.faults = None
 
     def read(self, file_id: int, block_no: int) -> Block:
         key = (file_id, block_no)
-        self.stats.physical_reads += 1
+        with self._stats_lock:
+            self.stats.physical_reads += 1
         if self.faults is not None:
             self.faults.on_read(file_id, block_no)
+        if self.read_latency > 0.0:
+            time.sleep(self.read_latency)
         image = self._blocks.get(key)
         if image is None:
             return Block()
         return image.copy()
 
     def write(self, file_id: int, block_no: int, block: Block) -> None:
-        self.stats.physical_writes += 1
+        with self._stats_lock:
+            self.stats.physical_writes += 1
         if self.faults is not None:
             block = self.faults.on_write(file_id, block_no, block)
         self._blocks[(file_id, block_no)] = block.copy()
@@ -128,6 +145,15 @@ class BufferPool:
 
     ``capacity`` is in blocks (minimum 1).  Cold-cache measurements call
     :meth:`invalidate` between runs instead of disabling buffering.
+
+    Thread-safety: frame-map and dirty-set mutations run under one
+    re-entrant lock, while actual device reads happen *outside* it —
+    concurrent morsel workers therefore overlap their (possibly
+    latency-modeled) misses instead of serializing on the pool.  A
+    per-block single-flight table collapses a thundering herd of readers
+    of the same block into one physical read.  Eviction is O(1): the
+    frames are an :class:`~collections.OrderedDict` and the LRU victim
+    pops from the cold end, regardless of pool size.
     """
 
     def __init__(self, disk: Disk, capacity: int = 256):
@@ -144,6 +170,9 @@ class BufferPool:
         self.trace = None
         self._frames: "OrderedDict[Tuple[int,int], Block]" = OrderedDict()
         self._dirty: set = set()
+        self._lock = threading.RLock()
+        #: in-flight physical reads: key -> Event set once installed
+        self._loading: Dict[Tuple[int, int], threading.Event] = {}
         self.stats = IOStats()
 
     # -- Device access (retry-wrapped) -------------------------------------------
@@ -165,32 +194,74 @@ class BufferPool:
         """Fetch a block for reading or in-place mutation.
 
         The caller must call :meth:`mark_dirty` after mutating.
+
+        On a miss, exactly one caller becomes the *loader* for the block
+        and performs the device read outside the pool lock; every other
+        concurrent caller waits on the loader's event and then re-probes
+        the frame map (looping, because a tiny pool may have evicted the
+        freshly installed block again before the waiter woke up).
         """
         key = (file_id, block_no)
-        self.stats.logical_reads += 1
-        block = self._frames.get(key)
-        if block is not None:
-            self._frames.move_to_end(key)
-            return block
-        block = self._disk_read(file_id, block_no)
-        self.stats.physical_reads += 1
-        trace = self.trace
-        if trace is not None and trace.enabled:
-            trace.count("storage.physical_reads")
-        self._install(key, block)
+        first_probe = True
+        while True:
+            with self._lock:
+                if first_probe:
+                    self.stats.logical_reads += 1
+                    first_probe = False
+                block = self._frames.get(key)
+                if block is not None:
+                    self._frames.move_to_end(key)
+                    return block
+                waiter = self._loading.get(key)
+                if waiter is None:
+                    waiter = threading.Event()
+                    self._loading[key] = waiter
+                    break               # this thread is the loader
+            waiter.wait()
+        try:
+            block = self._disk_read(file_id, block_no)
+        except BaseException:
+            with self._lock:
+                self._loading.pop(key, None)
+            waiter.set()
+            raise
+        with self._lock:
+            self.stats.physical_reads += 1
+            trace = self.trace
+            if trace is not None and trace.enabled:
+                trace.count("storage.physical_reads")
+            self._install(key, block)
+            self._loading.pop(key, None)
+        waiter.set()
         return block
 
-    def mark_dirty(self, file_id: int, block_no: int) -> None:
+    def mark_dirty(self, file_id: int, block_no: int,
+                   block: Optional[Block] = None) -> None:
+        """Flag a resident block as mutated.
+
+        A writer's frame can be evicted by a concurrent reader between
+        its ``get()`` and this call — the eviction would then write back
+        the *pre-mutation* image and this method used to raise, losing
+        the update.  Passing the mutated ``block`` closes that race: the
+        caller's image is re-installed and dirtied.  Without ``block``
+        a non-resident key still raises (the historical contract).
+        """
         key = (file_id, block_no)
-        if key not in self._frames:
-            raise StorageError(f"block {key} not resident; cannot dirty it")
-        self._dirty.add(key)
+        with self._lock:
+            if key not in self._frames:
+                if block is None:
+                    raise StorageError(
+                        f"block {key} not resident; cannot dirty it")
+                self._install(key, block)
+            self._dirty.add(key)
 
     def _install(self, key: Tuple[int, int], block: Block) -> None:
+        # Caller holds self._lock.
         self._frames[key] = block
         self._evict_down_to(self.capacity)
 
     def _evict_down_to(self, capacity: int) -> None:
+        # Caller holds self._lock.
         while len(self._frames) > capacity:
             victim_key, victim = self._frames.popitem(last=False)
             if victim_key in self._dirty:
@@ -207,28 +278,32 @@ class BufferPool:
 
     def flush(self) -> None:
         """Write all dirty blocks back to disk (keeps them resident)."""
-        if self.wal is not None and self._dirty:
-            self.wal.force()
-        trace = self.trace
-        tracing = trace is not None and trace.enabled
-        for key in sorted(self._dirty):
-            self._disk_write(*key, self._frames[key])
-            self.stats.physical_writes += 1
-            if tracing:
-                trace.count("storage.physical_writes")
-            self._dirty.discard(key)
+        with self._lock:
+            if self.wal is not None and self._dirty:
+                self.wal.force()
+            trace = self.trace
+            tracing = trace is not None and trace.enabled
+            for key in sorted(self._dirty):
+                self._disk_write(*key, self._frames[key])
+                self.stats.physical_writes += 1
+                if tracing:
+                    trace.count("storage.physical_writes")
+                self._dirty.discard(key)
 
     def invalidate(self) -> None:
         """Drop every frame (flushing dirty ones) — a cold cache."""
-        self.flush()
-        self._frames.clear()
+        with self._lock:
+            self.flush()
+            self._frames.clear()
 
     def resize(self, capacity: int) -> None:
         if capacity < 1:
             raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        self._evict_down_to(capacity)
+        with self._lock:
+            self.capacity = capacity
+            self._evict_down_to(capacity)
 
     @property
     def resident_blocks(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)

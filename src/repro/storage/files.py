@@ -46,6 +46,14 @@ class RecordFile:
         self._block_count = 0
         self._free_space: List[int] = []   # free bytes per block
         self._record_count = 0
+        # Upper bound on the largest free-space value any non-tail block
+        # can hold (the tail is probed directly).  The first-fit scan in
+        # _choose_block is skipped entirely while the bound proves no
+        # block can fit — without it, bulk loads at 10^5+ records pay an
+        # O(blocks) scan per insert once the tail fills (O(n^2) total).
+        # Deletes/undeletes raise the bound; a failed scan tightens it to
+        # the exact maximum; placement is bit-identical to the plain scan.
+        self._free_hint = 0
 
     # -- Format registry ----------------------------------------------------------
 
@@ -77,7 +85,7 @@ class RecordFile:
         block.slots.append((format_id, dict(values)))
         block.used += width
         self._free_space[block_no] = self.block_size - block.used
-        self.pool.mark_dirty(self.file_id, block_no)
+        self.pool.mark_dirty(self.file_id, block_no, block)
         self._record_count += 1
         rid = RID(block_no, len(block.slots) - 1)
         self._log(rid, None, (format_id, values))
@@ -90,13 +98,25 @@ class RecordFile:
                 return near.block
         # Ordinary inserts respect the cluster reservation.
         reserve = int(self.block_size * self.cluster_reserve)
-        usable = lambda block_no: self._free_space[block_no] - reserve
+        need = width + reserve
         # First fit over existing blocks, preferring the tail for locality.
-        if self._block_count and usable(self._block_count - 1) >= width:
+        if self._block_count and self._free_space[self._block_count - 1] >= need:
             return self._block_count - 1
-        for block_no in range(self._block_count):
-            if usable(block_no) >= width:
-                return block_no
+        if self._free_hint >= need:
+            max_free = 0
+            for block_no in range(self._block_count):
+                free = self._free_space[block_no]
+                if free >= need:
+                    return block_no
+                if free > max_free:
+                    max_free = free
+            self._free_hint = max_free
+        if self._block_count:
+            # The old tail joins the scannable region; fold its leftover
+            # into the bound so mixed-width loads still first-fit into it.
+            tail_free = self._free_space[self._block_count - 1]
+            if tail_free > self._free_hint:
+                self._free_hint = tail_free
         self._block_count += 1
         self._free_space.append(self.block_size)
         return self._block_count - 1
@@ -120,7 +140,7 @@ class RecordFile:
                 raise StorageError(
                     f"format {record_format.name!r} has no field {name!r}")
             stored[name] = value
-        self.pool.mark_dirty(self.file_id, rid.block)
+        self.pool.mark_dirty(self.file_id, rid.block, block)
         self._log(rid, (format_id, before), (format_id, stored))
 
     def delete(self, rid: RID) -> Dict[str, object]:
@@ -131,8 +151,11 @@ class RecordFile:
         block.slots[rid.slot] = None
         width = self._format(format_id).width
         block.used -= width
-        self._free_space[rid.block] = self.block_size - block.used
-        self.pool.mark_dirty(self.file_id, rid.block)
+        freed = self.block_size - block.used
+        self._free_space[rid.block] = freed
+        if freed > self._free_hint:
+            self._free_hint = freed
+        self.pool.mark_dirty(self.file_id, rid.block, block)
         self._record_count -= 1
         self._log(rid, (format_id, values), None)
         return dict(values)
@@ -147,7 +170,7 @@ class RecordFile:
         width = self._format(format_id).width
         block.used += width
         self._free_space[rid.block] = self.block_size - block.used
-        self.pool.mark_dirty(self.file_id, rid.block)
+        self.pool.mark_dirty(self.file_id, rid.block, block)
         self._record_count += 1
         self._log(rid, None, (format_id, values))
 
@@ -205,6 +228,7 @@ class RecordFile:
                 block.used = used
                 write(block_no, block)
             self._free_space.append(self.block_size - used)
+        self._free_hint = max(self._free_space, default=0)
 
     # -- Scanning ---------------------------------------------------------------
 

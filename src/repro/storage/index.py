@@ -10,6 +10,7 @@ block access; an index-sequential probe ≈ tree height; a direct key ≈ 1).
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import StorageError
@@ -26,6 +27,14 @@ class _BaseIndex:
         self.unique = unique
         self.probes = 0
         self.entries = 0
+        # Index *structures* only mutate on the (serial) write path, so
+        # concurrent lookups read them safely; the probes counter is the
+        # one read-path write and `+= 1` is not atomic under threads.
+        self._probe_lock = threading.Lock()
+
+    def _count_probe(self) -> None:
+        with self._probe_lock:
+            self.probes += 1
 
     def probe_cost(self) -> float:
         """Estimated block accesses for one probe (optimizer parameter)."""
@@ -64,7 +73,7 @@ class HashIndex(_BaseIndex):
         self.entries -= 1
 
     def lookup(self, key) -> List[RID]:
-        self.probes += 1
+        self._count_probe()
         return list(self._buckets.get(key, ()))
 
     def lookup_one(self, key) -> Optional[RID]:
@@ -72,7 +81,7 @@ class HashIndex(_BaseIndex):
         return rids[0] if rids else None
 
     def contains(self, key) -> bool:
-        self.probes += 1
+        self._count_probe()
         return key in self._buckets
 
     def keys(self) -> Iterator:
@@ -129,7 +138,7 @@ class OrderedIndex(_BaseIndex):
         self.entries -= 1
 
     def lookup(self, key) -> List[RID]:
-        self.probes += 1
+        self._count_probe()
         pos = bisect.bisect_left(self._keys, key)
         if pos < len(self._keys) and self._keys[pos] == key:
             return list(self._rids[pos])
@@ -142,7 +151,7 @@ class OrderedIndex(_BaseIndex):
     def range(self, low=None, high=None, include_low: bool = True,
               include_high: bool = True) -> Iterator[Tuple[object, RID]]:
         """Yield (key, rid) pairs with low <= key <= high (bounds optional)."""
-        self.probes += 1
+        self._count_probe()
         if low is None:
             start = 0
         elif include_low:
@@ -209,7 +218,7 @@ class DirectIndex(_BaseIndex):
         self.entries -= 1
 
     def lookup(self, key) -> List[RID]:
-        self.probes += 1
+        self._count_probe()
         rid = self._slots.get(key)
         return [rid] if rid is not None else []
 

@@ -29,6 +29,7 @@ Three surfaces consume the recording (see ISSUE/PR 4):
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -169,15 +170,23 @@ def _render_operator(record: Dict[str, object]) -> str:
     label_text = f" [{label}]" if label else ""
     est = record.get("est_rows")
     est_text = "" if est is None else f" est={float(est):.1f}"
+    workers = record.get("workers")
+    morsels = record.get("morsels")
+    parallel_text = ""
+    if workers is not None:
+        parallel_text = f" workers={workers}"
+        if morsels is not None:
+            parallel_text += f" morsels={morsels}"
     return ("op {op}({detail}){label}  batches={batches} in={rows_in} "
-            "out={rows_out}{est}".format(
+            "out={rows_out}{est}{parallel}".format(
                 op=record.get("op", "?"),
                 detail=_short(record.get("detail", "")),
                 label=label_text,
                 batches=record.get("batches", 0),
                 rows_in=record.get("rows_in", 0),
                 rows_out=record.get("rows_out", 0),
-                est=est_text))
+                est=est_text,
+                parallel=parallel_text))
 
 
 def _short(value, limit: int = 60) -> str:
@@ -210,6 +219,11 @@ class TraceRecorder:
         self.statements: deque = deque(maxlen=capacity)
         self.histograms = TraceHistograms()
         self._stack: List[Span] = []
+        # Span open/close stays main-thread-only (the stack is not
+        # shareable), but morsel workers *contribute* counts and events
+        # to the span the dispatching thread holds open; the lock keeps
+        # those read-modify-write merges exact.
+        self._count_lock = threading.Lock()
 
     # -- Statement lifecycle -----------------------------------------------------
 
@@ -281,15 +295,20 @@ class TraceRecorder:
             return
         record: Dict[str, object] = {"event": name}
         record.update(attrs)
-        self._stack[-1].events.append(record)
+        with self._count_lock:
+            if self._stack:
+                self._stack[-1].events.append(record)
 
     def count(self, name: str, amount: int = 1) -> None:
         """Aggregate a cheap per-span counter (record decodes, cache
         hits, physical I/O).  Dropped when no span is open."""
         if not self.enabled or not self._stack:
             return
-        counts = self._stack[-1].counts
-        counts[name] = counts.get(name, 0) + amount
+        with self._count_lock:
+            if not self._stack:
+                return
+            counts = self._stack[-1].counts
+            counts[name] = counts.get(name, 0) + amount
 
     # -- Introspection -----------------------------------------------------------
 

@@ -7,6 +7,12 @@
 * :func:`hierarchy_chain_schema` / :func:`populate_hierarchy_chain` — a
   generalization chain of configurable depth, for the variable-format vs
   separate-units experiment (E5).
+* :func:`scale_schema` / :func:`populate_scale` / :func:`scale_queries` —
+  the 10^5-10^6-entity workload behind ``benchmarks/bench_scale.py``: a
+  long 1:many EVA chain (``tier0 → tier1 → ...``), a heavy many:many EVA
+  into a ``part`` class, and a generalization diamond (``asset`` ←
+  ``tracked``/``costed`` ← ``part``) so traversal-heavy queries exercise
+  chained fan-out, many:many probes and inherited DVA reads at scale.
 """
 
 from __future__ import annotations
@@ -135,3 +141,134 @@ def populate_hierarchy_chain(database: Database, depth: int, entities: int,
                                       f"{rng.random():.4f}"
         surrogates.append(store.insert_entity(leaf, values))
     return surrogates
+
+
+def scale_schema(chain_depth: int = 3) -> Schema:
+    """The BENCH_scale schema: a ``chain_depth``-long 1:many EVA chain
+    ``tier0 → tier1 → ...`` (EVA ``feeds``, inverse ``fed-by``), a heavy
+    many:many EVA ``links`` between the last tier and ``part``, and a
+    generalization diamond ``asset`` ← ``tracked``/``costed`` ← ``part``
+    so part reads resolve DVAs through multiple inheritance."""
+    if chain_depth < 2:
+        raise ValueError("chain_depth must be >= 2")
+    schema = Schema(f"scale-{chain_depth}")
+
+    asset = SimClass("asset")
+    asset.add_attribute(DataValuedAttribute(
+        "asset-key", IntegerType(), AttributeOptions(unique=True,
+                                                     required=True)))
+    schema.add_class(asset)
+    tracked = SimClass("tracked", ["asset"])
+    tracked.add_attribute(DataValuedAttribute("site-code", IntegerType()))
+    schema.add_class(tracked)
+    costed = SimClass("costed", ["asset"])
+    costed.add_attribute(DataValuedAttribute("cost", IntegerType()))
+    schema.add_class(costed)
+    part = SimClass("part", ["tracked", "costed"])
+    part.add_attribute(DataValuedAttribute(
+        "part-key", IntegerType(), AttributeOptions(unique=True,
+                                                    required=True)))
+    part.add_attribute(EntityValuedAttribute(
+        "linked-from", f"tier{chain_depth - 1}", "links",
+        AttributeOptions(mv=True)))
+    schema.add_class(part)
+
+    for level in range(chain_depth):
+        tier = SimClass(f"tier{level}")
+        tier.add_attribute(DataValuedAttribute(
+            f"key{level}", IntegerType(), AttributeOptions(unique=True,
+                                                           required=True)))
+        tier.add_attribute(DataValuedAttribute(f"load{level}",
+                                               IntegerType()))
+        if level + 1 < chain_depth:
+            tier.add_attribute(EntityValuedAttribute(
+                "feeds", f"tier{level + 1}", "fed-by",
+                AttributeOptions(mv=True)))
+        if level:
+            tier.add_attribute(EntityValuedAttribute(
+                "fed-by", f"tier{level - 1}", "feeds", AttributeOptions()))
+        if level == chain_depth - 1:
+            tier.add_attribute(EntityValuedAttribute(
+                "links", "part", "linked-from", AttributeOptions(mv=True)))
+        schema.add_class(tier)
+    return schema.resolve()
+
+
+def populate_scale(database: Database, entities: int, chain_depth: int = 3,
+                   fanout: int = 8, link_degree: int = 4,
+                   seed: int = 9) -> Dict[str, List[int]]:
+    """Insert roughly ``entities`` entities against :func:`scale_schema`.
+
+    Tier populations grow geometrically by ``fanout`` down the chain and
+    the remainder becomes ``part`` entities, each linked into the
+    many:many EVA with ``link_degree`` distinct last-tier partners —
+    traversals from ``tier0`` therefore fan out by ``fanout`` per hop and
+    end in a dense probe set.  Returns surrogates keyed by class name.
+    """
+    rng = random.Random(seed)
+    store = database.store
+    schema = database.schema
+
+    weights = [fanout ** level for level in range(chain_depth)]
+    total_weight = sum(weights) + weights[-1]
+    counts = [max(1, entities * weight // total_weight)
+              for weight in weights]
+    part_count = max(1, entities - sum(counts))
+
+    created: Dict[str, List[int]] = {}
+    for level, count in enumerate(counts):
+        name = f"tier{level}"
+        fed_by = (schema.get_class(name).attribute("fed-by")
+                  if level else None)
+        parents = created[f"tier{level - 1}"] if level else []
+        surrogates: List[int] = []
+        for index in range(count):
+            surrogate = store.insert_entity(name, {
+                f"key{level}": index,
+                f"load{level}": rng.randint(0, 99)})
+            if fed_by is not None:
+                store.eva_include(surrogate, fed_by,
+                                  parents[rng.randrange(len(parents))])
+            surrogates.append(surrogate)
+        created[name] = surrogates
+
+    last_tier = created[f"tier{chain_depth - 1}"]
+    linked_from = schema.get_class("part").attribute("linked-from")
+    degree = min(link_degree, len(last_tier))
+    parts: List[int] = []
+    for index in range(part_count):
+        surrogate = store.insert_entity("part", {
+            "asset-key": index,
+            "site-code": rng.randint(0, 9),
+            "cost": rng.randint(10, 9999),
+            "part-key": index})
+        for position in rng.sample(range(len(last_tier)), degree):
+            store.eva_include(surrogate, linked_from, last_tier[position])
+        parts.append(surrogate)
+    created["part"] = parts
+    return created
+
+
+def scale_queries(chain_depth: int = 3) -> List[str]:
+    """The BENCH_scale query set: chained traversal, many:many probes
+    with selection and aggregation, and inherited-DVA reads through the
+    generalization diamond.
+
+    The selection-form queries (WHERE over a traversal path) do their
+    record reads in the parallel-safe pipeline segment; the target-path
+    and aggregate forms deliberately keep that work in the serial
+    Project/Aggregate consumers, so the benchmark shows both sides of
+    the morsel barrier.
+    """
+    last = chain_depth - 1
+    chain_path = " of ".join(["feeds"] * last)
+    return [
+        f"From tier0 Retrieve key0"
+        f" Where load{last} of {chain_path} > 10",
+        f"From tier0 Retrieve key0, key{last} of {chain_path}",
+        f"From tier{last} Retrieve key{last}"
+        f" Where cost of links > 5000",
+        f"From tier{last} Retrieve key{last}, sum(cost of links)",
+        "From part Retrieve part-key Where site-code = 7",
+        f"From tier1 Retrieve key1 Where load{last} of feeds > 95",
+    ]
