@@ -1,8 +1,9 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test torture bench bench-recovery bench-read-path bench-lint \
-	bench-trace bench-batch bench-scale lint typecheck simcheck
+.PHONY: test torture chaos bench bench-recovery bench-read-path bench-lint \
+	bench-trace bench-batch bench-scale bench-concurrency lint typecheck \
+	simcheck
 
 test:
 	python -m pytest -x -q
@@ -37,6 +38,11 @@ simcheck:
 torture:
 	python -m pytest -q -m torture tests/test_torture.py
 
+# The multi-session contention/fault chaos lane (seeded writer fleets,
+# deadlock-prone mixes, committed-prefix oracle; see tests/test_chaos.py).
+chaos:
+	python -m pytest -q -m chaos tests/test_chaos.py
+
 bench:
 	python -m pytest -q benchmarks/ --benchmark-only
 
@@ -63,3 +69,10 @@ bench-batch:
 # between parallel and serial execution).
 bench-scale:
 	python benchmarks/make_report.py --scale
+
+# E19: multi-session concurrency gate (fails on row drift between
+# concurrent snapshot reads and serial execution, on a committed-prefix
+# oracle violation under contention, or below 1.3x read throughput at
+# 4 sessions).
+bench-concurrency:
+	python benchmarks/make_report.py --concurrency

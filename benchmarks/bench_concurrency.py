@@ -1,0 +1,264 @@
+"""E19 — multi-session concurrency: snapshot-read scaling and write
+throughput under contention.
+
+Two cells, both driven through :class:`~repro.engine.sessions.Session`
+(the same substrate the socket server wraps):
+
+**Read scaling.**  N sessions concurrently run the E18 scale workload's
+query sweep as MVCC snapshot Retrieves.  As in ``bench_scale``, a
+modeled per-read device latency is self-calibrated so the serial mix is
+disk-bound (``TARGET_IO_RATIO``), and the buffer pool is sized below
+the working set; what scales across sessions is overlapped I/O wait,
+since snapshot readers take no locks.  Reported per session count:
+statements/sec, speedup over one session, and a power-of-two statement
+latency histogram.  Every result must be row-identical to a serial
+``Database.execute`` baseline.
+
+**Contended writes.**  N sessions run the chaos mix — two-statement
+transactions over two classes in seeded random lock order, a
+deadlock-prone shape — and the cell reports committed transactions/sec,
+deadlock victims, aborts, and the committed-prefix oracle verdict (the
+final state must equal the replay of exactly the committed ledgers).
+
+The CI gate (``--concurrency-smoke``) asserts row identity and the
+oracle; the full ``make bench-concurrency`` run also gates on read
+throughput at 4 sessions >= ``MIN_READ_SPEEDUP_AT_4`` x serial.
+"""
+
+import random
+import threading
+import time
+
+from repro.database import Database
+from repro.engine.sessions import LockConflict, Session
+from repro.perf import PowerOfTwoHistogram
+from repro.workloads.generators import (
+    populate_scale,
+    scale_queries,
+    scale_schema,
+)
+
+from _harness import attach
+
+#: modeled I/O wait as a multiple of pure-CPU time (the calibration)
+TARGET_IO_RATIO = 3.0
+
+#: session counts swept (1 = the serial baseline)
+SESSION_COUNTS = (1, 4, 8)
+
+#: buffer-pool frames during the read cell — below the working set
+POOL_FRAMES = 256
+
+#: the full-scale acceptance bound on read scaling at 4 sessions
+MIN_READ_SPEEDUP_AT_4 = 1.3
+
+CONTENTION_DDL = """
+Class Account (
+  nbr: integer (1..99) unique required;
+  balance: integer );
+
+Class Audit (
+  nbr: integer (1..99) unique required;
+  total: integer );
+"""
+
+CONTENTION_ACCOUNTS = 4
+
+
+# ------------------------------------------------------------------ read cell
+
+def _measure_reads(entities: int, chain_depth: int, session_counts,
+                   rounds: int) -> dict:
+    database = Database(scale_schema(chain_depth), constraint_mode="off")
+    populate_scale(database, entities, chain_depth=chain_depth)
+    database.executor.parallelism = 1  # scale across sessions, not within
+    queries = scale_queries(chain_depth)
+    database.store.pool.resize(POOL_FRAMES)
+
+    # Calibrate the modeled device exactly as bench_scale does: pure-CPU
+    # cold wall time vs physical reads pins the serial CPU:I/O mix.
+    cpu_wall = 0.0
+    physical_reads = 0
+    baseline_rows = []
+    for text in queries:
+        database.cold_cache()
+        database.reset_io_stats()
+        started = time.perf_counter()
+        baseline_rows.append(database.execute(text).rows)
+        cpu_wall += time.perf_counter() - started
+        physical_reads += database.io_stats.physical_reads
+    read_latency = (TARGET_IO_RATIO * cpu_wall / physical_reads
+                    if physical_reads else 0.0)
+    database.store.disk.read_latency = read_latency
+
+    cells = {}
+    rows_identical = True
+    serial_rate = None
+    for sessions in session_counts:
+        histogram = PowerOfTwoHistogram()
+        hist_lock = threading.Lock()
+        errors = []
+        mismatches = []
+        database.cold_cache()
+
+        def client(_i):
+            session = Session(database)
+            try:
+                for _ in range(rounds):
+                    for index, text in enumerate(queries):
+                        started = time.perf_counter()
+                        rows = session.query(text).rows
+                        micros = (time.perf_counter() - started) * 1e6
+                        with hist_lock:
+                            histogram.observe(micros)
+                        if rows != baseline_rows[index]:
+                            mismatches.append(index)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(sessions)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        if mismatches:
+            rows_identical = False
+        statements = sessions * rounds * len(queries)
+        rate = statements / wall if wall else 0.0
+        if sessions == 1:
+            serial_rate = rate
+        cells[str(sessions)] = {
+            "statements": statements,
+            "wall_s": wall,
+            "stmts_per_s": rate,
+            "speedup": rate / serial_rate if serial_rate else 1.0,
+            "latency_us": histogram.as_dict(),
+        }
+    return {
+        "entities": entities,
+        "queries": len(queries),
+        "rounds": rounds,
+        "read_latency_us": read_latency * 1e6,
+        "rows_identical": rows_identical,
+        "sessions": cells,
+    }
+
+
+# ------------------------------------------------------------ contention cell
+
+def _contention_client(database, seed, transactions, ledger, aborted):
+    session = Session(database, lock_timeout=10.0)
+    rng = random.Random(seed)
+    for _ in range(transactions):
+        steps = [("account", "balance",
+                  rng.randint(1, CONTENTION_ACCOUNTS), rng.randint(1, 5)),
+                 ("audit", "total",
+                  rng.randint(1, CONTENTION_ACCOUNTS), rng.randint(1, 5))]
+        if rng.random() < 0.5:
+            steps.reverse()
+        try:
+            for class_name, attr, nbr, delta in steps:
+                session.execute(f"Modify {class_name}({attr} := {attr} + "
+                                f"{delta}) Where nbr = {nbr}")
+            session.commit()
+        except LockConflict:
+            session.abort()
+            aborted.append(1)
+        else:
+            ledger.extend(steps)
+
+
+def _measure_contention(session_counts, transactions: int) -> dict:
+    cells = {}
+    oracle_ok = True
+    for sessions in session_counts:
+        database = Database(CONTENTION_DDL, constraint_mode="off")
+        for nbr in range(1, CONTENTION_ACCOUNTS + 1):
+            database.execute(f"Insert account(nbr := {nbr}, balance := 0)")
+            database.execute(f"Insert audit(nbr := {nbr}, total := 0)")
+        ledgers = [[] for _ in range(sessions)]
+        aborted = []
+        threads = [threading.Thread(
+            target=_contention_client,
+            args=(database, 7000 + i, transactions, ledgers[i], aborted))
+            for i in range(sessions)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+
+        expected = {}
+        for ledger in ledgers:
+            for class_name, _attr, nbr, delta in ledger:
+                key = (class_name, nbr)
+                expected[key] = expected.get(key, 0) + delta
+        for class_name, attr in (("account", "balance"), ("audit", "total")):
+            for nbr in range(1, CONTENTION_ACCOUNTS + 1):
+                stored = database.query(
+                    f"From {class_name} Retrieve {attr}"
+                    f" Where nbr = {nbr}").scalar()
+                if stored != expected.get((class_name, nbr), 0):
+                    oracle_ok = False
+        committed = sum(len(ledger) // 2 for ledger in ledgers)
+        stats = database._lock_manager.statistics()
+        cells[str(sessions)] = {
+            "transactions_offered": sessions * transactions,
+            "committed": committed,
+            "aborted": len(aborted),
+            "txns_per_s": committed / wall if wall else 0.0,
+            "deadlocks": stats["deadlocks"],
+            "lock_waits": stats["waits"],
+            "check_ok": bool(database.check().ok),
+        }
+    return {"oracle_ok": oracle_ok, "sessions": cells}
+
+
+# ----------------------------------------------------------------- entry point
+
+def measure_concurrency(entities: int = 10_000, chain_depth: int = 3,
+                        session_counts=SESSION_COUNTS, rounds: int = 2,
+                        transactions: int = 25) -> dict:
+    """The numbers ``BENCH_concurrency.json`` records."""
+    reads = _measure_reads(entities, chain_depth, session_counts, rounds)
+    contention = _measure_contention(session_counts, transactions)
+    speedup_at_4 = (reads["sessions"]["4"]["speedup"]
+                    if "4" in reads["sessions"] else None)
+    return {
+        "session_counts": list(session_counts),
+        "reads": reads,
+        "contention": contention,
+        "rows_identical": reads["rows_identical"],
+        "oracle_ok": contention["oracle_ok"],
+        "read_speedup_at_4": speedup_at_4,
+        "min_read_speedup_at_4": MIN_READ_SPEEDUP_AT_4,
+    }
+
+
+def test_e19_concurrency_smoke(benchmark):
+    """The CI lane: small scale, sessions {1, 4} — row identity across
+    sessions plus the committed-prefix oracle.  The throughput bound is
+    ``make bench-concurrency``'s gate, not CI's."""
+    measured = measure_concurrency(entities=2_000, session_counts=(1, 4),
+                                   rounds=1, transactions=10)
+
+    assert measured["rows_identical"]
+    assert measured["oracle_ok"]
+    for cell in measured["contention"]["sessions"].values():
+        assert cell["check_ok"]
+        assert cell["committed"] + cell["aborted"] == \
+            cell["transactions_offered"]
+
+    benchmark(lambda: None)
+    attach(benchmark,
+           rows_identical=measured["rows_identical"],
+           oracle_ok=measured["oracle_ok"],
+           read_speedup_at_4=round(measured["read_speedup_at_4"], 2),
+           contended_txns_per_s_at_4=round(
+               measured["contention"]["sessions"]["4"]["txns_per_s"], 1))

@@ -38,6 +38,13 @@ and writes ``BENCH_scale.json`` (rows/sec and speedup vs serial at
 1/2/4/8 workers on the scale workload, populate rate and peak RSS per
 entity count, with row-identical verification).  ``--scale-smoke`` runs
 the same measurement at 10^4 entities for CI.
+
+``--concurrency`` runs the E19 multi-session measurement and writes
+``BENCH_concurrency.json`` (snapshot-read statements/sec and latency
+histograms at 1/4/8 sessions with row-identical verification, plus
+contended write throughput with deadlock counts and the
+committed-prefix oracle).  ``--concurrency-smoke`` is the reduced CI
+lane (row identity + oracle, no throughput bound).
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ _EXPERIMENT_TITLES = {
     "e16": "E16 — end-to-end tracing overhead (EXPLAIN ANALYZE)",
     "e17": "E17 — batched Volcano execution vs tuple-at-a-time",
     "e18": "E18 — morsel-parallel execution at scale",
+    "e19": "E19 — multi-session concurrency (2PL + MVCC + server)",
 }
 
 
@@ -197,6 +205,48 @@ def write_scale_report(out_path: str, entities: int = 100_000,
     return 0
 
 
+def write_concurrency_report(out_path: str, smoke: bool = False) -> int:
+    """Run the E19 measurement and emit ``BENCH_concurrency.json``."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_concurrency import measure_concurrency
+    if smoke:
+        measured = measure_concurrency(entities=2_000,
+                                       session_counts=(1, 4),
+                                       rounds=1, transactions=10)
+    else:
+        measured = measure_concurrency()
+    with open(out_path, "w") as handle:
+        json.dump(measured, handle, indent=2)
+        handle.write("\n")
+    rates = ", ".join(
+        f"{sessions}s {cell['stmts_per_s']:.1f}/s ({cell['speedup']:.2f}x)"
+        for sessions, cell in measured["reads"]["sessions"].items())
+    contended = measured["contention"]["sessions"]
+    deadlocks = sum(cell["deadlocks"] for cell in contended.values())
+    print(f"wrote {out_path}: snapshot reads {rates}; "
+          f"contended commits at max sessions "
+          f"{list(contended.values())[-1]['txns_per_s']:.1f} txns/s, "
+          f"{deadlocks} deadlocks resolved, "
+          f"rows identical: {measured['rows_identical']}, "
+          f"oracle ok: {measured['oracle_ok']}")
+    if not measured["rows_identical"]:
+        print("FAIL: concurrent snapshot reads differ from serial rows",
+              file=sys.stderr)
+        return 1
+    if not measured["oracle_ok"]:
+        print("FAIL: committed-prefix oracle violated under contention",
+              file=sys.stderr)
+        return 1
+    if (not smoke and measured["read_speedup_at_4"] is not None
+            and measured["read_speedup_at_4"]
+            < measured["min_read_speedup_at_4"]):
+        print("FAIL: snapshot-read throughput at 4 sessions below the "
+              f"{measured['min_read_speedup_at_4']:.1f}x bound",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def experiment_of(name: str) -> str:
     match = re.match(r"test_(e\d+)_", name)
     if match:
@@ -231,6 +281,13 @@ def main(argv) -> int:
     if len(argv) >= 2 and argv[1] == "--scale":
         out_path = argv[2] if len(argv) > 2 else "BENCH_scale.json"
         return write_scale_report(out_path)
+    if len(argv) >= 2 and argv[1] == "--concurrency":
+        out_path = argv[2] if len(argv) > 2 else "BENCH_concurrency.json"
+        return write_concurrency_report(out_path)
+    if len(argv) >= 2 and argv[1] == "--concurrency-smoke":
+        out_path = argv[2] if len(argv) > 2 else \
+            "BENCH_concurrency_smoke.json"
+        return write_concurrency_report(out_path, smoke=True)
     if len(argv) >= 2 and argv[1] == "--scale-smoke":
         out_path = argv[2] if len(argv) > 2 else "BENCH_scale_smoke.json"
         # 10^4-entity CI lane: row identity is enforced, the 2x bound is

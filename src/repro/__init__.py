@@ -34,7 +34,8 @@ from repro.mapper.physical import (
     PhysicalDesign,
     SurrogateKeyKind,
 )
-from repro.engine.sessions import LockConflict, Session
+from repro.engine.sessions import (DeadlockError, LockConflict, LockTimeout,
+                                   Session)
 from repro.schema.ddl_parser import parse_ddl
 from repro.schema.schema import Schema
 from repro.types.tvl import NULL, UNKNOWN
@@ -54,6 +55,8 @@ __all__ = [
     "SurrogateKeyKind",
     "Session",
     "LockConflict",
+    "LockTimeout",
+    "DeadlockError",
     "NULL",
     "UNKNOWN",
     "SimError",

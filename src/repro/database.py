@@ -18,6 +18,7 @@ optional Optimizer plan (:mod:`repro.optimizer`).
 from __future__ import annotations
 
 import contextlib
+import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
@@ -27,6 +28,7 @@ from repro.dml.qualification import Qualifier
 from repro.engine.constraints import ConstraintManager
 from repro.engine.executor import QueryExecutor
 from repro.engine.output import ResultSet
+from repro.engine.sessions import LockManager
 from repro.engine.updates import UpdateEngine
 from repro.errors import SimError
 from repro.mapper.physical import PhysicalDesign
@@ -80,6 +82,10 @@ class Database:
         self.updates = UpdateEngine(self.executor, self.constraints)
         self.use_optimizer = use_optimizer
         self._optimizer = None
+        # Concurrency plumbing, created eagerly so two threads opening
+        # their first Session can never race to install it.
+        self._lock_manager = LockManager()
+        self._session_ids = itertools.count(1)
 
     # -- Statements ---------------------------------------------------------------
 
@@ -163,7 +169,8 @@ class Database:
         diagnostics.extend(verdict)
         return CompiledStatement(statement, tree, plan, diagnostics)
 
-    def _run_retrieve(self, query: RetrieveQuery) -> ResultSet:
+    def _run_retrieve(self, query: RetrieveQuery,
+                      executor: Optional[QueryExecutor] = None) -> ResultSet:
         from repro.analysis import raise_for_errors, verify_plan
         trace = self.store.trace
         if trace is None or not trace.enabled:
@@ -175,7 +182,7 @@ class Database:
             # Fail closed: a plan that breaks the structural contract
             # between the labelled tree and the enumeration must never run.
             raise_for_errors(verify_plan(self.schema, tree, plan))
-            result = self.executor.run(query, tree, plan)
+            result = (executor or self.executor).run(query, tree, plan)
             result.diagnostics = diagnostics
             return result
         with self._statement_scope(trace, repr(query)) as root:
@@ -188,7 +195,7 @@ class Database:
                 plan = self.optimizer.choose_plan(query, tree)
             with trace.span("verify", layer="analysis"):
                 raise_for_errors(verify_plan(self.schema, tree, plan))
-            result = self.executor.run(query, tree, plan)
+            result = (executor or self.executor).run(query, tree, plan)
             result.diagnostics = diagnostics
             if root is not None:
                 result.trace = root
@@ -196,6 +203,14 @@ class Database:
                 # Close the loop: traced actuals refine future estimates.
                 self.optimizer.observe_execution(tree, result.node_stats)
             return result
+
+    def _statement_executor(self) -> QueryExecutor:
+        """A private executor for one snapshot Retrieve: fresh accessor
+        and evaluator memo shards, so rows read at one snapshot's epoch
+        can never be served to a query pinned at another."""
+        return QueryExecutor(self.store, self.qualifier,
+                             batch_size=self.executor.batch_size,
+                             parallelism=self.executor.parallelism)
 
     def _lint_retrieve(self, query: RetrieveQuery) -> List:
         """Type-check a resolved Retrieve; raises on error severity and
@@ -265,6 +280,24 @@ class Database:
                     self.abort()
                 raise
 
+    # -- Sessions and the network front end --------------------------------------------
+
+    def session(self, **kwargs):
+        """Open a concurrent :class:`~repro.engine.sessions.Session` on
+        this database (MVCC snapshot reads by default)."""
+        from repro.engine.sessions import Session
+        return Session(self, **kwargs)
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0, **kwargs):
+        """Start a :class:`~repro.interfaces.server.SimServer` on this
+        database and return it (already listening; ``server.port`` holds
+        the bound port).  Stop it with ``server.stop()`` or use it as a
+        context manager."""
+        from repro.interfaces.server import SimServer
+        server = SimServer(self, host=host, port=port, **kwargs)
+        server.start()
+        return server
+
     # -- Introspection -----------------------------------------------------------------
 
     def statistics(self) -> dict:
@@ -273,6 +306,7 @@ class Database:
         stats["io"] = repr(self.store.io_stats())
         stats["read_path"] = self.store.perf.as_dict()
         stats["storage"] = self.store.storage_statistics()
+        stats["locks"] = self._lock_manager.statistics()
         if self.store.trace is not None:
             stats["trace"] = self.store.trace.histograms.as_dict()
         return stats

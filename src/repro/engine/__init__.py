@@ -17,7 +17,8 @@ from repro.engine.executor import QueryExecutor
 from repro.engine.output import ResultSet, StructuredRecord
 from repro.engine.updates import UpdateEngine
 from repro.engine.constraints import ConstraintManager
-from repro.engine.sessions import LockConflict, LockManager, Session
+from repro.engine.sessions import (DeadlockError, LockConflict, LockManager,
+                                   LockTimeout, Session)
 
 __all__ = [
     "DUMMY",
@@ -28,6 +29,8 @@ __all__ = [
     "UpdateEngine",
     "ConstraintManager",
     "LockConflict",
+    "LockTimeout",
+    "DeadlockError",
     "LockManager",
     "Session",
 ]

@@ -181,6 +181,12 @@ class Parallel(ops.Operator):
         from concurrent.futures import ThreadPoolExecutor
         local = threading.local()
         states_lock = threading.Lock()
+        # Snapshot Retrieves pin their read view on the issuing thread;
+        # worker threads must re-enter the same scope or they would read
+        # physical state from a different epoch mid-query.
+        store = ctx.store
+        snap = store.current_snapshot() \
+            if hasattr(store, "current_snapshot") else None
 
         def task(morsel):
             state = getattr(local, "state", None)
@@ -189,7 +195,10 @@ class Parallel(ops.Operator):
                 local.state = state
                 with states_lock:
                     states.append(state)
-            return self._run_morsel(state, morsel)
+            if snap is None:
+                return self._run_morsel(state, morsel)
+            with store.snapshot_scope(snap):
+                return self._run_morsel(state, morsel)
 
         pool_size = min(self.parallelism, len(morsels))
         with ThreadPoolExecutor(max_workers=pool_size,

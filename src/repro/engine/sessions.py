@@ -3,33 +3,44 @@
 The paper's SIM leans on DMSII for concurrent transactions (§1: SIM is
 "capable of supporting commercial application systems ... that require
 very high transaction processing rates").  This module supplies the
-substrate's equivalent: multiple *sessions* over one database, isolated
-by strict two-phase locking at class granularity.
+substrate's equivalent: multiple *sessions* over one database — now from
+concurrent threads — isolated by strict two-phase locking at class
+granularity, with MVCC snapshot isolation for Retrieves:
 
-Sessions are cooperative (the process is single-threaded): each statement
-runs to completion, but several sessions may hold open transactions at
-once, and the lock manager makes their interleavings serializable:
-
-* a Retrieve takes shared locks on every class its query tree touches;
 * an update takes exclusive locks on the statement class and every class
-  its cascades can reach (subclasses, EVA partners);
-* locks are held until COMMIT/ABORT (strict 2PL);
-* a conflicting request raises :class:`LockConflict` immediately (no
-  blocking — the caller retries or aborts; with single-threaded
-  cooperation, waiting would deadlock the process).
+  its cascades can reach (subclasses, EVA partners), held until
+  COMMIT/ABORT (strict 2PL);
+* a conflicting request *blocks* on a condition variable until the
+  holder releases, the configurable timeout expires
+  (:class:`LockTimeout`), or waits-for-graph cycle detection picks a
+  deadlock victim (:class:`DeadlockError` — the youngest session in the
+  cycle, deterministically);
+* a session aborted as a deadlock victim while opening a fresh
+  transaction is retried automatically with bounded, seeded backoff
+  (the shape of :class:`repro.storage.faults.RetryPolicy`);
+* a Retrieve on an MVCC session takes NO locks at all: it pins a commit
+  epoch and reads pre-image version chains
+  (:mod:`repro.mapper.versions`), so readers never block writers and
+  writers never block readers.  ``Session(db, mvcc=False)`` restores
+  shared-lock Retrieves, and ``lock_timeout=0`` restores the legacy
+  fail-fast behavior (immediate :class:`LockConflict`).
 
 Example::
 
     alice, bob = Session(db), Session(db)
     alice.execute('Modify course(credits := 5) Where course-no = 1')
-    bob.query('From course Retrieve title')     # LockConflict
+    bob.query('From course Retrieve title')     # snapshot: sees credits=3
     alice.commit()
-    bob.query('From course Retrieve title')     # fine now
+    bob.query('From course Retrieve title')     # now sees credits=5
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+import itertools
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.dml.ast import (
     DeleteStatement,
@@ -45,151 +56,433 @@ class LockConflict(SimError):
     """A lock request conflicts with another session's holding."""
 
 
-class LockManager:
-    """Shared/exclusive locks at class granularity."""
+class LockTimeout(LockConflict):
+    """A lock wait exceeded its timeout (the holder may just be slow —
+    the statement failed but the transaction is still open)."""
 
-    def __init__(self):
+
+class DeadlockError(LockConflict):
+    """This session was chosen as a deadlock victim; its transaction has
+    been (or must be) aborted to break the cycle."""
+
+
+#: upper bound on one condition wait, so a doomed victim notices quickly
+#: even if a notify is lost to timing
+_WAIT_SLICE = 0.1
+
+
+class LockManager:
+    """Blocking shared/exclusive locks at class granularity.
+
+    One mutex + condition covers all classes: lock traffic is a few
+    acquisitions per statement, so a global condition with
+    ``notify_all`` on every release is simpler than per-class queues
+    and plenty fast.  Deadlocks are resolved by detection, not timeout:
+    every time a session is about to wait, it searches the waits-for
+    graph for a cycle through itself and dooms the *youngest* session
+    in the cycle (largest session id — deterministic under a fixed
+    arrival order, and the youngest has the least work to redo).
+    """
+
+    def __init__(self, default_timeout: float = 10.0):
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
         self._shared: Dict[str, Set[int]] = {}
         self._exclusive: Dict[str, int] = {}
+        #: sessions currently blocked: sid -> (class, mode)
+        self._waits: Dict[int, Tuple[str, str]] = {}
+        #: deadlock victims that must abort at their next wakeup
+        self._doomed: Set[int] = set()
+        self.default_timeout = default_timeout
+        self.deadlocks = 0
+        self.timeouts = 0
+        self.waits = 0
 
-    def acquire_shared(self, session_id: int, class_name: str) -> None:
+    # -- Acquisition -------------------------------------------------------------
+
+    def acquire_shared(self, session_id: int, class_name: str,
+                       timeout: Optional[float] = None) -> str:
+        """Take (or keep) a shared lock; returns the grant kind —
+        ``"held"`` (already sufficient), ``"new"``, or ``"upgraded"`` —
+        for :meth:`rollback` bookkeeping."""
+        return self._acquire(session_id, class_name, "shared", timeout)
+
+    def acquire_exclusive(self, session_id: int, class_name: str,
+                          timeout: Optional[float] = None) -> str:
+        """Take (or upgrade to) an exclusive lock; returns the grant
+        kind as in :meth:`acquire_shared`."""
+        return self._acquire(session_id, class_name, "exclusive", timeout)
+
+    def _acquire(self, session_id: int, class_name: str, mode: str,
+                 timeout: Optional[float]) -> str:
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = time.monotonic() + timeout if timeout > 0 else None
+        waited = False
+        with self._cond:
+            try:
+                while True:
+                    # A doomed victim aborts before taking anything new —
+                    # its locks are what the cycle is waiting for.
+                    if session_id in self._doomed:
+                        self._doomed.discard(session_id)
+                        raise DeadlockError(
+                            f"session {session_id} chosen as deadlock "
+                            f"victim while locking class {class_name!r}")
+                    blockers = self._blockers(session_id, class_name, mode)
+                    if not blockers:
+                        return self._grant(session_id, class_name, mode)
+                    if timeout == 0:
+                        # Legacy fail-fast mode: no waiting, no wait-graph.
+                        raise LockConflict(
+                            self._conflict_message(class_name, blockers))
+                    if not waited:
+                        waited = True
+                        self.waits += 1
+                    self._waits[session_id] = (class_name, mode)
+                    victim = self._find_victim(session_id)
+                    if victim is not None:
+                        self.deadlocks += 1
+                        if victim == session_id:
+                            raise DeadlockError(
+                                f"session {session_id} chosen as deadlock "
+                                f"victim while locking class {class_name!r}")
+                        self._doomed.add(victim)
+                        self._cond.notify_all()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.timeouts += 1
+                        raise LockTimeout(
+                            f"session {session_id} timed out after "
+                            f"{timeout:.3g}s waiting for class "
+                            f"{class_name!r} "
+                            f"({self._conflict_message(class_name, blockers)})")
+                    self._cond.wait(min(remaining, _WAIT_SLICE))
+            finally:
+                self._waits.pop(session_id, None)
+
+    def _blockers(self, session_id: int, class_name: str,
+                  mode: str) -> Set[int]:
+        """Sessions whose holdings are incompatible with the request."""
+        blockers: Set[int] = set()
         holder = self._exclusive.get(class_name)
         if holder is not None and holder != session_id:
-            raise LockConflict(
-                f"class {class_name!r} is write-locked by session "
-                f"{holder}")
-        self._shared.setdefault(class_name, set()).add(session_id)
+            blockers.add(holder)
+        if mode == "exclusive":
+            blockers |= self._shared.get(class_name, set()) - {session_id}
+        return blockers
 
-    def acquire_exclusive(self, session_id: int, class_name: str) -> None:
-        holder = self._exclusive.get(class_name)
-        if holder is not None and holder != session_id:
-            raise LockConflict(
-                f"class {class_name!r} is write-locked by session "
-                f"{holder}")
-        readers = self._shared.get(class_name, set()) - {session_id}
-        if readers:
-            raise LockConflict(
-                f"class {class_name!r} is read-locked by sessions "
-                f"{sorted(readers)}")
+    def _grant(self, session_id: int, class_name: str, mode: str) -> str:
+        readers = self._shared.setdefault(class_name, set())
+        if mode == "shared":
+            if (session_id in readers
+                    or self._exclusive.get(class_name) == session_id):
+                return "held"
+            readers.add(session_id)
+            return "new"
+        if self._exclusive.get(class_name) == session_id:
+            return "held"
+        grant = "upgraded" if session_id in readers else "new"
         self._exclusive[class_name] = session_id
-        self._shared.setdefault(class_name, set()).add(session_id)
+        readers.add(session_id)
+        return grant
+
+    def _conflict_message(self, class_name: str, blockers: Set[int]) -> str:
+        holder = self._exclusive.get(class_name)
+        if holder is not None and holder in blockers:
+            return (f"class {class_name!r} is write-locked by session "
+                    f"{holder}")
+        return (f"class {class_name!r} is read-locked by sessions "
+                f"{sorted(blockers)}")
+
+    # -- Deadlock detection ------------------------------------------------------
+
+    def _find_victim(self, start: int) -> Optional[int]:
+        """DFS the waits-for graph for a cycle through ``start``; return
+        the youngest session on the cycle, or None.  Doomed sessions are
+        excluded — they are already aborting, so a cycle through them is
+        already broken (and would otherwise be re-counted every wait
+        slice)."""
+        graph: Dict[int, List[int]] = {}
+        for sid, (class_name, mode) in self._waits.items():
+            if sid in self._doomed:
+                continue
+            blockers = self._blockers(sid, class_name, mode) - self._doomed
+            if blockers:
+                graph[sid] = sorted(blockers)
+        path = [start]
+        on_path = {start}
+
+        def dfs(node: int) -> bool:
+            for nxt in graph.get(node, ()):
+                if nxt == start:
+                    return True
+                if nxt in on_path or nxt not in graph:
+                    continue
+                path.append(nxt)
+                on_path.add(nxt)
+                if dfs(nxt):
+                    return True
+                path.pop()
+                on_path.discard(nxt)
+            return False
+
+        if dfs(start):
+            return max(path)
+        return None
+
+    # -- Release -----------------------------------------------------------------
 
     def release_all(self, session_id: int) -> None:
-        for readers in self._shared.values():
-            readers.discard(session_id)
-        for class_name in [c for c, holder in self._exclusive.items()
-                           if holder == session_id]:
-            del self._exclusive[class_name]
+        with self._cond:
+            for readers in self._shared.values():
+                readers.discard(session_id)
+            for class_name in [c for c, holder in self._exclusive.items()
+                               if holder == session_id]:
+                del self._exclusive[class_name]
+            self._doomed.discard(session_id)
+            self._cond.notify_all()
+
+    def rollback(self, session_id: int,
+                 acquisitions: List[Tuple[str, str]]) -> None:
+        """Undo a statement's partial lock acquisition after a mid-
+        statement error: new locks are dropped, upgrades are demoted
+        back to shared, pre-held locks are untouched."""
+        with self._cond:
+            for class_name, grant in reversed(acquisitions):
+                if grant == "held":
+                    continue
+                if self._exclusive.get(class_name) == session_id:
+                    del self._exclusive[class_name]
+                if grant == "new":
+                    readers = self._shared.get(class_name)
+                    if readers is not None:
+                        readers.discard(session_id)
+            self._cond.notify_all()
+
+    # -- Introspection -----------------------------------------------------------
 
     def holdings(self, session_id: int) -> Dict[str, str]:
-        held = {}
-        for class_name, holder in self._exclusive.items():
-            if holder == session_id:
-                held[class_name] = "exclusive"
-        for class_name, readers in self._shared.items():
-            if session_id in readers and class_name not in held:
-                held[class_name] = "shared"
-        return held
+        with self._mutex:
+            held = {}
+            for class_name, holder in self._exclusive.items():
+                if holder == session_id:
+                    held[class_name] = "exclusive"
+            for class_name, readers in self._shared.items():
+                if session_id in readers and class_name not in held:
+                    held[class_name] = "shared"
+            return held
+
+    def statistics(self) -> Dict[str, int]:
+        with self._mutex:
+            return {
+                "deadlocks": self.deadlocks,
+                "timeouts": self.timeouts,
+                "waits": self.waits,
+                "waiting_now": len(self._waits),
+                "exclusive_held": len(self._exclusive),
+                "shared_held": sum(1 for r in self._shared.values() if r),
+            }
 
 
 class Session:
     """One client's transactional view of a shared database.
 
     Each session owns a transaction that opens lazily at its first
-    statement and closes at :meth:`commit` / :meth:`abort`.  Statements
-    from different sessions may interleave; strict 2PL on classes keeps
-    the interleaving serializable.
+    update statement and closes at :meth:`commit` / :meth:`abort`.
+    Sessions are safe to drive from concurrent threads (one thread per
+    session): updates serialize on class locks plus the store's write
+    mutex; MVCC Retrieves run lock-free against a pinned snapshot.
+
+    Parameters
+    ----------
+    mvcc:
+        snapshot-isolated Retrieves (default).  ``False`` restores
+        shared-lock reads — exact legacy semantics, including shared
+        read-cache population.
+    lock_timeout:
+        per-session lock-wait timeout in seconds; ``None`` uses the
+        lock manager's default, ``0`` means fail-fast.
+    max_deadlock_retries:
+        automatic replays of a single statement aborted as a deadlock
+        victim (only when that statement opened the transaction — an
+        older victim transaction cannot be replayed and the error
+        propagates to the caller).
     """
 
-    _ids = 0
-
-    def __init__(self, database):
-        Session._ids += 1
-        self.session_id = Session._ids
+    def __init__(self, database, mvcc: bool = True,
+                 lock_timeout: Optional[float] = None,
+                 max_deadlock_retries: int = 3):
+        counter = getattr(database, "_session_ids", None)
+        if counter is None:
+            counter = database._session_ids = itertools.count(1)
+        self.session_id = next(counter)
         self.database = database
-        if not hasattr(database, "_lock_manager"):
-            database._lock_manager = LockManager()
-        self.locks: LockManager = database._lock_manager
+        locks = getattr(database, "_lock_manager", None)
+        if locks is None:
+            locks = database._lock_manager = LockManager()
+        self.locks: LockManager = locks
+        self.mvcc = mvcc
+        self.lock_timeout = lock_timeout
+        self.max_deadlock_retries = max_deadlock_retries
+        #: statements replayed after this session lost a deadlock
+        self.deadlock_retries = 0
         self._transaction = None
+        self._statements_in_txn = 0
+        self._retry_rng = random.Random(self.session_id * 7919)
+        if mvcc:
+            database.store.enable_mvcc()
 
     # -- Statements -------------------------------------------------------------
 
-    def execute(self, text: str):
+    def execute(self, text, timeout: Optional[float] = None):
+        """Run one DML statement.  ``timeout`` bounds this statement's
+        lock waits (overriding the session's ``lock_timeout``)."""
         statement = parse_dml(text) if isinstance(text, str) else text
-        self._lock_for(statement)
-        self._ensure_transaction()
-        manager = self.database.store.transactions
-        previous = manager._current
-        manager._current = self._transaction
+        if self.mvcc and isinstance(statement, RetrieveQuery):
+            return self._snapshot_retrieve(statement)
+        return self._locked_statement(statement, timeout)
+
+    def query(self, text, timeout: Optional[float] = None):
+        return self.execute(text, timeout)
+
+    def _snapshot_retrieve(self, query: RetrieveQuery):
+        """Lock-free Retrieve at a pinned commit epoch.  Runs on a
+        private executor so per-query memo shards can never leak rows
+        across snapshots."""
+        database = self.database
+        store = database.store
+        txn = self._transaction
+        txn_id = txn.transaction_id if txn is not None and txn.active \
+            else None
+        snap = store.begin_snapshot(txn_id)
         try:
-            if isinstance(statement, RetrieveQuery):
-                return self.database._run_retrieve(statement)
-            return self.database.updates.execute(statement)
+            with store.snapshot_scope(snap):
+                return database._run_retrieve(
+                    query, executor=database._statement_executor())
         finally:
-            manager._current = previous
+            store.end_snapshot(snap)
 
-    def query(self, text: str):
-        return self.execute(text)
+    def _locked_statement(self, statement, timeout: Optional[float]):
+        attempt = 0
+        while True:
+            try:
+                return self._execute_locked(statement, timeout)
+            except DeadlockError as exc:
+                if not getattr(exc, "retryable", False) \
+                        or attempt >= self.max_deadlock_retries:
+                    raise
+                attempt += 1
+                self.deadlock_retries += 1
+                time.sleep(self._backoff(attempt))
 
-    # -- Transaction boundaries ------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        """Bounded exponential backoff with seeded jitter (the
+        ``RetryPolicy`` shape, scaled for lock contention)."""
+        base = min(0.002 * (2 ** (attempt - 1)), 0.05)
+        return base * (0.5 + self._retry_rng.random())
+
+    def _execute_locked(self, statement, timeout: Optional[float]):
+        if timeout is None:
+            timeout = self.lock_timeout
+        # "Fresh" = this statement would open the transaction, so a
+        # deadlock abort loses no prior work and the statement can be
+        # replayed automatically.
+        fresh = self._transaction is None or not self._transaction.active
+        acquired: List[Tuple[str, str]] = []
+        try:
+            self._lock_for(statement, acquired, timeout)
+        except DeadlockError as exc:
+            # Victim protocol: abort the WHOLE transaction — the cycle
+            # is waiting for locks this session already holds.
+            self.abort()
+            exc.retryable = fresh
+            raise
+        except BaseException:
+            # Mid-statement acquisition failure (timeout, qualification
+            # error, …): drop only what this statement took; the
+            # transaction and its earlier locks survive.
+            self.locks.rollback(self.session_id, acquired)
+            raise
+        txn = self._ensure_transaction()
+        store = self.database.store
+        with store.write_mutex:
+            with store.transactions.activate(txn):
+                if isinstance(statement, RetrieveQuery):
+                    result = self.database._run_retrieve(statement)
+                else:
+                    result = self.database.updates.execute(statement)
+        self._statements_in_txn += 1
+        return result
+
+    # -- Transaction boundaries --------------------------------------------------
 
     def commit(self) -> None:
-        if self._transaction is None:
-            self.locks.release_all(self.session_id)
-            return
-        manager = self.database.store.transactions
-        previous = manager._current
-        manager._current = self._transaction
+        txn = self._transaction
+        store = self.database.store
         try:
-            self.database.constraints.before_commit()
-            manager.commit()
+            if txn is not None and txn.active:
+                with store.write_mutex:
+                    with store.transactions.activate(txn):
+                        try:
+                            self.database.constraints.before_commit()
+                        except BaseException:
+                            # A failed deferred-constraint check must not
+                            # leave the transaction open holding locks.
+                            self.database.constraints.reset_deferred()
+                            store.transactions.abort_detached(txn)
+                            raise
+                        store.transactions.commit_detached(txn)
         finally:
-            if manager._current is self._transaction:
-                manager._current = previous
             self._transaction = None
+            self._statements_in_txn = 0
             self.locks.release_all(self.session_id)
 
     def abort(self) -> None:
-        if self._transaction is None:
-            self.locks.release_all(self.session_id)
-            return
-        manager = self.database.store.transactions
-        previous = manager._current
-        manager._current = self._transaction
+        txn = self._transaction
+        store = self.database.store
         try:
-            self.database.constraints.reset_deferred()
-            manager.abort()
+            if txn is not None and txn.active:
+                with store.write_mutex:
+                    with store.transactions.activate(txn):
+                        self.database.constraints.reset_deferred()
+                        store.transactions.abort_detached(txn)
         finally:
-            if manager._current is self._transaction:
-                manager._current = previous
             self._transaction = None
+            self._statements_in_txn = 0
             self.locks.release_all(self.session_id)
 
     def holdings(self) -> Dict[str, str]:
         return self.locks.holdings(self.session_id)
 
-    # -- Internals ---------------------------------------------------------------------
+    def __enter__(self):
+        return self
 
-    def _ensure_transaction(self) -> None:
-        if self._transaction is not None and self._transaction.active:
-            return
-        manager = self.database.store.transactions
-        if manager._current is not None and manager._current.active:
-            # Another session's transaction is current; open ours
-            # independently (the manager tracks one "current" at a time,
-            # swapped around each statement).
-            from repro.storage.transactions import Transaction
-            manager._next_txn_id += 1
-            self._transaction = Transaction(manager, manager._next_txn_id)
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.commit()
         else:
-            self._transaction = manager.begin()
-            manager._current = None   # detach: sessions swap in explicitly
+            self.abort()
+        return False
 
-    def _lock_for(self, statement) -> None:
+    # -- Internals ---------------------------------------------------------------
+
+    def _ensure_transaction(self):
+        if self._transaction is None or not self._transaction.active:
+            self._transaction = \
+                self.database.store.transactions.begin_detached()
+            self._statements_in_txn = 0
+        return self._transaction
+
+    def _lock_for(self, statement, acquired: List[Tuple[str, str]],
+                  timeout: Optional[float]) -> None:
         schema = self.database.schema
         if isinstance(statement, RetrieveQuery):
             for class_name in self._retrieve_classes(statement):
-                self.locks.acquire_shared(self.session_id, class_name)
+                grant = self.locks.acquire_shared(self.session_id,
+                                                  class_name, timeout)
+                acquired.append((class_name, grant))
             return
         if isinstance(statement, InsertStatement):
             base = schema.get_class(statement.class_name).base_class_name
@@ -213,7 +506,9 @@ class Session:
         else:
             raise SimError(f"cannot lock for {statement!r}")
         for class_name in sorted(touched):
-            self.locks.acquire_exclusive(self.session_id, class_name)
+            grant = self.locks.acquire_exclusive(self.session_id,
+                                                 class_name, timeout)
+            acquired.append((class_name, grant))
 
     def _assignment_partners(self, class_name: str, assignments) -> set:
         """Range classes of the EVAs an assignment list writes."""
@@ -244,4 +539,5 @@ class Session:
     def __repr__(self):
         state = "open" if self._transaction and self._transaction.active \
             else "idle"
-        return f"<Session #{self.session_id} {state}>"
+        mode = "mvcc" if self.mvcc else "2pl-read"
+        return f"<Session #{self.session_id} {state} {mode}>"

@@ -165,6 +165,12 @@ class ExecutionError(SimError):
     """Runtime failure while executing a query plan."""
 
 
+class ServerOverloaded(SimError):
+    """The network server shed this statement: every session slot is
+    busy and the admission queue is full.  The statement did not run;
+    the client should back off and retry."""
+
+
 class PlanVerificationError(StaticAnalysisError):
     """The post-optimization plan verifier rejected a chosen plan.
 

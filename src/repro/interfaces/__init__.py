@@ -8,7 +8,10 @@
 * :mod:`repro.interfaces.dmsii` — a miniature network-model (DMSII-like)
   database and the utility that views it as a SIM database;
 * :mod:`repro.interfaces.builder` — a fluent query/update builder (the
-  WQF stand-in).
+  WQF stand-in);
+* :mod:`repro.interfaces.server` — a multi-client JSON-lines socket
+  server (one :class:`~repro.engine.sessions.Session` per connection)
+  plus its Python client.
 """
 
 from repro.interfaces.host import HostCursor, HostSession
@@ -24,6 +27,12 @@ from repro.interfaces.builder import (
     ModifyBuilder,
     QueryBuilder,
 )
+from repro.interfaces.server import (
+    RemoteResult,
+    ServerError,
+    SimClient,
+    SimServer,
+)
 
 __all__ = [
     "HostCursor",
@@ -37,4 +46,8 @@ __all__ = [
     "InsertBuilder",
     "ModifyBuilder",
     "QueryBuilder",
+    "RemoteResult",
+    "ServerError",
+    "SimClient",
+    "SimServer",
 ]

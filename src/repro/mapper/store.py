@@ -14,6 +14,8 @@ statement or transaction abort restores records and indexes alike.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import CatalogError, IntegrityError, UniquenessViolation
@@ -22,6 +24,7 @@ from repro.mapper.luc import LUCSchema
 from repro.mapper.read_cache import MISSING, ReadCache
 from repro.mapper.physical import EvaMapping, MvDvaMapping, PhysicalDesign
 from repro.mapper.translate import canonical_eva, translate_schema
+from repro.mapper.versions import ABSENT, VersionManager
 from repro.naming import canon
 from repro.perf import PerfCounters
 from repro.schema.attribute import EntityValuedAttribute
@@ -37,6 +40,24 @@ from repro.types.tvl import NULL, is_null
 
 _POINTER_WIDTH = 12
 _SURROGATE_WIDTH = 6
+
+#: returned by ``_staging_txn`` when pre-image staging must be skipped
+#: (MVCC off, or the mutation is undo compensation during rollback)
+_STAGE_SKIP = object()
+
+
+def _in_range(value, low, high, include_low: bool, include_high: bool) -> bool:
+    """Range-predicate semantics of the ordered-index path: NULL never
+    matches; open bounds are None."""
+    if is_null(value):
+        return False
+    if low is not None:
+        if value < low or (value == low and not include_low):
+            return False
+    if high is not None:
+        if value > high or (value == high and not include_high):
+            return False
+    return True
 
 
 class _EvaInfo:
@@ -108,6 +129,21 @@ class MapperStore:
         # state through raw file/index operations; the hook guarantees no
         # cache entry survives it.
         self.transactions.invalidation_hooks.append(self.read_cache.clear)
+        #: MVCC version chains backing snapshot Retrieves (versions.py);
+        #: staging stays off — zero overhead, zero extra I/O — until a
+        #: Session calls enable_mvcc()
+        self.versions = VersionManager()
+        self.transactions.commit_hooks.append(self.versions.commit)
+        self.transactions.abort_hooks.append(self.versions.abort)
+        #: serializes update-statement execution and commit/abort replay
+        #: across concurrent sessions: class locks give logical isolation,
+        #: this mutex makes the single-writer storage layer physically
+        #: safe to share.  Lock-order invariant: sessions acquire class
+        #: locks FIRST and only then this mutex, and never wait on a
+        #: class lock while holding it — so it cannot deadlock.
+        self.write_mutex = threading.RLock()
+        # this thread's pinned Snapshot, if a snapshot Retrieve is running
+        self._snapshots = threading.local()
 
         self._file_counter = 0
         self._format_counter = 0
@@ -312,6 +348,131 @@ class MapperStore:
             self.history = HistoryJournal()
         return self.history
 
+    # ---------------------------------------------------------- MVCC snapshots
+
+    def enable_mvcc(self) -> None:
+        """Start staging pre-images on every mutation so snapshot
+        Retrieves can run lock-free.  One-way: turned on by the first
+        MVCC :class:`~repro.engine.sessions.Session` on this store."""
+        self.versions.enabled = True
+
+    def begin_snapshot(self, txn_id: Optional[int] = None):
+        """Pin a read view at the current commit epoch (enables MVCC on
+        first use).  ``txn_id`` is the reader's own open transaction, so
+        it sees its uncommitted writes."""
+        self.enable_mvcc()
+        return self.versions.begin_snapshot(txn_id)
+
+    def end_snapshot(self, snap) -> None:
+        self.versions.end_snapshot(snap)
+
+    def current_snapshot(self):
+        """The Snapshot pinned on this thread, or None (physical reads)."""
+        return getattr(self._snapshots, "snap", None)
+
+    @contextmanager
+    def snapshot_scope(self, snap):
+        """Route this thread's reads through ``snap`` for the duration of
+        the block (nestable; morsel workers re-enter the query's scope)."""
+        previous = getattr(self._snapshots, "snap", None)
+        self._snapshots.snap = snap
+        try:
+            yield snap
+        finally:
+            self._snapshots.snap = previous
+
+    # -- pre-image staging (writer side) -----------------------------------------
+    #
+    # Every mutator stages the logical read unit it is about to change
+    # BEFORE touching it.  That ordering is what makes the lock-free
+    # reader's double-check protocol sound: probe versions, read
+    # physical, re-probe — a concurrent mutation is always visible to
+    # the second probe.
+
+    def _staging_txn(self):
+        """The transaction id to stage under, or ``_STAGE_SKIP``.
+
+        Skipped when MVCC is off, and during rollback: undo compensation
+        restores exactly the physical state the pending pre-images
+        describe, so staging it would be circular."""
+        if not self.versions.enabled:
+            return _STAGE_SKIP
+        txn_id, rolling_back = self.transactions.txn_context()
+        if rolling_back:
+            return _STAGE_SKIP
+        return txn_id
+
+    def _stage_record(self, class_name: str, surrogate: int) -> None:
+        txn_id = self._staging_txn()
+        if txn_id is _STAGE_SKIP:
+            return
+        key = ("rec", class_name, surrogate)
+        if self.versions.is_staged(key):
+            return
+        rid = self._surrogate_index[class_name].lookup_one(surrogate)
+        if rid is None:
+            pre = ABSENT
+        else:
+            _, values = self._class_file[class_name].read(rid)
+            pre = (rid, dict(values))
+        self.versions.stage(txn_id, key, pre, class_name)
+
+    def _stage_member(self, class_name: str, surrogate: int,
+                      adding: bool) -> None:
+        txn_id = self._staging_txn()
+        if txn_id is _STAGE_SKIP:
+            return
+        self.versions.stage_member(txn_id, class_name, surrogate, adding)
+
+    def _stage_mv(self, class_name: str, attr_name: str,
+                  surrogate: int) -> None:
+        txn_id = self._staging_txn()
+        if txn_id is _STAGE_SKIP:
+            return
+        key = ("mv", class_name, attr_name, surrogate)
+        if self.versions.is_staged(key):
+            return
+        pre = tuple(self._mvdva_values_physical(surrogate, class_name,
+                                                attr_name))
+        self.versions.stage(txn_id, key, pre, class_name)
+
+    def _stage_fan(self, info: _EvaInfo, domain_surr: int,
+                   range_surr: int) -> None:
+        """Stage the fan-out pre-images an include/exclude is about to
+        change — one key per affected (side, surrogate)."""
+        txn_id = self._staging_txn()
+        if txn_id is _STAGE_SKIP:
+            return
+        canonical = info.canonical
+        if info.self_inverse:
+            # Self-inverse EVAs serve both directions from one cache side.
+            for surr in {domain_surr, range_surr}:
+                self._stage_one_fan(txn_id, info, True, surr,
+                                    canonical.owner_name)
+            return
+        self._stage_one_fan(txn_id, info, True, domain_surr,
+                            canonical.owner_name)
+        self._stage_one_fan(txn_id, info, False, range_surr,
+                            canonical.range_class_name)
+
+    def _stage_one_fan(self, txn_id, info: _EvaInfo, side: bool,
+                       surrogate: int, class_name: str) -> None:
+        key = ("fan", info.rel_id, side, surrogate)
+        if self.versions.is_staged(key):
+            return
+        try:
+            if info.self_inverse:
+                pre = tuple(self._traverse(info, surrogate, forward=True)
+                            + self._traverse(info, surrogate, forward=False))
+            else:
+                pre = tuple(self._traverse(info, surrogate, forward=side))
+        except IntegrityError:
+            # The entity has no record on the side that holds the key
+            # (e.g. EXCLUDE against a missing role): its fan cannot
+            # change, so there is nothing to stage.
+            return
+        self.versions.stage(txn_id, key, pre, class_name)
+
     # ------------------------------------------------------------------- roles
 
     def has_role(self, surrogate: int, class_name: str) -> bool:
@@ -320,12 +481,41 @@ class MapperStore:
     def _role_rid(self, surrogate: int, class_name: str):
         """RID of the entity's role record (None when the role is absent),
         through the role cache.  ``class_name`` must be canonical."""
+        snap = self.current_snapshot()
+        if snap is not None:
+            return self._role_rid_snapshot(snap, surrogate, class_name)
         rid = self.read_cache.get_role(class_name, surrogate)
         if rid is not MISSING:
             return rid
         rid = self._surrogate_index[class_name].lookup_one(surrogate)
         self.read_cache.put_role(class_name, surrogate, rid)
         return rid
+
+    def _role_rid_snapshot(self, snap, surrogate: int, class_name: str):
+        """Snapshot-correct role RID, lock-free.  The shared cache may be
+        read (a version miss proves physical state IS snapshot state) but
+        never written — a snapshot result must not outlive its epoch in a
+        cache writers invalidate by physical state."""
+        key = ("rec", class_name, surrogate)
+        versions = self.versions
+        hit, pre = versions.lookup(snap, key)
+        if not hit:
+            rid = error = None
+            try:
+                cached = self.read_cache.get_role(class_name, surrogate)
+                if cached is not MISSING:
+                    rid = cached
+                else:
+                    rid = self._surrogate_index[class_name].lookup_one(
+                        surrogate)
+            except Exception as exc:    # racing writer reshaped the index
+                error = exc
+            hit, pre = versions.lookup(snap, key)
+            if not hit:
+                if error is not None:
+                    raise error
+                return rid
+        return None if pre is ABSENT else pre[0]
 
     def roles_of(self, surrogate: int, base_class: str) -> List[str]:
         """All classes in the hierarchy where the entity currently has a
@@ -352,6 +542,8 @@ class MapperStore:
             if not self.has_role(surrogate, super_name):
                 raise IntegrityError(
                     f"entity {surrogate} lacks superclass role {super_name!r}")
+        self._stage_record(class_name, surrogate)   # pre-image: ABSENT
+        self._stage_member(class_name, surrogate, adding=True)
 
         record_file = self._class_file[class_name]
         format_id = self._class_format[class_name]
@@ -454,6 +646,8 @@ class MapperStore:
 
     def _drop_role_record(self, surrogate: int, class_name: str
                           ) -> Tuple[RID, int, Dict[str, object]]:
+        self._stage_record(class_name, surrogate)
+        self._stage_member(class_name, surrogate, adding=False)
         record_file = self._class_file[class_name]
         index = self._surrogate_index[class_name]
         rid = index.lookup_one(surrogate)
@@ -535,6 +729,9 @@ class MapperStore:
     def record_of(self, surrogate: int, class_name: str
                   ) -> Tuple[RID, Dict[str, object]]:
         class_name = canon(class_name)
+        snap = self.current_snapshot()
+        if snap is not None:
+            return self._record_of_snapshot(snap, surrogate, class_name)
         cached = self.read_cache.get_record(class_name, surrogate)
         if cached is not None:
             return cached
@@ -551,6 +748,43 @@ class MapperStore:
         self.read_cache.put_record(class_name, surrogate, rid, values)
         return rid, values
 
+    def _record_of_snapshot(self, snap, surrogate: int, class_name: str
+                            ) -> Tuple[RID, Dict[str, object]]:
+        """Snapshot-correct decoded record, lock-free (double-check
+        protocol; see the staging section).  The returned dict is a copy
+        when served from a version chain, so callers can't corrupt it."""
+        key = ("rec", class_name, surrogate)
+        versions = self.versions
+        hit, pre = versions.lookup(snap, key)
+        if not hit:
+            result = error = None
+            try:
+                cached = self.read_cache.get_record(class_name, surrogate)
+                if cached is not None:
+                    result = cached
+                else:
+                    rid = self._role_rid_snapshot(snap, surrogate,
+                                                  class_name)
+                    if rid is None:
+                        error = IntegrityError(
+                            f"entity {surrogate} has no role "
+                            f"{class_name!r}")
+                    else:
+                        _, values = self._class_file[class_name].read(rid)
+                        self.perf.bump("records_decoded")
+                        result = (rid, values)
+            except Exception as exc:    # racing writer moved the record
+                error = exc
+            hit, pre = versions.lookup(snap, key)
+            if not hit:
+                if error is not None:
+                    raise error
+                return result
+        if pre is ABSENT:
+            raise IntegrityError(
+                f"entity {surrogate} has no role {class_name!r}")
+        return pre[0], dict(pre[1])
+
     def fetch_many(self, class_name: str, surrogates
                    ) -> Dict[int, Tuple[RID, Dict[str, object]]]:
         """Batched :meth:`record_of`: decoded records for every surrogate
@@ -559,6 +793,11 @@ class MapperStore:
         counter bumps aggregate over the whole batch — the operator
         algebra's amortized decode path."""
         class_name = canon(class_name)
+        snap = self.current_snapshot()
+        if snap is not None:
+            return {surrogate: self._record_of_snapshot(snap, surrogate,
+                                                        class_name)
+                    for surrogate in surrogates}
         found, missing = self.read_cache.get_record_batch(class_name,
                                                           surrogates)
         if not missing:
@@ -630,6 +869,7 @@ class MapperStore:
 
     def _write_field(self, surrogate: int, class_name: str, field: str,
                      value, maintain_indexes: bool = False) -> None:
+        self._stage_record(class_name, surrogate)
         rid, record = self.record_of(surrogate, class_name)
         old = record.get(field, NULL)
         if maintain_indexes:
@@ -669,6 +909,29 @@ class MapperStore:
 
     def _mvdva_values(self, surrogate: int, class_name: str,
                       attr_name: str) -> List[object]:
+        snap = self.current_snapshot()
+        if snap is None:
+            return self._mvdva_values_physical(surrogate, class_name,
+                                               attr_name)
+        key = ("mv", class_name, attr_name, surrogate)
+        versions = self.versions
+        hit, pre = versions.lookup(snap, key)
+        if not hit:
+            values = error = None
+            try:
+                values = self._mvdva_values_physical(surrogate, class_name,
+                                                     attr_name)
+            except Exception as exc:    # racing writer reshaped the unit
+                error = exc
+            hit, pre = versions.lookup(snap, key)
+            if not hit:
+                if error is not None:
+                    raise error
+                return values
+        return list(pre)
+
+    def _mvdva_values_physical(self, surrogate: int, class_name: str,
+                               attr_name: str) -> List[object]:
         key = (class_name, attr_name)
         record_file = self._mvdva_file[key]
         rows = []
@@ -707,6 +970,7 @@ class MapperStore:
             self._write_field(surrogate, owner, attr.name, tuple(current))
             return True
         key = (owner, attr.name)
+        self._stage_mv(owner, attr.name, surrogate)
         record_file = self._mvdva_file[key]
         for rid in self._mvdva_index[key].lookup(surrogate):
             _, record = record_file.read(rid)
@@ -727,6 +991,7 @@ class MapperStore:
 
     def _mvdva_append(self, surrogate: int, class_name: str, attr_name: str,
                       value) -> None:
+        self._stage_mv(class_name, attr_name, surrogate)
         key = (class_name, attr_name)
         seq_key = (class_name, attr_name, surrogate)
         seq = self._mvdva_seq.get(seq_key, 0) + 1
@@ -747,6 +1012,7 @@ class MapperStore:
 
     def _mvdva_clear(self, surrogate: int, class_name: str,
                      attr_name: str) -> None:
+        self._stage_mv(class_name, attr_name, surrogate)
         key = (class_name, attr_name)
         self.read_cache.note_write()
         record_file = self._mvdva_file[key]
@@ -776,6 +1042,9 @@ class MapperStore:
         info = self.eva_info(eva)
         canonical = info.canonical
         side = bool(info.self_inverse or eva is canonical)
+        snap = self.current_snapshot()
+        if snap is not None:
+            return self._eva_targets_snapshot(snap, info, side, surrogate)
         cached = self.read_cache.get_fanout(info.rel_id, side, surrogate)
         if cached is not None:
             return list(cached)
@@ -788,6 +1057,34 @@ class MapperStore:
                                    tuple(targets))
         return targets
 
+    def _eva_targets_snapshot(self, snap, info: _EvaInfo, side: bool,
+                              surrogate: int) -> List[int]:
+        """Snapshot-correct fan-out, lock-free (double-check protocol)."""
+        key = ("fan", info.rel_id, side, surrogate)
+        versions = self.versions
+        hit, pre = versions.lookup(snap, key)
+        if not hit:
+            targets = error = None
+            try:
+                cached = self.read_cache.get_fanout(info.rel_id, side,
+                                                    surrogate)
+                if cached is not None:
+                    targets = list(cached)
+                elif info.self_inverse:
+                    targets = (self._traverse(info, surrogate, forward=True)
+                               + self._traverse(info, surrogate,
+                                                forward=False))
+                else:
+                    targets = self._traverse(info, surrogate, forward=side)
+            except Exception as exc:    # racing writer reshaped the unit
+                error = exc
+            hit, pre = versions.lookup(snap, key)
+            if not hit:
+                if error is not None:
+                    raise error
+                return targets
+        return list(pre)
+
     def traverse_eva_batch(self, surrogates, eva: EntityValuedAttribute
                            ) -> Dict[int, List[int]]:
         """Batched :meth:`eva_targets` for distinct ``surrogates``: one
@@ -797,6 +1094,11 @@ class MapperStore:
         info = self.eva_info(eva)
         canonical = info.canonical
         side = bool(info.self_inverse or eva is canonical)
+        snap = self.current_snapshot()
+        if snap is not None:
+            return {surrogate: self._eva_targets_snapshot(snap, info, side,
+                                                          surrogate)
+                    for surrogate in surrogates}
         found, missing = self.read_cache.get_fanout_batch(info.rel_id, side,
                                                           surrogates)
         results = {surrogate: list(targets)
@@ -878,6 +1180,7 @@ class MapperStore:
             domain_surr, range_surr = target, surrogate
         self._require_role(domain_surr, canonical.owner_name)
         self._require_role(range_surr, canonical.range_class_name)
+        self._stage_fan(info, domain_surr, range_surr)
 
         mapping = info.mapping
         if mapping is EvaMapping.FOREIGN_KEY:
@@ -941,6 +1244,11 @@ class MapperStore:
         """Remove one relationship instance; returns True when one existed."""
         info = self.eva_info(eva)
         canonical = info.canonical
+        if eva is canonical or info.self_inverse:
+            domain_surr, range_surr = surrogate, target
+        else:
+            domain_surr, range_surr = target, surrogate
+        self._stage_fan(info, domain_surr, range_surr)
         if info.self_inverse:
             # Try both orientations.
             removed = (self._exclude_oriented(info, surrogate, target)
@@ -1046,11 +1354,31 @@ class MapperStore:
         class_name = canon(class_name)
         record_file = self._class_file[class_name]
         format_id = self._class_format[class_name]
+        snap = self.current_snapshot()
+        if snap is not None:
+            # Scan physically FIRST, then fold the membership deltas:
+            # writers stage before mutating, so any change racing the
+            # scan is already in the fold when we capture it.
+            try:
+                physical = [record["surrogate"]
+                            for _, _, record in record_file.scan(format_id)]
+            except Exception:   # a racing writer reshaped the unit; retry
+                physical = [record["surrogate"]
+                            for _, _, record in record_file.scan(format_id)]
+            for surrogate in self.versions.visible_members(snap, class_name,
+                                                           physical):
+                yield surrogate
+            return
         for _, _, record in record_file.scan(format_id):
             yield record["surrogate"]
 
     def class_count(self, class_name: str) -> int:
-        return self._surrogate_index[canon(class_name)].entries
+        class_name = canon(class_name)
+        snap = self.current_snapshot()
+        if snap is not None \
+                and not self.versions.class_clean(snap, (class_name,)):
+            return sum(1 for _ in self.scan_class(class_name))
+        return self._surrogate_index[class_name].entries
 
     def find_by_dva(self, class_name: str, attr_name: str, value
                     ) -> List[int]:
@@ -1060,6 +1388,27 @@ class MapperStore:
         sim_class = self.schema.get_class(class_name)
         attr = sim_class.attribute(attr_name)
         owner = canon(attr.owner_name)
+        snap = self.current_snapshot()
+        if snap is not None:
+            classes = ((owner,) if owner == class_name
+                       else (owner, class_name))
+            if self.versions.class_clean(snap, classes):
+                # Index fast path with a post-hoc clean re-check: a writer
+                # dirtying the class mid-probe forces the versioned scan.
+                try:
+                    result = self._find_by_dva_physical(class_name, owner,
+                                                        attr, value)
+                except Exception:
+                    result = None
+                if result is not None \
+                        and self.versions.class_clean(snap, classes):
+                    return result
+            return [surrogate for surrogate in self.scan_class(class_name)
+                    if self.read_dva(surrogate, attr) == value]
+        return self._find_by_dva_physical(class_name, owner, attr, value)
+
+    def _find_by_dva_physical(self, class_name: str, owner: str, attr,
+                              value) -> List[int]:
         index = (self._unique_index.get((owner, attr.name))
                  or self._value_index.get((owner, attr.name)))
         if index is not None:
@@ -1093,6 +1442,28 @@ class MapperStore:
         if index is None or index.kind != "ordered":
             raise CatalogError(
                 f"no ordered index on {class_name}.{attr_name}")
+        snap = self.current_snapshot()
+        if snap is not None:
+            classes = ((owner,) if owner == class_name
+                       else (owner, class_name))
+            if self.versions.class_clean(snap, classes):
+                try:
+                    result = self._range_physical(class_name, owner, index,
+                                                  low, high, include_low,
+                                                  include_high)
+                except Exception:
+                    result = None
+                if result is not None \
+                        and self.versions.class_clean(snap, classes):
+                    return result
+            return [surrogate for surrogate in self.scan_class(class_name)
+                    if _in_range(self.read_dva(surrogate, attr), low, high,
+                                 include_low, include_high)]
+        return self._range_physical(class_name, owner, index, low, high,
+                                    include_low, include_high)
+
+    def _range_physical(self, class_name: str, owner: str, index, low, high,
+                        include_low: bool, include_high: bool) -> List[int]:
         record_file = self._class_file[owner]
         surrogates = []
         for _key, rid in index.range(low, high, include_low, include_high):
@@ -1222,6 +1593,10 @@ class MapperStore:
         self.transactions = TransactionManager(
             self.pool, wal=self.wal, start_after=max(logged, default=0))
         self.transactions.invalidation_hooks.append(self.read_cache.clear)
+        # Versions and snapshots are volatile; the epoch stays monotonic.
+        self.versions.reset()
+        self.transactions.commit_hooks.append(self.versions.commit)
+        self.transactions.abort_hooks.append(self.versions.abort)
         for record_file in self._files.values():
             record_file.pool = self.pool
             record_file.txn_context = self.transactions.txn_context
@@ -1320,6 +1695,7 @@ class MapperStore:
             "commits": self.transactions.commits,
             "aborts": self.transactions.aborts,
             "retry": self.retry.statistics(),
+            "mvcc": self.versions.statistics(),
         }
         if self.faults is not None:
             stats["faults"] = self.faults.statistics()

@@ -1,0 +1,359 @@
+"""Logical pre-image version chains: MVCC snapshot reads for the Mapper.
+
+The paper leans on DMSII for concurrency control (§1); this module is
+the substrate's reader half of it.  Writers keep strict 2PL exclusive
+locks (:mod:`repro.engine.sessions`) and mutate records in place, but
+*before* every first mutation of a logical read unit they stage its
+pre-image here.  A Retrieve then runs against a :class:`Snapshot`
+pinned to a commit epoch: commits with a later epoch, and other
+transactions' uncommitted writes, are invisible — readers never take
+class locks and never block writers.
+
+Version granularity is the Mapper's logical read unit, not the physical
+page.  Three key shapes cover every read path:
+
+* ``("rec", class, surrogate)`` — an entity's role record: the
+  pre-image ``(rid, field dict)``, or :data:`ABSENT` when the role did
+  not exist (so records inserted after the snapshot disappear);
+* ``("mv", class, attr, surrogate)`` — a separate-unit MV DVA's value
+  tuple;
+* ``("fan", rel_id, side, surrogate)`` — one side of an EVA fan-out.
+
+Class membership (``scan_class``) is versioned as per-class deltas:
+each commit's added/removed surrogate sets are chained by epoch, and a
+snapshot reader folds the chain backwards over the physical extent.
+
+Visibility rule: a reader at epoch ``S`` takes the pre-image of the
+*earliest* committed change with epoch ``> S`` (the value as it stood at
+``S``); failing that, the pre-image of another transaction's pending
+write; failing that, the physical state.  The reader's own uncommitted
+writes read physical (read-your-own-writes).
+
+Writers stage BEFORE mutating, so a lock-free reader can double-check:
+probe the version map, read physical on a miss, then re-probe — a
+concurrent mutation is caught by the second probe.
+
+Chains are pruned to the oldest active snapshot's epoch: a reader at
+``S`` only ever selects entries with epoch ``> S``, so once no snapshot
+is older than an entry it is unreachable and dropped; with no snapshots
+open at all the chains empty out entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class _Absent:
+    """Sentinel pre-image: the role/record did not exist at staging."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<ABSENT>"
+
+
+ABSENT = _Absent()
+
+
+class Snapshot:
+    """A pinned read view: commits with epoch <= ``epoch`` are visible;
+    later commits and other transactions' pending writes are not.
+    ``txn_id`` marks the reader's own transaction (if any) so the
+    snapshot reads its own uncommitted writes physically."""
+
+    __slots__ = ("epoch", "txn_id", "active")
+
+    def __init__(self, epoch: int, txn_id: Optional[int] = None):
+        self.epoch = epoch
+        self.txn_id = txn_id
+        self.active = True
+
+    def __repr__(self):
+        return f"<Snapshot epoch={self.epoch} txn={self.txn_id}>"
+
+
+class VersionManager:
+    """Pending pre-images + committed version chains, under one mutex.
+
+    ``enabled`` gates all staging: the plain single-threaded execution
+    paths do zero extra I/O (pre-image staging reads records), which
+    keeps the crash-torture suite's seeded fault ordinals stable.
+    Sessions flip it on via ``MapperStore.enable_mvcc()``.
+    """
+
+    def __init__(self):
+        self._mutex = threading.RLock()
+        self.enabled = False
+        #: commit counter; bumped once per committed transaction that
+        #: staged anything
+        self.epoch = 0
+        # pending (uncommitted) pre-images: key -> (txn_id, pre, class)
+        self._pending: Dict[tuple, Tuple[Optional[int], object, str]] = {}
+        self._txn_keys: Dict[Optional[int], List[tuple]] = {}
+        # committed chains: key -> [(epoch, pre_image)] ascending
+        self._chains: Dict[tuple, List[Tuple[int, object]]] = {}
+        # class-membership deltas: txn -> class -> (added, removed);
+        # committed: class -> [(epoch, added, removed)] ascending
+        self._member_pending: Dict[Optional[int],
+                                   Dict[str, Tuple[set, set]]] = {}
+        self._member_chains: Dict[str,
+                                  List[Tuple[int, frozenset, frozenset]]] = {}
+        # per-class dirtiness for the index fast-path clean check
+        self._class_pending: Dict[str, Set[Optional[int]]] = {}
+        self._txn_classes: Dict[Optional[int], Set[str]] = {}
+        self._class_epoch: Dict[str, int] = {}
+        # active snapshots by pinned epoch (for chain GC)
+        self._active: Dict[int, int] = {}
+        self._pruned_to = 0
+        self.snapshots_opened = 0
+        self.commits = 0
+
+    # -- Snapshot lifecycle ------------------------------------------------------
+
+    def begin_snapshot(self, txn_id: Optional[int] = None) -> Snapshot:
+        with self._mutex:
+            snap = Snapshot(self.epoch, txn_id)
+            self._active[snap.epoch] = self._active.get(snap.epoch, 0) + 1
+            self.snapshots_opened += 1
+            return snap
+
+    def end_snapshot(self, snap: Snapshot) -> None:
+        with self._mutex:
+            if not snap.active:
+                return
+            snap.active = False
+            count = self._active.get(snap.epoch, 0) - 1
+            if count <= 0:
+                self._active.pop(snap.epoch, None)
+            else:
+                self._active[snap.epoch] = count
+            self._prune()
+
+    # -- Writer side: staging ----------------------------------------------------
+
+    def is_staged(self, key: tuple) -> bool:
+        """True when a pending pre-image exists for ``key`` (exclusive
+        class locks guarantee it can only be this transaction's), so the
+        store can skip recomputing the pre-image."""
+        return key in self._pending
+
+    def stage(self, txn_id: Optional[int], key: tuple, pre_image,
+              class_name: str) -> None:
+        """Record ``key``'s pre-image before its first mutation by
+        ``txn_id`` (first write wins).  A ``txn_id`` of None is an
+        auto-committed Mapper-level mutation: it becomes a committed
+        chain entry immediately."""
+        with self._mutex:
+            if txn_id is None:
+                self.epoch += 1
+                self._chains.setdefault(key, []).append(
+                    (self.epoch, pre_image))
+                self._class_epoch[class_name] = self.epoch
+                self._prune()
+                return
+            if key in self._pending:
+                return
+            self._pending[key] = (txn_id, pre_image, class_name)
+            self._txn_keys.setdefault(txn_id, []).append(key)
+            self._mark_class(txn_id, class_name)
+
+    def stage_member(self, txn_id: Optional[int], class_name: str,
+                     surrogate: int, adding: bool) -> None:
+        """Record a class-membership change (role added/removed)."""
+        with self._mutex:
+            if txn_id is None:
+                self.epoch += 1
+                added = frozenset((surrogate,)) if adding else frozenset()
+                removed = frozenset() if adding else frozenset((surrogate,))
+                self._member_chains.setdefault(class_name, []).append(
+                    (self.epoch, added, removed))
+                self._class_epoch[class_name] = self.epoch
+                self._prune()
+                return
+            per_class = self._member_pending.setdefault(txn_id, {})
+            added, removed = per_class.setdefault(class_name, (set(), set()))
+            if adding:
+                if surrogate in removed:
+                    removed.discard(surrogate)
+                else:
+                    added.add(surrogate)
+            else:
+                if surrogate in added:
+                    added.discard(surrogate)
+                else:
+                    removed.add(surrogate)
+            self._mark_class(txn_id, class_name)
+
+    def _mark_class(self, txn_id: Optional[int], class_name: str) -> None:
+        self._class_pending.setdefault(class_name, set()).add(txn_id)
+        self._txn_classes.setdefault(txn_id, set()).add(class_name)
+
+    # -- Writer side: transaction outcome ----------------------------------------
+
+    def commit(self, txn_id: int) -> None:
+        """Promote the transaction's pending pre-images to committed
+        chain entries under one new epoch (the visibility flip: new
+        snapshots now see the transaction's writes physically; open
+        snapshots keep reading the chained pre-images)."""
+        with self._mutex:
+            keys = self._txn_keys.pop(txn_id, None)
+            members = self._member_pending.pop(txn_id, None)
+            self._clear_class_marks(txn_id)
+            if not keys and not members:
+                return
+            self.epoch += 1
+            epoch = self.epoch
+            self.commits += 1
+            for key in keys or ():
+                _, pre_image, class_name = self._pending.pop(key)
+                self._chains.setdefault(key, []).append((epoch, pre_image))
+                self._class_epoch[class_name] = epoch
+            for class_name, (added, removed) in (members or {}).items():
+                if added or removed:
+                    self._member_chains.setdefault(class_name, []).append(
+                        (epoch, frozenset(added), frozenset(removed)))
+                    self._class_epoch[class_name] = epoch
+            self._prune()
+
+    def abort(self, txn_id: int) -> None:
+        """Drop the transaction's pending pre-images (the undo log has
+        restored the physical state they described)."""
+        with self._mutex:
+            for key in self._txn_keys.pop(txn_id, ()):
+                self._pending.pop(key, None)
+            self._member_pending.pop(txn_id, None)
+            self._clear_class_marks(txn_id)
+
+    def _clear_class_marks(self, txn_id: Optional[int]) -> None:
+        for class_name in self._txn_classes.pop(txn_id, ()):
+            holders = self._class_pending.get(class_name)
+            if holders is not None:
+                holders.discard(txn_id)
+                if not holders:
+                    del self._class_pending[class_name]
+
+    # -- Reader side -------------------------------------------------------------
+
+    def lookup(self, snap: Snapshot, key: tuple) -> Tuple[bool, object]:
+        """``(hit, pre_image)`` for one key under ``snap``.
+
+        A miss means the physical state IS the snapshot state for this
+        key (no commit after the snapshot's epoch, no foreign pending
+        write) — or that the reader owns the pending write and should
+        read its own mutation physically.
+        """
+        with self._mutex:
+            pending = self._pending.get(key)
+            if (pending is not None and snap.txn_id is not None
+                    and pending[0] == snap.txn_id):
+                return (False, None)
+            chain = self._chains.get(key)
+            if chain is not None:
+                for epoch, pre_image in chain:
+                    if epoch > snap.epoch:
+                        return (True, pre_image)
+            if pending is not None:
+                return (True, pending[1])
+            return (False, None)
+
+    def visible_members(self, snap: Snapshot, class_name: str,
+                        physical: List[int]) -> List[int]:
+        """Fold the class's membership deltas backwards over a physical
+        extent scan: surrogates added after the snapshot are hidden,
+        surrogates removed after it are restored (appended in surrogate
+        order after the physically-ordered survivors).  The scan must
+        complete BEFORE this is called — staging precedes mutation, so
+        a membership change racing the scan is always in the fold."""
+        with self._mutex:
+            steps: List[Tuple[frozenset, frozenset]] = []
+            for txn_id, per_class in self._member_pending.items():
+                if txn_id == snap.txn_id:
+                    continue
+                delta = per_class.get(class_name)
+                if delta is not None and (delta[0] or delta[1]):
+                    steps.append((frozenset(delta[0]), frozenset(delta[1])))
+            chain = self._member_chains.get(class_name)
+            if chain is not None:
+                for epoch, added, removed in reversed(chain):
+                    if epoch > snap.epoch:
+                        steps.append((added, removed))
+        if not steps:
+            return list(physical)
+        visible = set(physical)
+        for added, removed in steps:
+            visible -= added
+            visible |= removed
+        physical_set = set(physical)
+        result = [s for s in physical if s in visible]
+        result.extend(sorted(visible - physical_set))
+        return result
+
+    def class_clean(self, snap: Snapshot, class_names) -> bool:
+        """True when physical index paths over these classes are exact
+        for ``snap``: no other transaction has pending writes in them
+        and no commit after the snapshot's epoch touched them."""
+        with self._mutex:
+            for class_name in class_names:
+                holders = self._class_pending.get(class_name)
+                if holders and any(t != snap.txn_id for t in holders):
+                    return False
+                if self._class_epoch.get(class_name, 0) > snap.epoch:
+                    return False
+            return True
+
+    # -- Maintenance -------------------------------------------------------------
+
+    def _prune(self) -> None:
+        """Drop chain entries no active snapshot can reach (epoch <= the
+        oldest pinned epoch; a reader at S only selects entries > S)."""
+        floor = min(self._active) if self._active else self.epoch
+        if floor <= self._pruned_to:
+            return
+        self._pruned_to = floor
+        for key in list(self._chains):
+            chain = [e for e in self._chains[key] if e[0] > floor]
+            if chain:
+                self._chains[key] = chain
+            else:
+                del self._chains[key]
+        for class_name in list(self._member_chains):
+            chain = [e for e in self._member_chains[class_name]
+                     if e[0] > floor]
+            if chain:
+                self._member_chains[class_name] = chain
+            else:
+                del self._member_chains[class_name]
+
+    def reset(self) -> None:
+        """Crash path: all snapshots and versions are volatile state.
+        The epoch stays monotonic so a stale Snapshot object can never
+        see a fresh epoch as 'old'."""
+        with self._mutex:
+            self._pending.clear()
+            self._txn_keys.clear()
+            self._chains.clear()
+            self._member_pending.clear()
+            self._member_chains.clear()
+            self._class_pending.clear()
+            self._txn_classes.clear()
+            self._class_epoch.clear()
+            self._active.clear()
+            self._pruned_to = self.epoch
+
+    def statistics(self) -> Dict[str, int]:
+        with self._mutex:
+            return {
+                "enabled": self.enabled,
+                "epoch": self.epoch,
+                "versioned_commits": self.commits,
+                "snapshots_opened": self.snapshots_opened,
+                "active_snapshots": sum(self._active.values()),
+                "chained_keys": len(self._chains),
+                "pending_keys": len(self._pending),
+            }
+
+    def __repr__(self):
+        return (f"<VersionManager epoch={self.epoch} "
+                f"chains={len(self._chains)} pending={len(self._pending)}>")

@@ -10,6 +10,8 @@ integrity failures (a failed VERIFY rolls back only that statement).
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Callable, List, Optional
 
 from repro.errors import TransactionError
@@ -80,7 +82,23 @@ class Transaction:
 
 
 class TransactionManager:
-    """Hands out one transaction at a time (single-writer discipline).
+    """Hands out transactions; enforces single-writer discipline per
+    activation scope.
+
+    Two usage styles coexist:
+
+    * ``begin()`` / ``commit()`` / ``abort()`` — the classic API: one
+      globally "current" transaction, used by ``Database.transaction()``
+      and single-threaded scripts.
+    * ``begin_detached()`` + ``activate(txn)`` — concurrent sessions:
+      each session owns its transaction and installs it as *this
+      thread's* current transaction only while executing a statement.
+      Id allocation is mutex-protected so concurrent sessions cannot
+      mint duplicate ids.
+
+    ``current`` resolves thread-locally first, then falls back to the
+    global slot, so code deep in the Mapper (``record_undo``,
+    ``txn_context``) is oblivious to which style is driving it.
 
     ``flush_on_commit`` — when a buffer pool is attached, commit flushes
     dirty blocks so committed state is durable on the simulated disk.
@@ -93,28 +111,76 @@ class TransactionManager:
         #: per-manager id counter; ``start_after`` seeds it past ids a
         #: recovered log may still mention
         self._next_txn_id = start_after
+        self._mutex = threading.RLock()
+        self._tls = threading.local()
         self.commits = 0
         self.aborts = 0
         #: callbacks fired after any rollback (full abort or partial
         #: rollback_to) — the Mapper registers its read-cache clear here,
         #: because undo surgery must invalidate caches, not just commits
         self.invalidation_hooks: List[Callable[[], None]] = []
+        #: callbacks fired with the txn id when a transaction commits
+        #: (after its undo log is discarded, before the pool flush) /
+        #: aborts — the version manager promotes or drops pre-images here
+        self.commit_hooks: List[Callable[[int], None]] = []
+        self.abort_hooks: List[Callable[[int], None]] = []
 
     @property
     def current(self) -> Optional[Transaction]:
+        txn = getattr(self._tls, "txn", None)
+        if txn is not None:
+            return txn
         return self._current
 
     def begin(self) -> Transaction:
-        if self._current is not None and self._current.active:
-            raise TransactionError("a transaction is already active")
-        self._next_txn_id += 1
-        self._current = Transaction(self, self._next_txn_id)
-        return self._current
+        with self._mutex:
+            if self._current is not None and self._current.active:
+                raise TransactionError("a transaction is already active")
+            self._next_txn_id += 1
+            self._current = Transaction(self, self._next_txn_id)
+            return self._current
+
+    def begin_detached(self) -> Transaction:
+        """Mint a transaction WITHOUT installing it as current.
+
+        Concurrent sessions each own one of these and scope it to their
+        statements via :meth:`activate`; the mutex guarantees unique ids
+        across threads."""
+        with self._mutex:
+            self._next_txn_id += 1
+            return Transaction(self, self._next_txn_id)
+
+    @contextmanager
+    def activate(self, txn: Optional[Transaction]):
+        """Install ``txn`` as this thread's current transaction for the
+        duration of the block (nestable; restores the previous value)."""
+        previous = getattr(self._tls, "txn", None)
+        self._tls.txn = txn
+        try:
+            yield txn
+        finally:
+            self._tls.txn = previous
 
     def commit(self) -> None:
         transaction = self._require_active()
+        self._finish_commit(transaction)
+
+    def commit_detached(self, txn: Transaction) -> None:
+        """Commit a session-owned transaction (caller holds the store's
+        write mutex; see ``MapperStore.write_mutex``)."""
+        if not txn.active:
+            raise TransactionError("no active transaction")
+        self._finish_commit(txn)
+
+    def _finish_commit(self, transaction: Transaction) -> None:
         transaction._commit()
-        self._current = None
+        if self._current is transaction:
+            self._current = None
+        # Commit hooks run at the in-memory commit point: the undo log is
+        # gone, so even if the flush below faults mid-way, the version
+        # manager must already treat the transaction as committed.
+        for hook in self.commit_hooks:
+            hook(transaction.transaction_id)
         # Force policy, in crash-safe order: data pages reach disk FIRST
         # (flush itself forces the undo log before writing, per the WAL
         # rule), and only then is the commit record appended and forced.
@@ -132,9 +198,24 @@ class TransactionManager:
 
     def abort(self) -> None:
         transaction = self._require_active()
+        self._finish_abort(transaction)
+
+    def abort_detached(self, txn: Transaction) -> None:
+        """Abort a session-owned transaction.  The undo replay mutates
+        through the normal mapper paths, so the caller must have the
+        transaction activated on this thread (and hold the store's write
+        mutex)."""
+        if not txn.active:
+            raise TransactionError("no active transaction")
+        self._finish_abort(txn)
+
+    def _finish_abort(self, transaction: Transaction) -> None:
         transaction._abort()
-        self._current = None
+        if self._current is transaction:
+            self._current = None
         self.aborts += 1
+        for hook in self.abort_hooks:
+            hook(transaction.transaction_id)
         self._fire_invalidation_hooks()
 
     def _fire_invalidation_hooks(self) -> None:
@@ -142,7 +223,8 @@ class TransactionManager:
             hook()
 
     def in_transaction(self) -> bool:
-        return self._current is not None and self._current.active
+        current = self.current
+        return current is not None and current.active
 
     def record_undo(self, undo: Callable[[], None]) -> None:
         """Record an undo in the active transaction, if any.
@@ -150,18 +232,20 @@ class TransactionManager:
         Outside a transaction the operation is auto-committed: there is
         nothing to undo to, so the closure is dropped.
         """
-        if self.in_transaction():
-            self._current.record_undo(undo)
+        current = self.current
+        if current is not None and current.active:
+            current.record_undo(undo)
 
     def txn_context(self):
         """(txn id, rolling-back?) of the active transaction, for the WAL
         hooks (compensations during rollback become CLRs)."""
-        if self._current is not None and self._current.active:
-            return (self._current.transaction_id,
-                    self._current._rolling_back)
+        current = self.current
+        if current is not None and current.active:
+            return (current.transaction_id, current._rolling_back)
         return (None, False)
 
     def _require_active(self) -> Transaction:
-        if self._current is None or not self._current.active:
+        current = self.current
+        if current is None or not current.active:
             raise TransactionError("no active transaction")
-        return self._current
+        return current

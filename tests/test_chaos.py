@@ -1,0 +1,198 @@
+"""Chaos/load harness: seeded multi-client contention with fault
+injection, verified against a committed-prefix oracle.
+
+Each writer thread runs two-statement transactions over two classes in
+a *seeded random order*, so lock acquisition order differs between
+sessions and deadlocks are guaranteed under load.  Every transaction
+that commits records its deltas in a thread-local ledger; at the end
+the database must equal the initial state plus exactly the committed
+ledgers — no lost updates, no phantom effects from aborted victims.
+Transient storage faults (repeat 2, below the retry policy's 4
+attempts) fire during the run and must be absorbed invisibly.
+
+The unmarked test is the fast tier-1 smoke; ``-m chaos`` selects the
+heavier seeded soak (the CI chaos lane / ``make chaos``).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import Database
+from repro.engine.sessions import LockConflict, Session
+
+CHAOS_DDL = """
+Class Account (
+  nbr: integer (1..99) unique required;
+  balance: integer );
+
+Class Audit (
+  nbr: integer (1..99) unique required;
+  total: integer );
+"""
+
+ACCOUNTS = 4
+
+
+def build_bank():
+    db = Database(CHAOS_DDL, constraint_mode="off")
+    for nbr in range(1, ACCOUNTS + 1):
+        db.execute(f"Insert account(nbr := {nbr}, balance := 0)")
+        db.execute(f"Insert audit(nbr := {nbr}, total := 0)")
+    return db
+
+
+class Writer(threading.Thread):
+    """One chaos client: seeded deadlock-prone update mix.  Commits are
+    recorded in ``self.committed`` only after ``commit()`` returns —
+    the committed-prefix oracle."""
+
+    def __init__(self, db, seed, transactions, lock_timeout=5.0):
+        super().__init__(name=f"chaos-writer-{seed}")
+        self.session = Session(db, lock_timeout=lock_timeout)
+        self.rng = random.Random(seed)
+        self.transactions = transactions
+        self.committed = []  # [(class_name, nbr, delta), ...] per commit
+        self.aborted = 0
+        self.error = None
+
+    def run(self):
+        try:
+            for _ in range(self.transactions):
+                self._one_transaction()
+        except Exception as exc:  # pragma: no cover — fail the test
+            self.error = exc
+
+    def _one_transaction(self):
+        nbr_a = self.rng.randint(1, ACCOUNTS)
+        nbr_b = self.rng.randint(1, ACCOUNTS)
+        delta = self.rng.randint(1, 5)
+        # Half the sessions lock account→audit, half audit→account:
+        # opposite orders are what makes the mix deadlock-prone.
+        steps = [("account", "balance", nbr_a, delta),
+                 ("audit", "total", nbr_b, delta)]
+        if self.rng.random() < 0.5:
+            steps.reverse()
+        try:
+            for class_name, attr, nbr, step_delta in steps:
+                self.session.execute(
+                    f"Modify {class_name}({attr} := {attr} + {step_delta})"
+                    f" Where nbr = {nbr}")
+            self.session.commit()
+        except LockConflict:
+            # Deadlock victim (transaction already aborted) or timeout:
+            # abort is idempotent; nothing from this txn may survive.
+            self.session.abort()
+            self.aborted += 1
+        else:
+            for class_name, _attr, nbr, step_delta in steps:
+                self.committed.append((class_name, nbr, step_delta))
+
+
+def run_chaos(db, writers, readers=0, fault_every=0, seed=1234):
+    """Drive the writer fleet (plus optional snapshot readers), arming
+    transient faults from the controller thread while they run."""
+    injector = db.install_faults(seed=seed) if fault_every else None
+    reader_errors = []
+    stop_readers = threading.Event()
+
+    def read_loop(i):
+        session = Session(db)
+        try:
+            while not stop_readers.is_set():
+                rows = session.query("From account Retrieve balance").rows
+                if len(rows) != ACCOUNTS:
+                    raise AssertionError(f"snapshot saw {len(rows)} rows")
+        except Exception as exc:  # pragma: no cover
+            reader_errors.append(exc)
+
+    reader_threads = [threading.Thread(target=read_loop, args=(i,))
+                      for i in range(readers)]
+    for thread in writers + reader_threads:
+        thread.start()
+    rounds = 0
+    while any(w.is_alive() for w in writers):
+        if injector is not None and injector.armed == 0:
+            # transient, repeat 2 < RetryPolicy max_attempts 4: the
+            # retry layer must absorb every one of these invisibly
+            injector.fail_write(fault_every, error="transient", repeat=2)
+            rounds += 1
+        for w in writers:
+            w.join(timeout=0.05)
+    for w in writers:
+        w.join(timeout=30.0)
+    stop_readers.set()
+    for thread in reader_threads:
+        thread.join(timeout=30.0)
+    assert not any(w.is_alive() for w in writers), "writer hang"
+    assert not any(t.is_alive() for t in reader_threads), "reader hang"
+    assert reader_errors == []
+    for w in writers:
+        if w.error is not None:
+            raise w.error
+    return rounds
+
+
+def assert_committed_prefix(db, writers):
+    """The database state must equal initial + exactly the committed
+    ledgers — aborted transactions leave no trace."""
+    expected = {("account", nbr): 0 for nbr in range(1, ACCOUNTS + 1)}
+    expected.update({("audit", nbr): 0 for nbr in range(1, ACCOUNTS + 1)})
+    for w in writers:
+        for class_name, nbr, delta in w.committed:
+            expected[(class_name, nbr)] += delta
+    for (class_name, nbr), total in expected.items():
+        attr = "balance" if class_name == "account" else "total"
+        actual = db.query(f"From {class_name} Retrieve {attr}"
+                          f" Where nbr = {nbr}").scalar()
+        assert actual == total, (
+            f"{class_name} {nbr}: stored {actual}, committed {total}")
+    report = db.check()
+    assert report.ok, report
+
+
+class TestChaosSmoke:
+    def test_contention_smoke(self):
+        """Fast tier-1 lane: 8 writers, deadlock-prone mix, oracle +
+        checker verification, no faults."""
+        db = build_bank()
+        writers = [Writer(db, seed=i, transactions=12) for i in range(8)]
+        run_chaos(db, writers, readers=2)
+        assert_committed_prefix(db, writers)
+        stats = db._lock_manager.statistics()
+        # Opposite-order two-class transactions across 8 sessions make
+        # deadlocks effectively certain at this volume.
+        assert stats["deadlocks"] > 0
+        assert stats["waiting_now"] == 0
+        total_commits = sum(len(w.committed) // 2 for w in writers)
+        total_aborts = sum(w.aborted for w in writers)
+        assert total_commits + total_aborts == 8 * 12
+
+    def test_snapshot_readers_never_blocked(self):
+        """Readers alongside the full writer fleet finish with the
+        writers: they never queue behind exclusive class locks."""
+        db = build_bank()
+        writers = [Writer(db, seed=100 + i, transactions=8)
+                   for i in range(4)]
+        run_chaos(db, writers, readers=4)
+        assert_committed_prefix(db, writers)
+
+
+@pytest.mark.chaos
+class TestChaosSoak:
+    def test_faulted_soak(self):
+        """The heavier seeded soak: 8 writers, transient write faults
+        arming continuously, snapshot readers throughout."""
+        db = build_bank()
+        writers = [Writer(db, seed=1000 + i, transactions=30)
+                   for i in range(8)]
+        rounds = run_chaos(db, writers, readers=2, fault_every=25)
+        assert_committed_prefix(db, writers)
+        stats = db._lock_manager.statistics()
+        assert stats["deadlocks"] > 0
+        # Transient faults actually fired and were absorbed: no writer
+        # surfaced a storage error and the oracle still holds.
+        assert db.perf.transient_retries >= 1
+        assert db.perf.transient_giveups == 0
+        assert rounds >= 1

@@ -1,9 +1,19 @@
-"""Multi-session concurrency tests: strict 2PL at class granularity."""
+"""Multi-session concurrency tests: blocking 2PL, deadlock detection,
+lock upgrades, and the legacy fail-fast mode (``lock_timeout=0``)."""
+
+import threading
+import time
 
 import pytest
 
 from repro import Database
-from repro.engine.sessions import LockConflict, LockManager, Session
+from repro.engine.sessions import (
+    DeadlockError,
+    LockConflict,
+    LockManager,
+    LockTimeout,
+    Session,
+)
 from repro.workloads import UNIVERSITY_DDL
 
 
@@ -16,29 +26,43 @@ def db():
     return database
 
 
+def legacy_session(db):
+    """Fail-fast, shared-lock-read sessions: the pre-MVCC semantics."""
+    return Session(db, mvcc=False, lock_timeout=0)
+
+
 class TestLockManager:
     def test_shared_locks_compatible(self):
         locks = LockManager()
         locks.acquire_shared(1, "course")
         locks.acquire_shared(2, "course")
 
-    def test_exclusive_blocks_shared(self):
+    def test_exclusive_blocks_shared_failfast(self):
         locks = LockManager()
         locks.acquire_exclusive(1, "course")
         with pytest.raises(LockConflict):
-            locks.acquire_shared(2, "course")
+            locks.acquire_shared(2, "course", timeout=0)
 
-    def test_shared_blocks_exclusive(self):
+    def test_shared_blocks_exclusive_failfast(self):
         locks = LockManager()
         locks.acquire_shared(1, "course")
         with pytest.raises(LockConflict):
-            locks.acquire_exclusive(2, "course")
+            locks.acquire_exclusive(2, "course", timeout=0)
 
     def test_upgrade_own_lock(self):
         locks = LockManager()
-        locks.acquire_shared(1, "course")
-        locks.acquire_exclusive(1, "course")
+        assert locks.acquire_shared(1, "course") == "new"
+        assert locks.acquire_exclusive(1, "course") == "upgraded"
         assert locks.holdings(1)["course"] == "exclusive"
+
+    def test_reentrant_grants_are_held(self):
+        locks = LockManager()
+        locks.acquire_shared(1, "course")
+        assert locks.acquire_shared(1, "course") == "held"
+        locks.acquire_exclusive(1, "department")
+        assert locks.acquire_exclusive(1, "department") == "held"
+        # shared under own exclusive is already covered
+        assert locks.acquire_shared(1, "department") == "held"
 
     def test_release_all(self):
         locks = LockManager()
@@ -46,10 +70,142 @@ class TestLockManager:
         locks.release_all(1)
         locks.acquire_exclusive(2, "course")
 
+    def test_blocking_acquire_waits_for_release(self):
+        locks = LockManager()
+        locks.acquire_exclusive(1, "course")
+        got = []
+
+        def contender():
+            got.append(locks.acquire_exclusive(2, "course", timeout=5.0))
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        time.sleep(0.05)
+        assert not got             # still blocked
+        locks.release_all(1)
+        thread.join(timeout=5.0)
+        assert got == ["new"]
+        assert locks.holdings(2)["course"] == "exclusive"
+
+    def test_lock_timeout(self):
+        locks = LockManager()
+        locks.acquire_exclusive(1, "course")
+        start = time.monotonic()
+        with pytest.raises(LockTimeout):
+            locks.acquire_exclusive(2, "course", timeout=0.2)
+        assert time.monotonic() - start >= 0.15
+        assert locks.statistics()["timeouts"] == 1
+
+    def test_deadlock_detected_not_timed_out(self):
+        """A 2-cycle is resolved by victim abort well before the (long)
+        timeout, and the victim is the youngest session in the cycle."""
+        locks = LockManager()
+        locks.acquire_exclusive(1, "a")
+        locks.acquire_exclusive(2, "b")
+        results = {}
+
+        def older():
+            try:
+                locks.acquire_exclusive(1, "b", timeout=30.0)
+                results[1] = "granted"
+            except DeadlockError:
+                results[1] = "deadlock"
+                locks.release_all(1)
+
+        def younger():
+            try:
+                locks.acquire_exclusive(2, "a", timeout=30.0)
+                results[2] = "granted"
+            except DeadlockError:
+                results[2] = "deadlock"
+                locks.release_all(2)
+
+        start = time.monotonic()
+        threads = [threading.Thread(target=older),
+                   threading.Thread(target=younger)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert time.monotonic() - start < 10.0   # no timeout-waiting
+        assert results[2] == "deadlock"          # youngest loses...
+        assert results[1] == "granted"           # ...and the cycle breaks
+        assert locks.statistics()["deadlocks"] >= 1
+
+    def test_deadlock_victim_deterministic(self):
+        """The same interleaving always dooms the same (youngest)
+        session, independent of which thread reaches detection first."""
+        for _ in range(5):
+            locks = LockManager()
+            locks.acquire_exclusive(1, "a")
+            locks.acquire_exclusive(2, "b")
+            victims = []
+
+            def contend(sid, want):
+                try:
+                    locks.acquire_exclusive(sid, want, timeout=30.0)
+                except DeadlockError:
+                    victims.append(sid)
+                finally:
+                    locks.release_all(sid)
+
+            threads = [threading.Thread(target=contend, args=(1, "b")),
+                       threading.Thread(target=contend, args=(2, "a"))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert victims == [2]
+
+    def test_upgrade_under_contention(self):
+        """Two readers racing to upgrade form an upgrade deadlock; one is
+        aborted, the other gets the exclusive lock."""
+        locks = LockManager()
+        locks.acquire_shared(1, "course")
+        locks.acquire_shared(2, "course")
+        outcome = {}
+
+        def upgrade(sid):
+            try:
+                outcome[sid] = locks.acquire_exclusive(sid, "course",
+                                                       timeout=30.0)
+            except DeadlockError:
+                outcome[sid] = "deadlock"
+                locks.release_all(sid)
+
+        threads = [threading.Thread(target=upgrade, args=(sid,))
+                   for sid in (1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert sorted(outcome.values()) == ["deadlock", "upgraded"]
+        assert outcome[2] == "deadlock"          # youngest loses
+
+    def test_rollback_drops_new_and_demotes_upgrades(self):
+        locks = LockManager()
+        locks.acquire_shared(1, "course")
+        acquired = [("course", locks.acquire_exclusive(1, "course")),
+                    ("department", locks.acquire_exclusive(1, "department"))]
+        locks.rollback(1, acquired)
+        # upgrade demoted back to shared; new lock fully released
+        assert locks.holdings(1) == {"course": "shared"}
+        locks.acquire_exclusive(2, "department", timeout=0)
+
+    def test_rollback_keeps_preheld(self):
+        locks = LockManager()
+        locks.acquire_exclusive(1, "course")
+        acquired = [("course", locks.acquire_exclusive(1, "course"))]
+        assert acquired[0][1] == "held"
+        locks.rollback(1, acquired)
+        assert locks.holdings(1)["course"] == "exclusive"
+
 
 class TestSessions:
+    """Legacy fail-fast semantics (mvcc=False, lock_timeout=0)."""
+
     def test_writer_blocks_reader_until_commit(self, db):
-        alice, bob = Session(db), Session(db)
+        alice, bob = legacy_session(db), legacy_session(db)
         alice.execute('Modify course(credits := 5) Where course-no = 1')
         with pytest.raises(LockConflict):
             bob.query("From course Retrieve title")
@@ -58,14 +214,14 @@ class TestSessions:
         bob.commit()
 
     def test_readers_share(self, db):
-        alice, bob = Session(db), Session(db)
+        alice, bob = legacy_session(db), legacy_session(db)
         assert alice.query("From course Retrieve title").rows
         assert bob.query("From course Retrieve title").rows
         alice.commit()
         bob.commit()
 
     def test_reader_blocks_writer(self, db):
-        alice, bob = Session(db), Session(db)
+        alice, bob = legacy_session(db), legacy_session(db)
         alice.query("From course Retrieve title")
         with pytest.raises(LockConflict):
             bob.execute('Modify course(credits := 9) Where course-no = 1')
@@ -74,7 +230,7 @@ class TestSessions:
         bob.commit()
 
     def test_abort_isolates_other_session(self, db):
-        alice, bob = Session(db), Session(db)
+        alice, bob = legacy_session(db), legacy_session(db)
         alice.execute('Insert course(course-no := 2, title := "New",'
                       ' credits := 1)')
         alice.abort()
@@ -83,7 +239,7 @@ class TestSessions:
         bob.commit()
 
     def test_two_open_transactions_commit_independently(self, db):
-        alice, bob = Session(db), Session(db)
+        alice, bob = legacy_session(db), legacy_session(db)
         alice.execute('Insert course(course-no := 2, title := "A2",'
                       ' credits := 1)')
         bob.execute('Insert department(dept-nbr := 200, name := "D2")')
@@ -93,7 +249,7 @@ class TestSessions:
         assert len(db.query("From department Retrieve name")) == 2
 
     def test_disjoint_classes_do_not_conflict(self, db):
-        alice, bob = Session(db), Session(db)
+        alice, bob = legacy_session(db), legacy_session(db)
         alice.execute('Modify course(credits := 7) Where course-no = 1')
         bob.execute('Modify department(name := "D9")'
                     ' Where dept-nbr = 100')
@@ -105,7 +261,7 @@ class TestSessions:
     def test_update_locks_cover_eva_partners(self, db):
         # Modifying students can touch courses (enrolment EVA): a reader
         # of COURSE must conflict with a student writer.
-        alice, bob = Session(db), Session(db)
+        alice, bob = legacy_session(db), legacy_session(db)
         alice.execute('Insert student(soc-sec-no := 1, courses-enrolled :='
                       ' course with (course-no = 1))')
         with pytest.raises(LockConflict):
@@ -114,7 +270,7 @@ class TestSessions:
         bob.commit()
 
     def test_holdings_reporting(self, db):
-        alice = Session(db)
+        alice = legacy_session(db)
         alice.query("From course Retrieve title")
         assert alice.holdings()["course"] == "shared"
         alice.commit()
@@ -122,7 +278,7 @@ class TestSessions:
 
     def test_serializable_outcome(self, db):
         """The classic lost-update interleaving is prevented outright."""
-        alice, bob = Session(db), Session(db)
+        alice, bob = legacy_session(db), legacy_session(db)
         alice.execute('Modify course(credits := 1 + credits)'
                       ' Where course-no = 1')
         with pytest.raises(LockConflict):
@@ -133,3 +289,158 @@ class TestSessions:
                     ' Where course-no = 1')
         bob.commit()
         assert db.query("From course Retrieve credits").scalar() == 5
+
+
+class TestConcurrentSessions:
+    """Threaded sessions: blocking waits, victim retry, satellite fixes."""
+
+    def test_session_ids_per_database(self):
+        db_a = Database(UNIVERSITY_DDL, constraint_mode="off")
+        db_b = Database(UNIVERSITY_DDL, constraint_mode="off")
+        assert Session(db_a).session_id == 1
+        assert Session(db_a).session_id == 2
+        assert Session(db_b).session_id == 1   # independent counters
+
+    def test_session_id_allocation_thread_safe(self, db):
+        ids = []
+        ids_lock = threading.Lock()
+
+        def open_sessions():
+            for _ in range(50):
+                session = Session(db)
+                with ids_lock:
+                    ids.append(session.session_id)
+
+        threads = [threading.Thread(target=open_sessions) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(ids) == len(set(ids)) == 200
+
+    def test_begin_detached_mints_unique_txn_ids(self, db):
+        manager = db.store.transactions
+        txn_ids = []
+        ids_lock = threading.Lock()
+
+        def mint():
+            for _ in range(100):
+                txn = manager.begin_detached()
+                with ids_lock:
+                    txn_ids.append(txn.transaction_id)
+
+        threads = [threading.Thread(target=mint) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(txn_ids) == len(set(txn_ids)) == 400
+
+    def test_writer_blocks_then_reader_proceeds(self, db):
+        """A blocking (non-MVCC) reader waits out the writer instead of
+        failing, and sees the committed value."""
+        alice = Session(db, mvcc=False)
+        bob = Session(db, mvcc=False)
+        alice.execute('Modify course(credits := 5) Where course-no = 1')
+        seen = []
+
+        def read():
+            seen.append(bob.query("From course Retrieve credits",
+                                  timeout=10.0).scalar())
+            bob.commit()
+
+        thread = threading.Thread(target=read)
+        thread.start()
+        time.sleep(0.05)
+        alice.commit()
+        thread.join(timeout=10.0)
+        assert seen == [5]
+
+    def test_statement_timeout_keeps_transaction(self, db):
+        """A timed-out statement fails but the session's transaction and
+        earlier locks survive; partial acquisition is rolled back."""
+        alice = Session(db, mvcc=False)
+        bob = Session(db, mvcc=False)
+        alice.execute('Modify course(credits := 5) Where course-no = 1')
+        bob.execute('Modify department(name := "D2") Where dept-nbr = 100')
+        with pytest.raises(LockTimeout):
+            bob.execute('Modify course(credits := 9) Where course-no = 1',
+                        timeout=0.2)
+        # bob still holds department exclusively, but nothing on course
+        assert bob.holdings() == {"department": "exclusive"}
+        alice.commit()
+        bob.execute('Modify course(credits := 9) Where course-no = 1')
+        bob.commit()
+        assert db.query("From course Retrieve credits").scalar() == 9
+        assert db.query("From department Retrieve name").scalar() == "D2"
+
+    def test_deadlock_victim_statement_retried(self, db):
+        """Fresh-transaction deadlock victims replay automatically: both
+        opposite-order writers eventually commit."""
+        barrier = threading.Barrier(2, timeout=10.0)
+        errors = []
+
+        def writer(first, second):
+            session = Session(db)
+            try:
+                session.execute(f'Modify {first}(credits := 1 + credits)'
+                                if first == "course" else
+                                f'Modify {first}(name := "X")'
+                                ' Where dept-nbr = 100')
+                barrier.wait()
+                session.execute(f'Modify {second}(credits := 1 + credits)'
+                                if second == "course" else
+                                f'Modify {second}(name := "Y")'
+                                ' Where dept-nbr = 100')
+                session.commit()
+            except DeadlockError:
+                session.abort()   # whole-transaction victim: caller retries
+            except Exception as exc:   # pragma: no cover - diagnostic aid
+                errors.append(exc)
+                session.abort()
+
+        threads = [
+            threading.Thread(target=writer, args=("course", "department")),
+            threading.Thread(target=writer, args=("department", "course")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert not any(thread.is_alive() for thread in threads)
+        assert db._lock_manager.deadlocks >= 1
+
+    def test_fresh_statement_deadlock_autoretries(self, db):
+        """When the deadlocked statement is the transaction's first, the
+        session replays it internally — the caller never sees the error."""
+        results = []
+
+        def writer(sid):
+            session = Session(db)
+            for _ in range(4):
+                session.execute('Modify course(credits := 1 + credits)'
+                                ' Where course-no = 1')
+                session.commit()
+            results.append(sid)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert sorted(results) == [0, 1, 2]
+        # credits is range-typed 1..15: 3 + 3*4 = 15 exactly
+        assert db.query("From course Retrieve credits").scalar() == 15
+
+    def test_session_context_manager(self, db):
+        with Session(db) as session:
+            session.execute('Modify course(credits := 8) Where course-no = 1')
+        assert db.query("From course Retrieve credits").scalar() == 8
+        with pytest.raises(ValueError):
+            with Session(db) as session:
+                session.execute('Modify course(credits := 4)'
+                                ' Where course-no = 1')
+                raise ValueError("boom")
+        assert db.query("From course Retrieve credits").scalar() == 8
