@@ -1,23 +1,23 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test torture chaos bench bench-recovery bench-read-path bench-lint \
-	bench-trace bench-batch bench-scale bench-concurrency lint typecheck \
-	simcheck
+.PHONY: test torture chaos lockdep bench bench-recovery bench-read-path \
+	bench-lint bench-trace bench-batch bench-scale bench-concurrency \
+	bench-lockdep lint typecheck simcheck
 
 test:
 	python -m pytest -x -q
 
-# Static analysis lanes.  ruff/mypy are preferred when installed
-# (configured in pyproject.toml); tools/dev_lint.py is the
-# dependency-free fallback so the lane always runs.
+# Static analysis lanes.  ruff adds style checks when installed
+# (configured in pyproject.toml); tools/dev_lint.py (AST hygiene +
+# SIM3xx concurrency lint) and the standalone concurrency gate always
+# run — they are dependency-free.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src/repro tools; \
-	else \
-		echo "ruff not installed; using tools/dev_lint.py fallback"; \
-		python tools/dev_lint.py src/repro tools; \
 	fi
+	python tools/dev_lint.py src/repro tools
+	python -m repro lint --concurrency --strict
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
@@ -40,8 +40,15 @@ torture:
 
 # The multi-session contention/fault chaos lane (seeded writer fleets,
 # deadlock-prone mixes, committed-prefix oracle; see tests/test_chaos.py).
+# Runs with runtime lockdep on: any lock-order violation fails the lane.
 chaos:
-	python -m pytest -q -m chaos tests/test_chaos.py
+	REPRO_LOCKDEP=1 python -m pytest -q -m chaos tests/test_chaos.py
+
+# Runtime lock-order validation lane: lockdep unit tests plus the
+# lock-heavy suites (sessions/mvcc/server) under REPRO_LOCKDEP=1.
+lockdep:
+	REPRO_LOCKDEP=1 python -m pytest -q tests/test_lockdep.py \
+		tests/test_sessions.py tests/test_mvcc.py tests/test_server.py
 
 bench:
 	python -m pytest -q benchmarks/ --benchmark-only
@@ -76,3 +83,9 @@ bench-scale:
 # 4 sessions).
 bench-concurrency:
 	python benchmarks/make_report.py --concurrency
+
+# E20: lockdep instrumentation-overhead gate (fails if runtime lock-order
+# checking costs >10% on the E19 contended-write cell, or if any
+# violation is recorded during the measurement).
+bench-lockdep:
+	python benchmarks/make_report.py --lockdep

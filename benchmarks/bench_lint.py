@@ -10,19 +10,30 @@ always-on pipeline costs and what the batch linter covers:
   fraction — the analyzers walk ASTs and trees, never data);
 * schema lint throughput over the UNIVERSITY DDL;
 * detection coverage: every analyzer family (schema, query, update,
-  plan) rejects a seeded defect.
+  plan) rejects a seeded defect;
+* concurrency lint (SIM3xx): every rule fires on a seeded Python
+  corpus of planted lock-discipline defects, and the sweep over the
+  engine's own source (``src/repro``) is clean.
 
 Shape claims asserted:
 * the canonical workload compiles with zero errors and zero warnings;
 * lint overhead stays under half of end-to-end execution wall time;
-* each seeded defect family is detected with the expected code prefix.
+* each seeded defect family is detected with the expected code prefix;
+* every planted SIM3xx defect is detected and ``src/repro`` sweeps
+  clean.
 """
 
+import os
 import time
 
 import pytest
 
-from repro.analysis import lint_schema, verify_plan
+from repro.analysis import (
+    lint_concurrency_paths,
+    lint_concurrency_source,
+    lint_schema,
+    verify_plan,
+)
 from repro.dml.parser import parse_dml
 from repro.errors import StaticAnalysisError
 from repro.workloads import UNIVERSITY_DDL, build_university
@@ -36,6 +47,36 @@ SEEDED_DEFECTS = [
     ("SIM11", "From student Retrieve name Where name > 3"),
     ("SIM12", 'Modify student(advisor := 5) Where name = "x"'),
     ("SIM12", "Insert nosuch(x := 1)"),
+]
+
+_REPRO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "src", "repro")
+
+#: planted lock-discipline defects, one per SIM3xx rule
+#: (code -> filename the snippet pretends to live in -> source)
+SEEDED_CONCURRENCY_DEFECTS = [
+    ("SIM300", "store.py",
+     "def flush(self):\n"
+     "    self._lock.acquire()\n"
+     "    self.dirty = []\n"),
+    ("SIM301", "buffer.py",
+     "def pin(self):\n"
+     "    with self._lock:\n"          # storage.buffer, rank 10
+     "        with store.write_mutex:\n"  # rank 40: inversion
+     "            pass\n"),
+    ("SIM302", "server.py",
+     "def reply(self):\n"
+     "    with self._conn_lock:\n"
+     "        self.sock.sendall(b'ok')\n"),
+    ("SIM303", "buffer.py",
+     "class BufferPool:\n"
+     "    def grow(self):\n"
+     "        self.capacity = 99\n"),
+    ("SIM304", "sessions.py",
+     "def drain(self):\n"
+     "    with self._cond:\n"
+     "        self._cond.wait(0.1)\n"),
 ]
 
 
@@ -84,6 +125,16 @@ def measure_lint(students: int = 40, repeats: int = 3) -> dict:
             if (exc.diagnostic_code or "").startswith(prefix):
                 detected += 1
 
+    # Concurrency lint: seeded SIM3xx corpus plus the clean sweep over
+    # the engine's own source.
+    concurrency_detected = 0
+    for code, path, source in SEEDED_CONCURRENCY_DEFECTS:
+        if code in [d.code for d in lint_concurrency_source(source, path)]:
+            concurrency_detected += 1
+    started = time.perf_counter()
+    sweep_findings = lint_concurrency_paths([_REPRO_SRC])
+    concurrency_sweep_ms = (time.perf_counter() - started) * 1000.0
+
     return {
         "queries": len(UNIVERSITY_QUERIES),
         "schema_lint_ms": schema_lint_ms,
@@ -104,6 +155,10 @@ def measure_lint(students: int = 40, repeats: int = 3) -> dict:
         "plans_verified": verified,
         "defects_seeded": len(SEEDED_DEFECTS),
         "defects_detected": detected,
+        "concurrency_defects_seeded": len(SEEDED_CONCURRENCY_DEFECTS),
+        "concurrency_defects_detected": concurrency_detected,
+        "concurrency_sweep_findings": len(sweep_findings),
+        "concurrency_sweep_ms": concurrency_sweep_ms,
     }
 
 
@@ -118,6 +173,10 @@ def test_e15_lint_overhead_and_coverage(benchmark):
     assert measured["defects_detected"] == measured["defects_seeded"]
     # The static pipeline must stay cheap relative to execution.
     assert measured["lint_overhead_ratio"] < 0.5
+    # Concurrency lint: full seeded detection, clean engine sweep.
+    assert (measured["concurrency_defects_detected"]
+            == measured["concurrency_defects_seeded"])
+    assert measured["concurrency_sweep_findings"] == 0
 
     benchmark(lambda: None)
     attach(benchmark,
@@ -126,7 +185,11 @@ def test_e15_lint_overhead_and_coverage(benchmark):
            execute_wall_ms=round(measured["execute_wall_ms"], 3),
            lint_overhead_ratio=round(measured["lint_overhead_ratio"], 3),
            plans_verified=measured["plans_verified"],
-           defects_detected=measured["defects_detected"])
+           defects_detected=measured["defects_detected"],
+           concurrency_defects_detected=measured[
+               "concurrency_defects_detected"],
+           concurrency_sweep_ms=round(
+               measured["concurrency_sweep_ms"], 3))
 
 
 @pytest.mark.parametrize("prefix,text", SEEDED_DEFECTS)
@@ -138,3 +201,14 @@ def test_e15_seeded_defects_are_rejected(benchmark, prefix, text):
     assert (exc.value.diagnostic_code or "").startswith(prefix)
     benchmark(lambda: None)
     attach(benchmark, code=exc.value.diagnostic_code)
+
+
+@pytest.mark.parametrize(
+    "code,path,source", SEEDED_CONCURRENCY_DEFECTS,
+    ids=[c for c, _, _ in SEEDED_CONCURRENCY_DEFECTS])
+def test_e15_seeded_concurrency_defects_are_detected(
+        benchmark, code, path, source):
+    found = [d.code for d in lint_concurrency_source(source, path)]
+    assert code in found, f"{code} not raised; got {found}"
+    benchmark(lambda: None)
+    attach(benchmark, code=code)

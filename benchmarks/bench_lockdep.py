@@ -1,0 +1,104 @@
+"""E20 — runtime lockdep instrumentation overhead.
+
+The dynamic lock-order checker (:mod:`repro.engine.lockdep`) is on by
+default under pytest and ``REPRO_LOCKDEP=1``; for that to be a
+keep-it-on default, its cost on the *worst* cell — E19's contended
+writes, where lock traffic is the workload — must stay small.
+
+This experiment re-drives the E19 contended-write cell twice, back to
+back, with lockdep forced off and then forced on (the enabled state is
+captured at lock construction, so each run builds a fresh database
+inside :func:`repro.engine.lockdep.forced`).  Best-of-``repeats``
+throughput in each mode gives the overhead ratio.
+
+Shape claims asserted:
+* instrumentation overhead on the contended cell is below 10%;
+* the instrumented run records **zero** lock-order violations while
+  observing a non-trivial acquisition graph;
+* the committed-prefix oracle holds in both modes.
+"""
+
+import time
+
+from repro.engine import lockdep
+
+from _harness import attach
+from bench_concurrency import _measure_contention
+
+#: the E19 contended cell this experiment re-drives
+SESSIONS = 8
+TRANSACTIONS = 30
+REPEATS = 5
+
+#: acceptance bound on (1 - instrumented/baseline)
+MAX_OVERHEAD = 0.10
+
+
+def _contended_cell(sessions: int, transactions: int) -> dict:
+    result = _measure_contention((sessions,), transactions)
+    cell = dict(result["sessions"][str(sessions)])
+    cell["oracle_ok"] = result["oracle_ok"]
+    return cell
+
+
+def measure_lockdep(sessions: int = SESSIONS,
+                    transactions: int = TRANSACTIONS,
+                    repeats: int = REPEATS) -> dict:
+    """The numbers ``BENCH_lockdep.json`` records."""
+    baseline_rate = 0.0
+    instrumented_rate = 0.0
+    oracle_ok = True
+    deadlocks = 0
+    started = time.perf_counter()
+    for _ in range(repeats):
+        with lockdep.forced(False):
+            cell = _contended_cell(sessions, transactions)
+        baseline_rate = max(baseline_rate, cell["txns_per_s"])
+        oracle_ok = oracle_ok and cell["oracle_ok"]
+
+        with lockdep.forced(True):
+            lockdep.reset()
+            cell = _contended_cell(sessions, transactions)
+            graph_edges = len(lockdep.edges())
+            violation_count = len(lockdep.violations())
+        instrumented_rate = max(instrumented_rate, cell["txns_per_s"])
+        oracle_ok = oracle_ok and cell["oracle_ok"]
+        deadlocks += cell["deadlocks"]
+    wall = time.perf_counter() - started
+
+    overhead = (1.0 - instrumented_rate / baseline_rate
+                if baseline_rate else 0.0)
+    return {
+        "sessions": sessions,
+        "transactions_per_session": transactions,
+        "repeats": repeats,
+        "baseline_txns_per_s": baseline_rate,
+        "instrumented_txns_per_s": instrumented_rate,
+        "overhead_ratio": overhead,
+        "max_overhead_ratio": MAX_OVERHEAD,
+        "acquisition_edges": graph_edges,
+        "violations": violation_count,
+        "deadlocks_resolved": deadlocks,
+        "oracle_ok": oracle_ok,
+        "wall_s": wall,
+    }
+
+
+def test_e20_lockdep_overhead_smoke(benchmark):
+    measured = measure_lockdep(sessions=4, transactions=10, repeats=1)
+
+    assert measured["oracle_ok"]
+    assert measured["violations"] == 0
+    assert measured["acquisition_edges"] > 0
+    # The smoke cell is too short for a tight overhead bound; assert it
+    # is not catastrophic (the full gate runs via make bench-lockdep).
+    assert measured["overhead_ratio"] < 0.5
+
+    benchmark(lambda: None)
+    attach(benchmark,
+           baseline_txns_per_s=round(measured["baseline_txns_per_s"], 1),
+           instrumented_txns_per_s=round(
+               measured["instrumented_txns_per_s"], 1),
+           overhead_ratio=round(measured["overhead_ratio"], 4),
+           acquisition_edges=measured["acquisition_edges"],
+           violations=measured["violations"])

@@ -73,6 +73,7 @@ _EXPERIMENT_TITLES = {
     "e17": "E17 — batched Volcano execution vs tuple-at-a-time",
     "e18": "E18 — morsel-parallel execution at scale",
     "e19": "E19 — multi-session concurrency (2PL + MVCC + server)",
+    "e20": "E20 — runtime lockdep instrumentation overhead",
 }
 
 
@@ -124,7 +125,20 @@ def write_lint_report(out_path: str) -> int:
           f"verified, lint overhead "
           f"{measured['lint_overhead_ratio']:.3f}x of execution, "
           f"{measured['defects_detected']}/{measured['defects_seeded']} "
-          f"seeded defects detected")
+          f"seeded defects detected, "
+          f"{measured['concurrency_defects_detected']}/"
+          f"{measured['concurrency_defects_seeded']} SIM3xx defects "
+          f"detected, sweep findings "
+          f"{measured['concurrency_sweep_findings']}")
+    if (measured["concurrency_defects_detected"]
+            != measured["concurrency_defects_seeded"]):
+        print("FAIL: planted SIM3xx defects escaped the concurrency "
+              "lint", file=sys.stderr)
+        return 1
+    if measured["concurrency_sweep_findings"]:
+        print("FAIL: the concurrency sweep over src/repro is not clean",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -254,6 +268,38 @@ def experiment_of(name: str) -> str:
     return "other"
 
 
+def write_lockdep_report(out_path: str) -> int:
+    """Run the E20 measurement and emit ``BENCH_lockdep.json``."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_lockdep import measure_lockdep
+    measured = measure_lockdep()
+    with open(out_path, "w") as handle:
+        json.dump(measured, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}: contended cell at "
+          f"{measured['sessions']} sessions — baseline "
+          f"{measured['baseline_txns_per_s']:.1f} txns/s, instrumented "
+          f"{measured['instrumented_txns_per_s']:.1f} txns/s "
+          f"({measured['overhead_ratio'] * 100:.1f}% overhead), "
+          f"{measured['acquisition_edges']} graph edges, "
+          f"{measured['violations']} violations, "
+          f"oracle ok: {measured['oracle_ok']}")
+    if measured["violations"]:
+        print("FAIL: lock-order violations recorded during the "
+              "instrumented run", file=sys.stderr)
+        return 1
+    if not measured["oracle_ok"]:
+        print("FAIL: committed-prefix oracle violated", file=sys.stderr)
+        return 1
+    if measured["overhead_ratio"] >= measured["max_overhead_ratio"]:
+        print(f"FAIL: lockdep overhead "
+              f"{measured['overhead_ratio'] * 100:.1f}% exceeds the "
+              f"{measured['max_overhead_ratio'] * 100:.0f}% bound",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def format_benchmark(entry: dict) -> str:
     name = entry["name"]
     mean_ms = entry["stats"]["mean"] * 1000.0
@@ -288,6 +334,9 @@ def main(argv) -> int:
         out_path = argv[2] if len(argv) > 2 else \
             "BENCH_concurrency_smoke.json"
         return write_concurrency_report(out_path, smoke=True)
+    if len(argv) >= 2 and argv[1] == "--lockdep":
+        out_path = argv[2] if len(argv) > 2 else "BENCH_lockdep.json"
+        return write_lockdep_report(out_path)
     if len(argv) >= 2 and argv[1] == "--scale-smoke":
         out_path = argv[2] if len(argv) > 2 else "BENCH_scale_smoke.json"
         # 10^4-entity CI lane: row identity is enforced, the 2x bound is

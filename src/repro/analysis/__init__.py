@@ -8,10 +8,14 @@ Three analyzers share one diagnostics framework
 * :func:`lint_retrieve` / :func:`lint_update` — type checking and update
   preconditions over the DML AST, before execution;
 * :func:`verify_plan` — the post-optimization structural contract between
-  the labelled query tree and the optimizer's plan (fail closed).
+  the labelled query tree and the optimizer's plan (fail closed);
+* :func:`lint_concurrency_paths` — SIM3xx lock-discipline lint over the
+  engine's own Python source, driven by the declared rank hierarchy in
+  :mod:`repro.analysis.lock_order`.
 
 ``python -m repro lint <schema.ddl> [queries.dml ...]`` runs them from the
-command line (:mod:`repro.analysis.cli`).
+command line (:mod:`repro.analysis.cli`);
+``python -m repro lint --concurrency`` runs the concurrency pass.
 """
 
 from repro.analysis.diagnostics import (
@@ -25,6 +29,11 @@ from repro.analysis.diagnostics import (
     exception_for,
     raise_for_errors,
 )
+from repro.analysis.concurrency import (
+    lint_concurrency_paths,
+    lint_concurrency_source,
+)
+from repro.analysis.lock_order import LOCK_RANKS
 from repro.analysis.plan_verify import verify_physical, verify_plan
 from repro.analysis.query_lint import lint_retrieve, lint_update
 from repro.analysis.schema_lint import lint_schema
@@ -37,7 +46,10 @@ __all__ = [
     "RULES",
     "Rule",
     "WARNING",
+    "LOCK_RANKS",
     "exception_for",
+    "lint_concurrency_paths",
+    "lint_concurrency_source",
     "lint_retrieve",
     "lint_schema",
     "lint_update",

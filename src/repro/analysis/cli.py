@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro lint schema.ddl [queries.dml ...] [--strict]
+    python -m repro lint --concurrency [paths ...] [--strict]
 
 Lints the schema first; when it is error-free, each DML file is split
 into statements (terminated by ``;`` or a blank line, the same convention
@@ -16,6 +17,10 @@ Diagnostics print one per line in the compiler-standard form::
 
 The exit status is 1 when any error was reported (or any warning, with
 ``--strict``), 0 otherwise — suitable for CI lanes.
+
+``--concurrency`` switches to the SIM3xx lock-discipline lint
+(:mod:`repro.analysis.concurrency`) over Python source paths (default:
+``src/repro``), same output format and exit semantics.
 """
 
 from __future__ import annotations
@@ -121,7 +126,49 @@ def lint_files(schema_path: str, dml_paths: List[str],
     return reported
 
 
+def concurrency_main(argv: List[str]) -> int:
+    """``python -m repro lint --concurrency [paths ...]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint --concurrency",
+        description="simcheck concurrency lint: SIM3xx lock-discipline "
+                    "diagnostics over Python source")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to sweep "
+                             "(default: src/repro)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too")
+    parser.add_argument("--no-notes", action="store_true",
+                        help="suppress info-severity notes")
+    args = parser.parse_args([a for a in argv if a != "--concurrency"])
+    paths = args.paths or ["src/repro"]
+
+    from repro.analysis.concurrency import lint_concurrency_paths
+    try:
+        reported = lint_concurrency_paths(paths)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    counts = {ERROR: 0, WARNING: 0, INFO: 0}
+    for path, diagnostic in reported:
+        counts[diagnostic.severity] += 1
+        if diagnostic.severity == INFO and args.no_notes:
+            continue
+        print(diagnostic.describe(path))
+    print(f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+          f"{counts[INFO]} note(s)")
+    if counts[ERROR]:
+        return 1
+    if args.strict and counts[WARNING]:
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if "--concurrency" in argv:
+        return concurrency_main(list(argv))
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
         description="simcheck: compile-time diagnostics for SIM schemas, "

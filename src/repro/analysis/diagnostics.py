@@ -14,6 +14,9 @@ Code ranges:
 * ``SIM1xx`` — query/update lint (:mod:`repro.analysis.query_lint`);
   ``SIM10x`` qualification, ``SIM11x`` type checking, ``SIM12x`` updates
 * ``SIM2xx`` — plan verification (:mod:`repro.analysis.plan_verify`)
+* ``SIM3xx`` — concurrency lint (:mod:`repro.analysis.concurrency`):
+  lock-discipline checks over the engine's own source, driven by the
+  declared rank hierarchy in :mod:`repro.analysis.lock_order`
 """
 
 from __future__ import annotations
@@ -107,6 +110,12 @@ RULES = _catalog(
     ("SIM206", ERROR, "existential node enumerated by the physical spine"),
     ("SIM207", ERROR, "traversal operator kind contradicts the TYPE label"),
     ("SIM208", ERROR, "morsel barrier misplaced in the physical pipeline"),
+    # -- Concurrency lint (SIM3xx) -------------------------------------------
+    ("SIM300", WARNING, "lock acquired outside a with block"),
+    ("SIM301", ERROR, "nested lock acquisition inverts the declared order"),
+    ("SIM302", WARNING, "blocking call while holding a lock"),
+    ("SIM303", WARNING, "unguarded shared-state write in threaded code"),
+    ("SIM304", WARNING, "condition wait outside a predicate loop"),
 )
 
 

@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import itertools
 import random
-import threading
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -49,6 +48,7 @@ from repro.dml.ast import (
     RetrieveQuery,
 )
 from repro.dml.parser import parse_dml
+from repro.engine.lockdep import RankedCondition, RankedLock
 from repro.errors import SimError
 
 
@@ -85,8 +85,10 @@ class LockManager:
     """
 
     def __init__(self, default_timeout: float = 10.0):
-        self._mutex = threading.Lock()
-        self._cond = threading.Condition(self._mutex)
+        # Rank 50: class-lock traffic completes (and the condition is
+        # released) before a session enters store.write_mutex (rank 40).
+        self._mutex = RankedLock("sessions.class_locks")
+        self._cond = RankedCondition(self._mutex)
         self._shared: Dict[str, Set[int]] = {}
         self._exclusive: Dict[str, int] = {}
         #: sessions currently blocked: sid -> (class, mode)
@@ -158,7 +160,16 @@ class LockManager:
                             f"{timeout:.3g}s waiting for class "
                             f"{class_name!r} "
                             f"({self._conflict_message(class_name, blockers)})")
-                    self._cond.wait(min(remaining, _WAIT_SLICE))
+                    # Predicate-loop wait (SIM304): a spurious wakeup —
+                    # or a notify_all meant for another class — must not
+                    # fall through to the grant check with stale state;
+                    # wait_for re-evaluates under the lock until the
+                    # session is doomed, unblocked, or the slice expires.
+                    self._cond.wait_for(
+                        lambda: session_id in self._doomed
+                        or not self._blockers(session_id, class_name,
+                                              mode),
+                        timeout=min(remaining, _WAIT_SLICE))
             finally:
                 self._waits.pop(session_id, None)
 

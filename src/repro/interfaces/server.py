@@ -47,6 +47,7 @@ import socket
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.engine.lockdep import RankedCondition, RankedLock
 from repro.engine.sessions import Session
 from repro.errors import ServerOverloaded, SimError
 from repro.types.tvl import is_null
@@ -80,7 +81,7 @@ class _AdmissionGate:
 
     def __init__(self, slots: int, queue_depth: int):
         self._slots = threading.BoundedSemaphore(slots)
-        self._mutex = threading.Lock()
+        self._mutex = RankedLock("server.gate")
         self._queue_depth = queue_depth
         self._queued = 0
         self.shed = 0
@@ -144,12 +145,12 @@ class SimServer:
         self._accepting = False
         self._stopping = threading.Event()
         self._accept_thread: Optional[threading.Thread] = None
-        self._conn_lock = threading.Lock()
+        self._conn_lock = RankedLock("server.connections")
         self._connections: Dict[int, Tuple[socket.socket, Session]] = {}
         self._conn_threads: List[threading.Thread] = []
         self._next_conn = 0
         self._inflight = 0
-        self._drained = threading.Condition(self._conn_lock)
+        self._drained = RankedCondition(self._conn_lock)
         self.statements = 0
         self.connections_served = 0
 
@@ -160,10 +161,13 @@ class SimServer:
     # -- Lifecycle ---------------------------------------------------------------
 
     def start(self) -> "SimServer":
-        self._accepting = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="sim-server-accept", daemon=True)
-        self._accept_thread.start()
+        with self._conn_lock:
+            self._accepting = True
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="sim-server-accept",
+                daemon=True)
+            thread = self._accept_thread
+        thread.start()
         return self
 
     def stop(self, drain_timeout: float = 10.0) -> None:
@@ -173,7 +177,8 @@ class SimServer:
         threads parked waiting for the next request — are not statements
         and are closed immediately once the drain completes."""
         self._stopping.set()
-        self._accepting = False
+        with self._conn_lock:
+            self._accepting = False
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
@@ -231,7 +236,7 @@ class SimServer:
                     args=(conn_id, sock, session),
                     name=f"sim-server-conn-{conn_id}", daemon=True)
                 self._conn_threads.append(thread)
-            self.connections_served += 1
+                self.connections_served += 1
             thread.start()
 
     def _serve_connection(self, conn_id: int, sock: socket.socket,
@@ -300,7 +305,8 @@ class SimServer:
             with self._drained:
                 self._inflight -= 1
                 self._drained.notify_all()
-        self.statements += 1
+        with self._conn_lock:
+            self.statements += 1
         if hasattr(result, "rows") and hasattr(result, "columns"):
             return {"ok": True, "columns": list(result.columns),
                     "rows": [[_jsonable(v) for v in row]
@@ -363,12 +369,15 @@ class SimClient:
                                               timeout=connect_timeout)
         self._sock.settimeout(None)
         self._reader = self._sock.makefile("rb")
-        self._lock = threading.Lock()
+        self._lock = RankedLock("server.client")
 
     def _call(self, request: Dict) -> Dict:
+        # Holding the lock across the round trip is the point: one
+        # request/response pair at a time per connection.
         with self._lock:
-            self._sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
-            raw = self._reader.readline()
+            self._sock.sendall(  # noqa: SIM302
+                (json.dumps(request) + "\n").encode("utf-8"))
+            raw = self._reader.readline()  # noqa: SIM302
         if not raw:
             raise ServerError("ConnectionClosed",
                               "server closed the connection")
@@ -404,7 +413,7 @@ class SimClient:
     def close(self) -> None:
         try:
             with self._lock:
-                self._sock.sendall(b'{"op": "close"}\n')
+                self._sock.sendall(b'{"op": "close"}\n')  # noqa: SIM302
         except OSError:
             pass
         try:

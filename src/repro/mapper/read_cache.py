@@ -24,9 +24,10 @@ integer compare decides whether memoized values are still current.
 from __future__ import annotations
 
 import contextlib
-import threading
 from collections import OrderedDict
 from typing import Dict, Optional
+
+from repro.storage.latch import ranked_lock
 
 #: sentinel distinguishing "not cached" from a cached ``None`` rid
 MISSING = object()
@@ -56,7 +57,8 @@ class ReadCache:
         # and promote entries, and OrderedDict.move_to_end racing a
         # popitem corrupts the linked order (KeyErrors, lost entries).
         # Re-entrant because invalidation paths may nest through clear().
-        self._lock = threading.RLock()
+        # Rank 20 in the declared hierarchy (analysis/lock_order.py).
+        self._lock = ranked_lock("mapper.read_cache")
 
     # ------------------------------------------------------------------ lookups
 
@@ -204,7 +206,8 @@ class ReadCache:
     def note_write(self) -> None:
         """Record a mutation that has no cached representation here (e.g.
         a separate-unit MV DVA write) so engine memos still expire."""
-        self.epoch += 1
+        with self._lock:
+            self.epoch += 1
         self.perf.bump("invalidations")
 
     def invalidate_record(self, class_name: str, surrogate: int) -> None:
@@ -251,12 +254,14 @@ class ReadCache:
         the block are dropped — a checker is usually run when cached
         state is exactly what's in doubt."""
         self.clear()
-        previous = self.enabled
-        self.enabled = False
+        with self._lock:
+            previous = self.enabled
+            self.enabled = False
         try:
             yield self
         finally:
-            self.enabled = previous
+            with self._lock:
+                self.enabled = previous
 
     # ------------------------------------------------------------------- stats
 

@@ -27,6 +27,7 @@ from repro.mapper.translate import canonical_eva, translate_schema
 from repro.mapper.versions import ABSENT, VersionManager
 from repro.naming import canon
 from repro.perf import PerfCounters
+from repro.storage.latch import ranked_lock
 from repro.schema.attribute import EntityValuedAttribute
 from repro.schema.schema import Schema
 from repro.storage.buffer import BufferPool, Disk
@@ -140,8 +141,9 @@ class MapperStore:
         #: this mutex makes the single-writer storage layer physically
         #: safe to share.  Lock-order invariant: sessions acquire class
         #: locks FIRST and only then this mutex, and never wait on a
-        #: class lock while holding it — so it cannot deadlock.
-        self.write_mutex = threading.RLock()
+        #: class lock while holding it — so it cannot deadlock.  Rank 40
+        #: in the declared hierarchy (analysis/lock_order.py).
+        self.write_mutex = ranked_lock("store.write_mutex")
         # this thread's pinned Snapshot, if a snapshot Retrieve is running
         self._snapshots = threading.local()
 

@@ -41,8 +41,9 @@ open at all the chains empty out entirely.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional, Set, Tuple
+
+from repro.storage.latch import ranked_lock
 
 
 class _Absent:
@@ -84,7 +85,7 @@ class VersionManager:
     """
 
     def __init__(self):
-        self._mutex = threading.RLock()
+        self._mutex = ranked_lock("mapper.versions")
         self.enabled = False
         #: commit counter; bumped once per committed transaction that
         #: staged anything
@@ -305,7 +306,7 @@ class VersionManager:
 
     # -- Maintenance -------------------------------------------------------------
 
-    def _prune(self) -> None:
+    def _prune(self) -> None:  # noqa: SIM303 — every caller holds _mutex
         """Drop chain entries no active snapshot can reach (epoch <= the
         oldest pinned epoch; a reader at S only selects entries > S)."""
         floor = min(self._active) if self._active else self.epoch

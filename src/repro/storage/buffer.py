@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import StorageError
+from repro.storage.latch import ranked_lock
 
 
 @dataclass
@@ -170,7 +171,10 @@ class BufferPool:
         self.trace = None
         self._frames: "OrderedDict[Tuple[int,int], Block]" = OrderedDict()
         self._dirty: set = set()
-        self._lock = threading.RLock()
+        # Rank 10 — the leaf of the declared lock hierarchy
+        # (analysis/lock_order.py): nothing else may be acquired while
+        # this is held.
+        self._lock = ranked_lock("storage.buffer")
         #: in-flight physical reads: key -> Event set once installed
         self._loading: Dict[Tuple[int, int], threading.Event] = {}
         self.stats = IOStats()
@@ -260,7 +264,7 @@ class BufferPool:
         self._frames[key] = block
         self._evict_down_to(self.capacity)
 
-    def _evict_down_to(self, capacity: int) -> None:
+    def _evict_down_to(self, capacity: int) -> None:  # noqa: SIM303
         # Caller holds self._lock.
         while len(self._frames) > capacity:
             victim_key, victim = self._frames.popitem(last=False)
@@ -280,7 +284,10 @@ class BufferPool:
         """Write all dirty blocks back to disk (keeps them resident)."""
         with self._lock:
             if self.wal is not None and self._dirty:
-                self.wal.force()
+                # The WAL rule: log reaches disk before any data page it
+                # covers.  Forcing under the pool lock is deliberate —
+                # no page may be written (or redirtied) mid-force.
+                self.wal.force()  # noqa: SIM302
             trace = self.trace
             tracing = trace is not None and trace.enabled
             for key in sorted(self._dirty):

@@ -1,0 +1,24 @@
+"""Construction-time indirection for ranked locks.
+
+Storage and mapper modules cannot import :mod:`repro.engine.lockdep` at
+module top level: importing any ``repro.engine`` submodule executes the
+engine package ``__init__``, which imports ``engine.access``, which
+imports ``repro.mapper.store`` — a cycle when the mapper/storage module
+is itself mid-import.  This module has no imports of its own, so any
+layer can import it; the lockdep import happens at *construction* time,
+by which point the package graph is complete.
+"""
+
+from __future__ import annotations
+
+
+def ranked_lock(name: str):
+    """An ``RLock`` that participates in lockdep order checking."""
+    from repro.engine.lockdep import RankedLock
+    return RankedLock(name)
+
+
+def ranked_condition(lock):
+    """A condition variable over a :func:`ranked_lock` lock."""
+    from repro.engine.lockdep import RankedCondition
+    return RankedCondition(lock)

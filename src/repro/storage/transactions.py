@@ -15,6 +15,7 @@ from contextlib import contextmanager
 from typing import Callable, List, Optional
 
 from repro.errors import TransactionError
+from repro.storage.latch import ranked_lock
 
 
 class Transaction:
@@ -111,7 +112,10 @@ class TransactionManager:
         #: per-manager id counter; ``start_after`` seeds it past ids a
         #: recovered log may still mention
         self._next_txn_id = start_after
-        self._mutex = threading.RLock()
+        # Rank 60: only taken in begin()/begin_detached() with no other
+        # lock held; commit/abort bodies are serialized by
+        # store.write_mutex instead (see analysis/lock_order.py).
+        self._mutex = ranked_lock("storage.transactions")
         self._tls = threading.local()
         self.commits = 0
         self.aborts = 0

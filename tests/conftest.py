@@ -8,6 +8,19 @@ from repro import Database, parse_ddl
 from repro.workloads import UNIVERSITY_DDL, build_university
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _lockdep_clean_report():
+    """Lockdep runs by default under pytest; the whole suite must end
+    with zero recorded lock-order violations.  (tests/test_lockdep.py
+    provokes violations on purpose — it resets the recorder around each
+    of its tests, so anything left here is a real engine bug.)"""
+    yield
+    from repro.engine import lockdep
+    leftover = lockdep.violations()
+    assert leftover == [], (
+        f"lock-order violations recorded during the test run: {leftover}")
+
+
 @pytest.fixture(scope="session")
 def university_schema():
     return parse_ddl(UNIVERSITY_DDL)

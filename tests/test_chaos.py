@@ -20,7 +20,17 @@ import threading
 import pytest
 
 from repro import Database
+from repro.engine import lockdep
 from repro.engine.sessions import LockConflict, Session
+
+
+@pytest.fixture(autouse=True)
+def _zero_lock_order_violations():
+    """Every chaos scenario must finish with a clean lockdep report —
+    the whole point of running the soak instrumented (`make chaos` sets
+    REPRO_LOCKDEP=1; under pytest it is on by default anyway)."""
+    yield
+    assert lockdep.violations() == [], lockdep.violations()
 
 CHAOS_DDL = """
 Class Account (

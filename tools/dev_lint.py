@@ -12,9 +12,13 @@ lane the repository can always run.  It parses every Python file with
 * tabs in indentation and trailing whitespace;
 * lines longer than the configured limit.
 
+When the paths include engine source, the SIM3xx concurrency lint
+(:mod:`repro.analysis.concurrency`) runs as part of the same sweep, so
+``make lint`` gates lock discipline even without ruff installed.
+
 Usage::
 
-    python tools/dev_lint.py [--line-length N] [paths...]
+    python tools/dev_lint.py [--line-length N] [--no-concurrency] [paths...]
 
 Exit status 1 when any finding is reported, 0 otherwise.
 """
@@ -26,6 +30,13 @@ import ast
 import os
 import sys
 from typing import Iterator, List, Tuple
+
+# Self-bootstrapping: CI and bare `python tools/dev_lint.py` runs have no
+# PYTHONPATH; the concurrency pass needs the repro package importable.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 Finding = Tuple[str, int, str]
 
@@ -127,18 +138,34 @@ def check_file(path: str, line_length: int) -> List[Finding]:
     return findings
 
 
+def concurrency_findings(paths: List[str]) -> List[Finding]:
+    """SIM3xx lock-discipline findings, folded into the hygiene sweep."""
+    from repro.analysis.concurrency import lint_concurrency_paths
+    findings: List[Finding] = []
+    for path, diagnostic in lint_concurrency_paths(paths):
+        findings.append((path, diagnostic.span.line,
+                         f"{diagnostic.code} {diagnostic.severity}: "
+                         f"{diagnostic.message}"))
+    return findings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories (default: src/repro)")
     parser.add_argument("--line-length", type=int, default=88)
+    parser.add_argument("--no-concurrency", action="store_true",
+                        help="skip the SIM3xx concurrency lint pass")
     args = parser.parse_args(argv)
+    paths = args.paths or ["src/repro"]
 
     findings: List[Finding] = []
     checked = 0
-    for path in iter_python_files(args.paths or ["src/repro"]):
+    for path in iter_python_files(paths):
         checked += 1
         findings.extend(check_file(path, args.line_length))
+    if not args.no_concurrency:
+        findings.extend(concurrency_findings(paths))
 
     for path, lineno, message in findings:
         print(f"{path}:{lineno}: {message}")
