@@ -3,7 +3,7 @@ export PYTHONPATH
 
 .PHONY: test torture chaos lockdep bench bench-recovery bench-read-path \
 	bench-lint bench-trace bench-batch bench-scale bench-concurrency \
-	bench-lockdep lint typecheck simcheck
+	bench-concurrency-smoke bench-lockdep lint typecheck simcheck
 
 test:
 	python -m pytest -x -q
@@ -79,10 +79,16 @@ bench-scale:
 
 # E19: multi-session concurrency gate (fails on row drift between
 # concurrent snapshot reads and serial execution, on a committed-prefix
-# oracle violation under contention, or below 1.3x read throughput at
-# 4 sessions).
+# oracle violation under contention, below 1.3x read throughput at
+# 4 sessions, or below 2x disjoint-entity write throughput at 8
+# sessions vs the class-granularity baseline).
 bench-concurrency:
 	python benchmarks/make_report.py --concurrency
+
+# The reduced E19 lane CI runs: row identity + both committed-prefix
+# oracles + the disjoint-entity >=2x gate, no read-throughput bound.
+bench-concurrency-smoke:
+	python benchmarks/make_report.py --concurrency-smoke
 
 # E20: lockdep instrumentation-overhead gate (fails if runtime lock-order
 # checking costs >10% on the E19 contended-write cell, or if any

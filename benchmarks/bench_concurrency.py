@@ -20,9 +20,22 @@ deadlock-prone shape — and the cell reports committed transactions/sec,
 deadlock victims, aborts, and the committed-prefix oracle verdict (the
 final state must equal the replay of exactly the committed ledgers).
 
-The CI gate (``--concurrency-smoke``) asserts row identity and the
-oracle; the full ``make bench-concurrency`` run also gates on read
-throughput at 4 sessions >= ``MIN_READ_SPEEDUP_AT_4`` x serial.
+**Disjoint-entity writes.**  N sessions update *disjoint entities of
+ONE class* under entity-granularity locking (IX on the class, X on the
+one target entity).  The buffer pool is sized far below the working set
+and the modeled device latency is on, so every statement pays real
+(overlappable) I/O wait: entity-granular sessions overlap it, while the
+``entity_locks=False`` baseline — the pre-entity-lock contention shape,
+one class-level X per update — serializes it.  The cell reports
+committed transactions/sec per session count plus the speedup of the
+max-session entity-granular run over the class-granularity baseline.
+
+The CI gate (``--concurrency-smoke``) asserts row identity, both
+committed-prefix oracles, zero conflicts in the disjoint cell, and
+disjoint-entity throughput at 8 sessions >=
+``MIN_DISJOINT_SPEEDUP_AT_8`` x the class-granularity baseline; the
+full ``make bench-concurrency`` run also gates on read throughput at 4
+sessions >= ``MIN_READ_SPEEDUP_AT_4`` x serial.
 """
 
 import random
@@ -63,6 +76,32 @@ Class Audit (
 """
 
 CONTENTION_ACCOUNTS = 4
+
+#: entities in the disjoint-write class, partitioned among the sessions
+DISJOINT_ENTITIES = 64
+
+#: the disjoint-write class: the string filler fattens each record past
+#: half a block, so every entity lives in its own block and a random
+#: entity access is a genuine (modeled-latency) device read
+DISJOINT_DDL = """
+Class Account (
+  nbr: integer (1..99) unique required;
+  balance: integer;
+  pad0: string;  pad1: string;  pad2: string;
+  pad3: string;  pad4: string;  pad5: string;
+  pad6: string;  pad7: string;  pad8: string );
+"""
+
+#: buffer frames during the disjoint cell — far below the working set,
+#: so every statement keeps paying (overlappable) modeled read latency
+DISJOINT_POOL_FRAMES = 1
+
+#: modeled per-read device service time during the disjoint cell
+DISJOINT_READ_LATENCY = 0.002
+
+#: acceptance bound: entity-granular disjoint writers at 8 sessions vs
+#: the class-granularity (entity_locks=False) baseline at 8 sessions
+MIN_DISJOINT_SPEEDUP_AT_8 = 2.0
 
 
 # ------------------------------------------------------------------ read cell
@@ -220,6 +259,106 @@ def _measure_contention(session_counts, transactions: int) -> dict:
     return {"oracle_ok": oracle_ok, "sessions": cells}
 
 
+# -------------------------------------------------------- disjoint-entity cell
+
+def _disjoint_run(sessions: int, transactions: int,
+                  entity_locks: bool) -> dict:
+    """One disjoint-entity run: ``sessions`` writers over disjoint
+    slices of one ``DISJOINT_ENTITIES``-entity class."""
+    database = Database(DISJOINT_DDL, constraint_mode="off")
+    pads = ", ".join(f'pad{i} := "x"' for i in range(9))
+    for nbr in range(1, DISJOINT_ENTITIES + 1):
+        database.execute(f"Insert account(nbr := {nbr}, balance := 0,"
+                         f" {pads})")
+    database.store.pool.resize(DISJOINT_POOL_FRAMES)
+    database.store.disk.read_latency = DISJOINT_READ_LATENCY
+    database.cold_cache()
+
+    slices = [list(range(i + 1, DISJOINT_ENTITIES + 1, sessions))
+              for i in range(sessions)]
+    ledgers = [[] for _ in range(sessions)]
+    errors = []
+
+    def client(index):
+        session = Session(database, entity_locks=entity_locks,
+                          lock_timeout=60.0)
+        rng = random.Random(9000 + index)
+        try:
+            for _ in range(transactions):
+                nbr = rng.choice(slices[index])
+                delta = rng.randint(1, 5)
+                session.execute(f"Modify account(balance := balance +"
+                                f" {delta}) Where nbr = {nbr}")
+                session.commit()
+                ledgers[index].append((nbr, delta))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(sessions)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+
+    expected = {}
+    for ledger in ledgers:
+        for nbr, delta in ledger:
+            expected[nbr] = expected.get(nbr, 0) + delta
+    oracle_ok = True
+    for nbr in range(1, DISJOINT_ENTITIES + 1):
+        stored = database.query(f"From account Retrieve balance"
+                                f" Where nbr = {nbr}").scalar()
+        if stored != expected.get(nbr, 0):
+            oracle_ok = False
+    committed = sum(len(ledger) for ledger in ledgers)
+    stats = database._lock_manager.statistics()
+    return {
+        "entity_locks": entity_locks,
+        "transactions_offered": sessions * transactions,
+        "committed": committed,
+        "wall_s": wall,
+        "txns_per_s": committed / wall if wall else 0.0,
+        "deadlocks": stats["deadlocks"],
+        "timeouts": stats["timeouts"],
+        "lock_waits": stats["waits"],
+        "tracked_keys": stats["tracked_keys"],
+        "oracle_ok": oracle_ok,
+        "check_ok": bool(database.check().ok),
+    }
+
+
+def _measure_disjoint(session_counts, transactions: int) -> dict:
+    """Sweep the entity-granular disjoint workload across session
+    counts, then pit the max-session cell against the same workload at
+    class granularity (``entity_locks=False``) — the serialization the
+    entity locks exist to remove."""
+    cells = {}
+    for sessions in session_counts:
+        cells[str(sessions)] = _disjoint_run(sessions, transactions,
+                                             entity_locks=True)
+    top = max(session_counts)
+    baseline = _disjoint_run(top, transactions, entity_locks=False)
+    entity_rate = cells[str(top)]["txns_per_s"]
+    baseline_rate = baseline["txns_per_s"]
+    return {
+        "entities": DISJOINT_ENTITIES,
+        "pool_frames": DISJOINT_POOL_FRAMES,
+        "read_latency_us": DISJOINT_READ_LATENCY * 1e6,
+        "sessions": cells,
+        "class_granularity_baseline": baseline,
+        "oracle_ok": all(cell["oracle_ok"]
+                         for cell in cells.values()) and
+        baseline["oracle_ok"],
+        "speedup_vs_class_granularity": (entity_rate / baseline_rate
+                                         if baseline_rate else 0.0),
+    }
+
+
 # ----------------------------------------------------------------- entry point
 
 def measure_concurrency(entities: int = 10_000, chain_depth: int = 3,
@@ -228,23 +367,33 @@ def measure_concurrency(entities: int = 10_000, chain_depth: int = 3,
     """The numbers ``BENCH_concurrency.json`` records."""
     reads = _measure_reads(entities, chain_depth, session_counts, rounds)
     contention = _measure_contention(session_counts, transactions)
+    # The disjoint cell always includes the 8-session point: that is
+    # where its speedup gate is anchored, smoke lane included.
+    disjoint_counts = tuple(sorted(set(session_counts) | {8}))
+    disjoint = _measure_disjoint(disjoint_counts, transactions)
     speedup_at_4 = (reads["sessions"]["4"]["speedup"]
                     if "4" in reads["sessions"] else None)
     return {
         "session_counts": list(session_counts),
         "reads": reads,
         "contention": contention,
+        "disjoint": disjoint,
         "rows_identical": reads["rows_identical"],
-        "oracle_ok": contention["oracle_ok"],
+        "oracle_ok": contention["oracle_ok"] and disjoint["oracle_ok"],
         "read_speedup_at_4": speedup_at_4,
         "min_read_speedup_at_4": MIN_READ_SPEEDUP_AT_4,
+        "disjoint_speedup": disjoint["speedup_vs_class_granularity"],
+        "min_disjoint_speedup_at_8": MIN_DISJOINT_SPEEDUP_AT_8,
     }
 
 
 def test_e19_concurrency_smoke(benchmark):
-    """The CI lane: small scale, sessions {1, 4} — row identity across
-    sessions plus the committed-prefix oracle.  The throughput bound is
-    ``make bench-concurrency``'s gate, not CI's."""
+    """The CI lane: small scale, sessions {1, 4} for reads/contention —
+    row identity across sessions plus the committed-prefix oracles —
+    and the full 8-session disjoint-entity cell with its gate: entity-
+    granularity throughput >= MIN_DISJOINT_SPEEDUP_AT_8 x the class-
+    granularity baseline.  The read-scaling bound is ``make
+    bench-concurrency``'s gate, not CI's."""
     measured = measure_concurrency(entities=2_000, session_counts=(1, 4),
                                    rounds=1, transactions=10)
 
@@ -255,10 +404,24 @@ def test_e19_concurrency_smoke(benchmark):
         assert cell["committed"] + cell["aborted"] == \
             cell["transactions_offered"]
 
+    disjoint = measured["disjoint"]
+    assert disjoint["oracle_ok"]
+    for cell in disjoint["sessions"].values():
+        assert cell["check_ok"]
+        assert cell["committed"] == cell["transactions_offered"]
+        # Entity-granular writers over disjoint entities never conflict.
+        assert cell["deadlocks"] == 0
+        assert cell["timeouts"] == 0
+        assert cell["tracked_keys"] == 0
+    assert disjoint["speedup_vs_class_granularity"] \
+        >= MIN_DISJOINT_SPEEDUP_AT_8
+
     benchmark(lambda: None)
     attach(benchmark,
            rows_identical=measured["rows_identical"],
            oracle_ok=measured["oracle_ok"],
            read_speedup_at_4=round(measured["read_speedup_at_4"], 2),
            contended_txns_per_s_at_4=round(
-               measured["contention"]["sessions"]["4"]["txns_per_s"], 1))
+               measured["contention"]["sessions"]["4"]["txns_per_s"], 1),
+           disjoint_speedup_at_8=round(
+               disjoint["speedup_vs_class_granularity"], 2))

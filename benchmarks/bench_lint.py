@@ -63,7 +63,7 @@ SEEDED_CONCURRENCY_DEFECTS = [
     ("SIM301", "buffer.py",
      "def pin(self):\n"
      "    with self._lock:\n"          # storage.buffer, rank 10
-     "        with store.write_mutex:\n"  # rank 40: inversion
+     "        with store.commit_latch:\n"  # rank 36: inversion
      "            pass\n"),
     ("SIM302", "server.py",
      "def reply(self):\n"

@@ -41,10 +41,13 @@ the same measurement at 10^4 entities for CI.
 
 ``--concurrency`` runs the E19 multi-session measurement and writes
 ``BENCH_concurrency.json`` (snapshot-read statements/sec and latency
-histograms at 1/4/8 sessions with row-identical verification, plus
+histograms at 1/4/8 sessions with row-identical verification,
 contended write throughput with deadlock counts and the
-committed-prefix oracle).  ``--concurrency-smoke`` is the reduced CI
-lane (row identity + oracle, no throughput bound).
+committed-prefix oracle, plus the disjoint-entity write cell: 8
+sessions updating disjoint entities of one class must commit at >= 2x
+the class-granularity baseline with zero lock conflicts).
+``--concurrency-smoke`` is the reduced CI lane (row identity + both
+oracles + the disjoint-entity gate; no read-throughput bound).
 """
 
 from __future__ import annotations
@@ -237,10 +240,13 @@ def write_concurrency_report(out_path: str, smoke: bool = False) -> int:
         for sessions, cell in measured["reads"]["sessions"].items())
     contended = measured["contention"]["sessions"]
     deadlocks = sum(cell["deadlocks"] for cell in contended.values())
+    disjoint = measured["disjoint"]
     print(f"wrote {out_path}: snapshot reads {rates}; "
           f"contended commits at max sessions "
           f"{list(contended.values())[-1]['txns_per_s']:.1f} txns/s, "
-          f"{deadlocks} deadlocks resolved, "
+          f"{deadlocks} deadlocks resolved; disjoint-entity writers "
+          f"{measured['disjoint_speedup']:.2f}x the class-granularity "
+          f"baseline at 8 sessions; "
           f"rows identical: {measured['rows_identical']}, "
           f"oracle ok: {measured['oracle_ok']}")
     if not measured["rows_identical"]:
@@ -250,6 +256,18 @@ def write_concurrency_report(out_path: str, smoke: bool = False) -> int:
     if not measured["oracle_ok"]:
         print("FAIL: committed-prefix oracle violated under contention",
               file=sys.stderr)
+        return 1
+    disjoint_conflicts = sum(
+        cell["deadlocks"] + cell["timeouts"]
+        for cell in disjoint["sessions"].values())
+    if disjoint_conflicts:
+        print("FAIL: disjoint-entity writers hit lock conflicts — "
+              "entity granularity is not isolating them", file=sys.stderr)
+        return 1
+    if measured["disjoint_speedup"] < measured["min_disjoint_speedup_at_8"]:
+        print("FAIL: disjoint-entity throughput at 8 sessions below "
+              f"{measured['min_disjoint_speedup_at_8']:.1f}x the "
+              "class-granularity baseline", file=sys.stderr)
         return 1
     if (not smoke and measured["read_speedup_at_4"] is not None
             and measured["read_speedup_at_4"]

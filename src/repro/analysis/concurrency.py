@@ -68,7 +68,7 @@ def _noqa_lines(source: str) -> Dict[int, Set[str]]:
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
-    """``self._lock`` / ``store.write_mutex`` as a dotted string, else
+    """``self._lock`` / ``store.commit_latch`` as a dotted string, else
     None for anything that is not a simple attribute chain."""
     parts: List[str] = []
     while isinstance(node, ast.Attribute):

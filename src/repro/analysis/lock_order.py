@@ -10,10 +10,13 @@ engine, shared by two consumers:
 
 The hierarchy (low rank = innermost / leaf, high rank = outermost)::
 
-    storage.buffer        (10)   BufferPool._lock
+    storage.wal           ( 6)   WriteAheadLog._mutex
+      < storage.buffer    (10)   BufferPool._lock
       < mapper.read_cache (20)   ReadCache._lock
       < mapper.versions   (30)   VersionManager._mutex
-      < store.write_mutex (40)   MapperStore.write_mutex
+      < store.commit_latch (36)  MapperStore.commit_latch
+      < store.surrogates  (38)   MapperStore._surrogate_mutex
+      < store.unit_latch  (42)   RecordFile.latch (one per storage unit)
       < sessions.class_locks (50)  LockManager._mutex/_cond
       < storage.transactions (60)  TransactionManager._mutex
       < server.connections (70)  SimServer._conn_lock/_drained
@@ -22,17 +25,24 @@ The hierarchy (low rank = innermost / leaf, high rank = outermost)::
 
 The rule enforced at runtime is **descending acquisition**: a thread
 holding a ranked lock may only acquire locks of *strictly lower* rank
-(re-entrant re-acquisition of the same lock object is exempt).  Two
-deliberate release points keep the runtime edge set acyclic:
+(re-entrant re-acquisition of the same lock object is exempt).  Notes
+that keep the runtime edge set acyclic:
 
-* ``Session._execute_locked`` finishes all class-lock traffic (rank 50,
-  condition released between grants) *before* entering
-  ``store.write_mutex`` (rank 40), so 50 is never held across 40's
-  acquisition;
+* ``Session._execute_locked`` finishes all class/entity-lock traffic
+  (rank 50, condition released between grants) *before* any store
+  mutation acquires a unit latch (rank 42), so 50 is never held across
+  42's acquisition;
+* unit latches are **leaf-per-operation**: a store mutator latches the
+  single storage unit it writes and releases before the next mutator
+  runs, so two unit latches (same rank 42) are never nested — equal
+  rank would trip lockdep, which is exactly the guard we want;
+* the commit latch (36) is only taken by ``Session.commit`` with no
+  unit latch held; inside it the commit path reaches versions (30),
+  the pool (10) and the WAL (6) — all strictly descending;
 * ``TransactionManager`` only takes its mutex (rank 60) in
-  ``begin``/``begin_detached`` — commit/abort bodies are serialized by
-  ``store.write_mutex`` instead, so 60 is only ever acquired with an
-  empty stack.
+  ``begin``/``begin_detached`` with an empty stack; commit bodies are
+  serialized by ``store.commit_latch`` and abort/undo replay by the
+  session's exclusive locks plus per-unit latches.
 """
 
 from __future__ import annotations
@@ -44,10 +54,13 @@ from typing import Dict, Optional, Tuple
 #: lock-class name -> rank.  A thread holding rank R may only acquire
 #: locks of rank strictly below R (descending acquisition).
 LOCK_RANKS: Dict[str, int] = {
+    "storage.wal": 6,
     "storage.buffer": 10,
     "mapper.read_cache": 20,
     "mapper.versions": 30,
-    "store.write_mutex": 40,
+    "store.commit_latch": 36,
+    "store.surrogates": 38,
+    "store.unit_latch": 42,
     "sessions.class_locks": 50,
     "storage.transactions": 60,
     "server.connections": 70,
@@ -66,12 +79,14 @@ def rank_of(name: str) -> Optional[int]:
 #: module basename -> {attribute expression suffix -> lock-class name}.
 #: The static linter resolves ``with self._lock:`` in buffer.py to the
 #: ``storage.buffer`` rank via this table; attribute expressions are
-#: matched on their dotted suffix (``self._lock``, ``store.write_mutex``).
+#: matched on their dotted suffix (``self._lock``, ``store.commit_latch``).
 LOCK_SITES: Dict[str, Dict[str, str]] = {
+    "wal.py": {"self._mutex": "storage.wal"},
     "buffer.py": {"self._lock": "storage.buffer"},
     "read_cache.py": {"self._lock": "mapper.read_cache"},
     "versions.py": {"self._mutex": "mapper.versions"},
-    "store.py": {"self.write_mutex": "store.write_mutex"},
+    "store.py": {"self.commit_latch": "store.commit_latch",
+                 "self._surrogate_mutex": "store.surrogates"},
     "sessions.py": {"self._mutex": "sessions.class_locks",
                     "self._cond": "sessions.class_locks"},
     "transactions.py": {"self._mutex": "storage.transactions"},
@@ -82,17 +97,20 @@ LOCK_SITES: Dict[str, Dict[str, str]] = {
 }
 
 #: attribute suffixes that resolve to a lock class from ANY module
-#: (cross-module references like ``with store.write_mutex:``).
+#: (cross-module references like ``with store.commit_latch:`` or a
+#: record file's ``with unit.latch:``).
 GLOBAL_LOCK_SITES: Dict[str, str] = {
-    "write_mutex": "store.write_mutex",
+    "commit_latch": "store.commit_latch",
+    "latch": "store.unit_latch",
 }
 
 #: classes whose instances are mutated from multiple threads: SIM303
 #: flags writes to their instance state outside a guarding ``with`` on a
 #: lock (``__init__`` is exempt — instances are published after
 #: construction).  TransactionManager and Disk are deliberately absent:
-#: their mutation paths are serialized by ``store.write_mutex`` /
-#: ``BufferPool._lock`` above them rather than by their own mutexes.
+#: their mutation paths are serialized by the commit latch / exclusive
+#: session locks / ``BufferPool._lock`` above them rather than by their
+#: own mutexes.
 THREADED_CLASSES = frozenset({
     "LockManager",
     "BufferPool",
@@ -105,7 +123,7 @@ THREADED_CLASSES = frozenset({
 #: module basenames whose module-level ``global`` writes SIM303 checks.
 THREADED_MODULES = frozenset({
     "sessions.py", "buffer.py", "read_cache.py", "versions.py",
-    "server.py", "transactions.py", "store.py", "parallel.py",
+    "server.py", "transactions.py", "store.py", "parallel.py", "wal.py",
 })
 
 #: blocking-call table for SIM302: method name -> substrings that mark a

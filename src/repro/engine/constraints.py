@@ -24,6 +24,7 @@ leaves the null case unspecified).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Set
 
 from repro.errors import ConstraintViolation
@@ -147,45 +148,63 @@ class ConstraintManager:
         self.checks_skipped = 0
         self._deferred_keys: Set[tuple] = set()
         self._deferred_entities: Set[int] = set()
+        # Plain leaf lock: one ConstraintManager is shared by every
+        # concurrent session, so the deferred sets and counters need a
+        # guard.  Nothing is ever acquired while holding it.
+        self._state_lock = threading.Lock()
 
     # -- Statement / commit hooks ------------------------------------------------
 
-    def after_statement(self, touches) -> None:
+    def after_statement(self, touches, executor=None) -> None:
+        """Re-check constraints triggered by one statement's touches.
+
+        ``executor`` — optional per-statement executor to evaluate the
+        assertions on; concurrent sessions pass their private executor so
+        shared memo state is never raced (defaults to the manager's own).
+        """
         if self.mode == "off" or not self.compiled:
             return
         if self.mode == "deferred":
-            self._deferred_keys |= touches.keys
-            self._deferred_entities |= touches.entities
+            with self._state_lock:
+                self._deferred_keys |= touches.keys
+                self._deferred_entities |= touches.entities
             return
-        self._check(touches.keys, touches.entities)
+        self._check(touches.keys, touches.entities, executor)
 
-    def before_commit(self) -> None:
+    def before_commit(self, executor=None) -> None:
         if self.mode != "deferred":
             return
-        keys, entities = self._deferred_keys, self._deferred_entities
-        self._deferred_keys, self._deferred_entities = set(), set()
-        self._check(keys, entities)
+        with self._state_lock:
+            keys, entities = self._deferred_keys, self._deferred_entities
+            self._deferred_keys, self._deferred_entities = set(), set()
+        self._check(keys, entities, executor)
 
     def reset_deferred(self) -> None:
-        self._deferred_keys.clear()
-        self._deferred_entities.clear()
+        with self._state_lock:
+            self._deferred_keys.clear()
+            self._deferred_entities.clear()
 
     # -- Checking -------------------------------------------------------------------
 
-    def _check(self, keys: Set[tuple], entities: Set[int]) -> None:
+    def _check(self, keys: Set[tuple], entities: Set[int],
+               executor=None) -> None:
+        executor = executor if executor is not None else self.executor
         for compiled in self.compiled:
             if not compiled.triggered_by(keys):
-                self.checks_skipped += 1
+                with self._state_lock:
+                    self.checks_skipped += 1
                 continue
             perspective = compiled.constraint.class_name
             candidates = self._propagate(compiled, entities)
             for surrogate in sorted(candidates):
                 if not self.store.has_role(surrogate, perspective):
                     continue
-                self.checks_run += 1
-                holds = self.executor.predicate_holds(
+                with self._state_lock:
+                    self.checks_run += 1
+                holds = executor.predicate_holds(
                     compiled.tree, compiled.expression, surrogate)
-                if not holds and not self._unknown(compiled, surrogate):
+                if not holds and not self._unknown(compiled, surrogate,
+                                                   executor):
                     raise ConstraintViolation(
                         compiled.constraint.name,
                         compiled.constraint.else_message)
@@ -231,9 +250,11 @@ class ConstraintManager:
                 break
         return candidates
 
-    def _unknown(self, compiled: _CompiledConstraint, surrogate: int) -> bool:
+    def _unknown(self, compiled: _CompiledConstraint, surrogate: int,
+                 executor=None) -> bool:
         """True when the assertion is UNKNOWN (nulls) rather than false —
         unknown passes, as in SQL CHECK."""
+        executor = executor if executor is not None else self.executor
         root = compiled.tree.roots[0]
         env = {root.id: surrogate}
         # With TYPE 2 subtrees, existential failure counts as false only if
@@ -241,7 +262,7 @@ class ConstraintManager:
         # when the tree is flat.
         if any(root.children.values()):
             return False
-        truth = self.executor.evaluator.truth(compiled.expression, env)
+        truth = executor.evaluator.truth(compiled.expression, env)
         from repro.types.tvl import UNKNOWN
         return truth is UNKNOWN
 

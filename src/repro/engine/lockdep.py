@@ -2,7 +2,7 @@
 
 Linux-kernel-style lock dependency checking for the engine's own
 mutexes.  Every :class:`RankedLock` belongs to a named *lock class*
-(``"storage.buffer"``, ``"store.write_mutex"``, …) whose rank comes from
+(``"storage.buffer"``, ``"store.commit_latch"``, …) whose rank comes from
 the declared hierarchy in :mod:`repro.analysis.lock_order`.  On each
 acquisition the checker consults the per-thread stack of held locks and
 

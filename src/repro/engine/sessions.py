@@ -4,17 +4,23 @@ The paper's SIM leans on DMSII for concurrent transactions (§1: SIM is
 "capable of supporting commercial application systems ... that require
 very high transaction processing rates").  This module supplies the
 substrate's equivalent: multiple *sessions* over one database — now from
-concurrent threads — isolated by strict two-phase locking at class
-granularity, with MVCC snapshot isolation for Retrieves:
+concurrent threads — isolated by strict two-phase locking with
+**multi-granularity** (class + entity) locks, plus MVCC snapshot
+isolation for Retrieves:
 
-* an update takes exclusive locks on the statement class and every class
-  its cascades can reach (subclasses, EVA partners), held until
-  COMMIT/ABORT (strict 2PL);
-* a conflicting request *blocks* on a condition variable until the
-  holder releases, the configurable timeout expires
-  (:class:`LockTimeout`), or waits-for-graph cycle detection picks a
-  deadlock victim (:class:`DeadlockError` — the youngest session in the
-  cycle, deterministically);
+* a Modify/Delete whose qualification names specific entities takes an
+  *intention-exclusive* (IX) lock on the class and exclusive (X) locks
+  on just those entities, keyed ``(class, surrogate)`` — so two
+  sessions updating **disjoint entities of one class** no longer
+  serialize.  Inserts, cascading deletes, unqualified updates and EVA
+  assignments fall back to a class-level X lock, which the IX locks
+  make mutually exclusive with every entity-granular writer;
+* all locks are held until COMMIT/ABORT (strict 2PL); a conflicting
+  request *blocks* on a condition variable until the holder releases,
+  the configurable timeout expires (:class:`LockTimeout`), or
+  waits-for-graph cycle detection picks a deadlock victim
+  (:class:`DeadlockError` — the youngest session in the cycle,
+  deterministically);
 * a session aborted as a deadlock victim while opening a fresh
   transaction is retried automatically with bounded, seeded backoff
   (the shape of :class:`repro.storage.faults.RetryPolicy`);
@@ -22,8 +28,25 @@ granularity, with MVCC snapshot isolation for Retrieves:
   epoch and reads pre-image version chains
   (:mod:`repro.mapper.versions`), so readers never block writers and
   writers never block readers.  ``Session(db, mvcc=False)`` restores
-  shared-lock Retrieves, and ``lock_timeout=0`` restores the legacy
-  fail-fast behavior (immediate :class:`LockConflict`).
+  shared-lock Retrieves (which run on a private executor and take no
+  store latch, so two shared-lock readers overlap), and
+  ``lock_timeout=0`` restores the legacy fail-fast behavior (immediate
+  :class:`LockConflict`).
+
+Statement execution no longer funnels through a store-wide write mutex:
+each store mutator takes the short per-unit latch of the single storage
+unit it writes (``RecordFile.latch``), and only the commit point — the
+MVCC epoch bump plus the WAL commit record — runs under the store's
+``commit_latch``.  Two entity-granular writers to one class therefore
+interleave between record operations; their lock sets guarantee the
+operations themselves touch different records.
+
+Entity-granular qualification is resolved *before* the locks are taken
+(a latch-free read), so the resolved set is only a hint: execution
+re-runs the qualification under the locks and restricts the statement
+to the intersection.  An entity that started matching after resolution
+is skipped (it was never locked); one that stopped matching is simply
+not touched.
 
 Example::
 
@@ -38,6 +61,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import threading
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -49,6 +73,7 @@ from repro.dml.ast import (
 )
 from repro.dml.parser import parse_dml
 from repro.engine.lockdep import RankedCondition, RankedLock
+from repro.engine.updates import UpdateEngine
 from repro.errors import SimError
 
 
@@ -70,29 +95,87 @@ class DeadlockError(LockConflict):
 #: even if a notify is lost to timing
 _WAIT_SLICE = 0.1
 
+#: held mode -> requested modes it already satisfies
+_COVERS: Dict[str, frozenset] = {
+    "IS": frozenset({"IS"}),
+    "IX": frozenset({"IS", "IX"}),
+    "S": frozenset({"IS", "S"}),
+    "SIX": frozenset({"IS", "IX", "S", "SIX"}),
+    "X": frozenset({"IS", "IX", "S", "SIX", "X"}),
+}
+
+#: requested mode -> held modes (of OTHER sessions) compatible with it —
+#: the classic multi-granularity compatibility matrix (Gray et al.)
+_COMPAT: Dict[str, frozenset] = {
+    "IS": frozenset({"IS", "IX", "S", "SIX"}),
+    "IX": frozenset({"IS", "IX"}),
+    "S": frozenset({"IS", "S"}),
+    "SIX": frozenset({"IS"}),
+    "X": frozenset(),
+}
+
+#: internal mode -> introspection name
+_MODE_NAMES: Dict[str, str] = {
+    "IS": "intention-shared",
+    "IX": "intention-exclusive",
+    "S": "shared",
+    "SIX": "shared-intention-exclusive",
+    "X": "exclusive",
+}
+
+
+def _combine(held: str, requested: str) -> str:
+    """Least mode at least as strong as both (the upgrade lattice)."""
+    if held == requested:
+        return held
+    pair = {held, requested}
+    if "X" in pair:
+        return "X"
+    if "SIX" in pair or pair == {"IX", "S"}:
+        return "SIX"
+    if pair == {"IS", "IX"}:
+        return "IX"
+    return "S"      # {IS, S}
+
+
+def _key_label(key) -> str:
+    if isinstance(key, tuple):
+        return f"entity {key[1]} of class {key[0]!r}"
+    return f"class {key!r}"
+
 
 class LockManager:
-    """Blocking shared/exclusive locks at class granularity.
+    """Blocking multi-granularity locks: classes and single entities.
 
-    One mutex + condition covers all classes: lock traffic is a few
-    acquisitions per statement, so a global condition with
-    ``notify_all`` on every release is simpler than per-class queues
+    Lock keys are either a class name (``str``) or an entity key
+    ``(class_name, surrogate)``; each key maps to the sessions holding
+    it and their modes.  One mutex + condition covers all keys: lock
+    traffic is a few acquisitions per statement, so a global condition
+    with ``notify_all`` on every release is simpler than per-key queues
     and plenty fast.  Deadlocks are resolved by detection, not timeout:
     every time a session is about to wait, it searches the waits-for
     graph for a cycle through itself and dooms the *youngest* session
     in the cycle (largest session id — deterministic under a fixed
     arrival order, and the youngest has the least work to redo).
+
+    Compatibility is checked per key only: the multi-granularity
+    protocol (take IX on the class before X on one of its entities)
+    is what makes a class-level X block entity-level writers and vice
+    versa.
     """
 
     def __init__(self, default_timeout: float = 10.0):
-        # Rank 50: class-lock traffic completes (and the condition is
-        # released) before a session enters store.write_mutex (rank 40).
+        # Rank 50: class/entity-lock traffic completes (and the
+        # condition is released) before a statement's store mutations
+        # take any per-unit latch (rank 42).
         self._mutex = RankedLock("sessions.class_locks")
         self._cond = RankedCondition(self._mutex)
-        self._shared: Dict[str, Set[int]] = {}
-        self._exclusive: Dict[str, int] = {}
-        #: sessions currently blocked: sid -> (class, mode)
-        self._waits: Dict[int, Tuple[str, str]] = {}
+        #: lock key -> {session id -> held mode}; entries are pruned as
+        #: soon as their last holder releases, so the map stays bounded
+        #: by the *live* lock population, not by every key ever touched
+        self._holders: Dict[object, Dict[int, str]] = {}
+        #: sessions currently blocked: sid -> (key, mode)
+        self._waits: Dict[int, Tuple[object, str]] = {}
         #: deadlock victims that must abort at their next wakeup
         self._doomed: Set[int] = set()
         self.default_timeout = default_timeout
@@ -104,19 +187,25 @@ class LockManager:
 
     def acquire_shared(self, session_id: int, class_name: str,
                        timeout: Optional[float] = None) -> str:
-        """Take (or keep) a shared lock; returns the grant kind —
-        ``"held"`` (already sufficient), ``"new"``, or ``"upgraded"`` —
-        for :meth:`rollback` bookkeeping."""
-        return self._acquire(session_id, class_name, "shared", timeout)
+        """Take (or keep) a class-level shared lock; returns the grant
+        kind — ``"held"`` (already sufficient), ``"new"``, or
+        ``"upgraded"`` — for :meth:`rollback` bookkeeping."""
+        return self.acquire(session_id, class_name, "S", timeout)[0]
 
     def acquire_exclusive(self, session_id: int, class_name: str,
                           timeout: Optional[float] = None) -> str:
-        """Take (or upgrade to) an exclusive lock; returns the grant
-        kind as in :meth:`acquire_shared`."""
-        return self._acquire(session_id, class_name, "exclusive", timeout)
+        """Take (or upgrade to) a class-level exclusive lock; returns
+        the grant kind as in :meth:`acquire_shared`."""
+        return self.acquire(session_id, class_name, "X", timeout)[0]
 
-    def _acquire(self, session_id: int, class_name: str, mode: str,
-                 timeout: Optional[float]) -> str:
+    def acquire(self, session_id: int, key, mode: str,
+                timeout: Optional[float] = None
+                ) -> Tuple[str, Optional[str]]:
+        """Take (or strengthen to) ``mode`` on ``key``; returns
+        ``(grant, previous_mode)`` — the pair :meth:`rollback` needs to
+        undo a partial statement exactly."""
+        if mode not in _COMPAT:
+            raise SimError(f"unknown lock mode {mode!r}")
         if timeout is None:
             timeout = self.default_timeout
         deadline = time.monotonic() + timeout if timeout > 0 else None
@@ -130,25 +219,25 @@ class LockManager:
                         self._doomed.discard(session_id)
                         raise DeadlockError(
                             f"session {session_id} chosen as deadlock "
-                            f"victim while locking class {class_name!r}")
-                    blockers = self._blockers(session_id, class_name, mode)
+                            f"victim while locking {_key_label(key)}")
+                    blockers = self._blockers(session_id, key, mode)
                     if not blockers:
-                        return self._grant(session_id, class_name, mode)
+                        return self._grant(session_id, key, mode)
                     if timeout == 0:
                         # Legacy fail-fast mode: no waiting, no wait-graph.
                         raise LockConflict(
-                            self._conflict_message(class_name, blockers))
+                            self._conflict_message(key, blockers))
                     if not waited:
                         waited = True
                         self.waits += 1
-                    self._waits[session_id] = (class_name, mode)
+                    self._waits[session_id] = (key, mode)
                     victim = self._find_victim(session_id)
                     if victim is not None:
                         self.deadlocks += 1
                         if victim == session_id:
                             raise DeadlockError(
                                 f"session {session_id} chosen as deadlock "
-                                f"victim while locking class {class_name!r}")
+                                f"victim while locking {_key_label(key)}")
                         self._doomed.add(victim)
                         self._cond.notify_all()
                         continue
@@ -157,55 +246,53 @@ class LockManager:
                         self.timeouts += 1
                         raise LockTimeout(
                             f"session {session_id} timed out after "
-                            f"{timeout:.3g}s waiting for class "
-                            f"{class_name!r} "
-                            f"({self._conflict_message(class_name, blockers)})")
+                            f"{timeout:.3g}s waiting for "
+                            f"{_key_label(key)} "
+                            f"({self._conflict_message(key, blockers)})")
                     # Predicate-loop wait (SIM304): a spurious wakeup —
-                    # or a notify_all meant for another class — must not
+                    # or a notify_all meant for another key — must not
                     # fall through to the grant check with stale state;
                     # wait_for re-evaluates under the lock until the
                     # session is doomed, unblocked, or the slice expires.
                     self._cond.wait_for(
                         lambda: session_id in self._doomed
-                        or not self._blockers(session_id, class_name,
-                                              mode),
+                        or not self._blockers(session_id, key, mode),
                         timeout=min(remaining, _WAIT_SLICE))
             finally:
                 self._waits.pop(session_id, None)
 
-    def _blockers(self, session_id: int, class_name: str,
-                  mode: str) -> Set[int]:
-        """Sessions whose holdings are incompatible with the request."""
-        blockers: Set[int] = set()
-        holder = self._exclusive.get(class_name)
-        if holder is not None and holder != session_id:
-            blockers.add(holder)
-        if mode == "exclusive":
-            blockers |= self._shared.get(class_name, set()) - {session_id}
-        return blockers
+    def _blockers(self, session_id: int, key, mode: str) -> Set[int]:
+        """Sessions whose holdings on ``key`` are incompatible."""
+        holders = self._holders.get(key)
+        if not holders:
+            return set()
+        compatible = _COMPAT[mode]
+        return {sid for sid, held in holders.items()
+                if sid != session_id and held not in compatible}
 
-    def _grant(self, session_id: int, class_name: str, mode: str) -> str:
-        readers = self._shared.setdefault(class_name, set())
-        if mode == "shared":
-            if (session_id in readers
-                    or self._exclusive.get(class_name) == session_id):
-                return "held"
-            readers.add(session_id)
-            return "new"
-        if self._exclusive.get(class_name) == session_id:
-            return "held"
-        grant = "upgraded" if session_id in readers else "new"
-        self._exclusive[class_name] = session_id
-        readers.add(session_id)
-        return grant
+    def _grant(self, session_id: int, key, mode: str
+               ) -> Tuple[str, Optional[str]]:
+        holders = self._holders.setdefault(key, {})
+        previous = holders.get(session_id)
+        if previous is not None and mode in _COVERS[previous]:
+            return "held", previous
+        holders[session_id] = _combine(previous, mode) \
+            if previous is not None else mode
+        return ("upgraded" if previous is not None else "new"), previous
 
-    def _conflict_message(self, class_name: str, blockers: Set[int]) -> str:
-        holder = self._exclusive.get(class_name)
-        if holder is not None and holder in blockers:
-            return (f"class {class_name!r} is write-locked by session "
-                    f"{holder}")
-        return (f"class {class_name!r} is read-locked by sessions "
-                f"{sorted(blockers)}")
+    def _conflict_message(self, key, blockers: Set[int]) -> str:
+        holders = self._holders.get(key, {})
+        label = _key_label(key)
+        writer = next((sid for sid in sorted(blockers)
+                       if holders.get(sid) == "X"), None)
+        if writer is not None:
+            return f"{label} is write-locked by session {writer}"
+        if all(holders.get(sid) in ("S", "IS") for sid in blockers):
+            return f"{label} is read-locked by sessions {sorted(blockers)}"
+        modes = ", ".join(
+            f"{sid}:{_MODE_NAMES.get(holders.get(sid), '?')}"
+            for sid in sorted(blockers))
+        return f"{label} is locked by sessions [{modes}]"
 
     # -- Deadlock detection ------------------------------------------------------
 
@@ -216,10 +303,10 @@ class LockManager:
         already broken (and would otherwise be re-counted every wait
         slice)."""
         graph: Dict[int, List[int]] = {}
-        for sid, (class_name, mode) in self._waits.items():
+        for sid, (key, mode) in self._waits.items():
             if sid in self._doomed:
                 continue
-            blockers = self._blockers(sid, class_name, mode) - self._doomed
+            blockers = self._blockers(sid, key, mode) - self._doomed
             if blockers:
                 graph[sid] = sorted(blockers)
         path = [start]
@@ -247,54 +334,95 @@ class LockManager:
 
     def release_all(self, session_id: int) -> None:
         with self._cond:
-            for readers in self._shared.values():
-                readers.discard(session_id)
-            for class_name in [c for c, holder in self._exclusive.items()
-                               if holder == session_id]:
-                del self._exclusive[class_name]
+            for key in [k for k, holders in self._holders.items()
+                        if session_id in holders]:
+                holders = self._holders[key]
+                del holders[session_id]
+                if not holders:
+                    # Prune, or the map grows one empty entry per key
+                    # ever locked (entity keys would make that unbounded).
+                    del self._holders[key]
             self._doomed.discard(session_id)
             self._cond.notify_all()
 
-    def rollback(self, session_id: int,
-                 acquisitions: List[Tuple[str, str]]) -> None:
+    def rollback(self, session_id: int, acquisitions: List[tuple]) -> None:
         """Undo a statement's partial lock acquisition after a mid-
         statement error: new locks are dropped, upgrades are demoted
-        back to shared, pre-held locks are untouched."""
+        back to the mode held before, pre-held locks are untouched.
+
+        Accepts the 3-tuples ``(key, grant, previous_mode)`` that
+        :meth:`acquire` hands back, and — for older callers — legacy
+        2-tuples ``(class_name, grant)``, where an upgrade demotes to
+        shared (the only upgrade the two-mode manager had)."""
         with self._cond:
-            for class_name, grant in reversed(acquisitions):
+            for acquisition in reversed(acquisitions):
+                if len(acquisition) == 2:
+                    key, grant = acquisition
+                    previous = "S"
+                else:
+                    key, grant, previous = acquisition
                 if grant == "held":
                     continue
-                if self._exclusive.get(class_name) == session_id:
-                    del self._exclusive[class_name]
+                holders = self._holders.get(key)
+                if holders is None or session_id not in holders:
+                    continue
                 if grant == "new":
-                    readers = self._shared.get(class_name)
-                    if readers is not None:
-                        readers.discard(session_id)
+                    del holders[session_id]
+                    if not holders:
+                        del self._holders[key]
+                else:       # upgraded
+                    holders[session_id] = previous
             self._cond.notify_all()
 
     # -- Introspection -----------------------------------------------------------
 
     def holdings(self, session_id: int) -> Dict[str, str]:
+        """Class-level holdings, mode names spelled out (``"exclusive"``,
+        ``"intention-exclusive"``, …)."""
         with self._mutex:
-            held = {}
-            for class_name, holder in self._exclusive.items():
-                if holder == session_id:
-                    held[class_name] = "exclusive"
-            for class_name, readers in self._shared.items():
-                if session_id in readers and class_name not in held:
-                    held[class_name] = "shared"
-            return held
+            return {key: _MODE_NAMES[holders[session_id]]
+                    for key, holders in self._holders.items()
+                    if not isinstance(key, tuple)
+                    and session_id in holders}
+
+    def entity_holdings(self, session_id: int
+                        ) -> Dict[Tuple[str, int], str]:
+        """Entity-level holdings: ``(class, surrogate) -> mode name``."""
+        with self._mutex:
+            return {key: _MODE_NAMES[holders[session_id]]
+                    for key, holders in self._holders.items()
+                    if isinstance(key, tuple) and session_id in holders}
 
     def statistics(self) -> Dict[str, int]:
         with self._mutex:
+            class_entries = [(key, holders)
+                             for key, holders in self._holders.items()
+                             if not isinstance(key, tuple)]
             return {
                 "deadlocks": self.deadlocks,
                 "timeouts": self.timeouts,
                 "waits": self.waits,
                 "waiting_now": len(self._waits),
-                "exclusive_held": len(self._exclusive),
-                "shared_held": sum(1 for r in self._shared.values() if r),
+                "exclusive_held": sum(
+                    1 for _, h in class_entries if "X" in h.values()),
+                "shared_held": sum(
+                    1 for _, h in class_entries
+                    if any(m in ("S", "SIX") for m in h.values())),
+                "intention_held": sum(
+                    1 for _, h in class_entries
+                    if any(m in ("IS", "IX", "SIX") for m in h.values())),
+                "entity_exclusive_held": sum(
+                    1 for key, h in self._holders.items()
+                    if isinstance(key, tuple) and "X" in h.values()),
+                "tracked_keys": len(self._holders),
             }
+
+
+#: guards the lazy re-creation of a database's session-id counter and
+#: lock manager (only reachable for Database-like objects built without
+#: __init__'s eager wiring, e.g. test doubles) — two racing first
+#: Sessions must not each install their own LockManager
+_FALLBACK_INIT_LOCK = threading.Lock()
 
 
 class Session:
@@ -303,15 +431,15 @@ class Session:
     Each session owns a transaction that opens lazily at its first
     update statement and closes at :meth:`commit` / :meth:`abort`.
     Sessions are safe to drive from concurrent threads (one thread per
-    session): updates serialize on class locks plus the store's write
-    mutex; MVCC Retrieves run lock-free against a pinned snapshot.
+    session): updates isolate via class/entity locks, store mutations
+    via short per-unit latches; MVCC Retrieves run lock-free against a
+    pinned snapshot.
 
     Parameters
     ----------
     mvcc:
         snapshot-isolated Retrieves (default).  ``False`` restores
-        shared-lock reads — exact legacy semantics, including shared
-        read-cache population.
+        shared-lock reads.
     lock_timeout:
         per-session lock-wait timeout in seconds; ``None`` uses the
         lock manager's default, ``0`` means fail-fast.
@@ -320,23 +448,33 @@ class Session:
         victim (only when that statement opened the transaction — an
         older victim transaction cannot be replayed and the error
         propagates to the caller).
+    entity_locks:
+        lock qualified Modify/Delete statements at entity granularity
+        (default).  ``False`` restores class-granularity exclusive
+        locks for every update — the legacy contention shape.
     """
 
     def __init__(self, database, mvcc: bool = True,
                  lock_timeout: Optional[float] = None,
-                 max_deadlock_retries: int = 3):
+                 max_deadlock_retries: int = 3,
+                 entity_locks: bool = True):
         counter = getattr(database, "_session_ids", None)
-        if counter is None:
-            counter = database._session_ids = itertools.count(1)
+        locks = getattr(database, "_lock_manager", None)
+        if counter is None or locks is None:
+            with _FALLBACK_INIT_LOCK:
+                counter = getattr(database, "_session_ids", None)
+                if counter is None:
+                    counter = database._session_ids = itertools.count(1)
+                locks = getattr(database, "_lock_manager", None)
+                if locks is None:
+                    locks = database._lock_manager = LockManager()
         self.session_id = next(counter)
         self.database = database
-        locks = getattr(database, "_lock_manager", None)
-        if locks is None:
-            locks = database._lock_manager = LockManager()
         self.locks: LockManager = locks
         self.mvcc = mvcc
         self.lock_timeout = lock_timeout
         self.max_deadlock_retries = max_deadlock_retries
+        self.entity_locks = entity_locks
         #: statements replayed after this session lost a deadlock
         self.deadlock_retries = 0
         self._transaction = None
@@ -401,9 +539,9 @@ class Session:
         # deadlock abort loses no prior work and the statement can be
         # replayed automatically.
         fresh = self._transaction is None or not self._transaction.active
-        acquired: List[Tuple[str, str]] = []
+        acquired: List[tuple] = []
         try:
-            self._lock_for(statement, acquired, timeout)
+            restrict = self._lock_for(statement, acquired, timeout)
         except DeadlockError as exc:
             # Victim protocol: abort the WHOLE transaction — the cycle
             # is waiting for locks this session already holds.
@@ -416,14 +554,22 @@ class Session:
             # transaction and its earlier locks survive.
             self.locks.rollback(self.session_id, acquired)
             raise
+        database = self.database
+        store = database.store
         txn = self._ensure_transaction()
-        store = self.database.store
-        with store.write_mutex:
-            with store.transactions.activate(txn):
-                if isinstance(statement, RetrieveQuery):
-                    result = self.database._run_retrieve(statement)
-                else:
-                    result = self.database.updates.execute(statement)
+        # Per-statement executor and engine: no shared memo/evaluator
+        # state between concurrent statements, and — unlike the old
+        # store-wide write mutex — no statement-scope serialization at
+        # all.  Store mutators latch the one unit they write.
+        executor = database._statement_executor()
+        with store.transactions.activate(txn):
+            if isinstance(statement, RetrieveQuery):
+                result = database._run_retrieve(statement,
+                                                executor=executor)
+            else:
+                engine = UpdateEngine(executor,
+                                      constraints=database.constraints)
+                result = engine.execute(statement, restrict_to=restrict)
         self._statements_in_txn += 1
         return result
 
@@ -431,19 +577,24 @@ class Session:
 
     def commit(self) -> None:
         txn = self._transaction
-        store = self.database.store
+        database = self.database
+        store = database.store
         try:
             if txn is not None and txn.active:
-                with store.write_mutex:
-                    with store.transactions.activate(txn):
-                        try:
-                            self.database.constraints.before_commit()
-                        except BaseException:
-                            # A failed deferred-constraint check must not
-                            # leave the transaction open holding locks.
-                            self.database.constraints.reset_deferred()
-                            store.transactions.abort_detached(txn)
-                            raise
+                with store.transactions.activate(txn):
+                    try:
+                        database.constraints.before_commit(
+                            executor=database._statement_executor())
+                    except BaseException:
+                        # A failed deferred-constraint check must not
+                        # leave the transaction open holding locks.
+                        database.constraints.reset_deferred()
+                        store.transactions.abort_detached(txn)
+                        raise
+                    # The commit critical section: the MVCC epoch bump,
+                    # the data-page flush and the WAL commit record move
+                    # as one atomic unit relative to other committers.
+                    with store.commit_latch:
                         store.transactions.commit_detached(txn)
         finally:
             self._transaction = None
@@ -455,10 +606,13 @@ class Session:
         store = self.database.store
         try:
             if txn is not None and txn.active:
-                with store.write_mutex:
-                    with store.transactions.activate(txn):
-                        self.database.constraints.reset_deferred()
-                        store.transactions.abort_detached(txn)
+                # No store-wide section: undo replay goes through the
+                # normal mutators, each latching the unit it restores,
+                # and this session's exclusive locks still cover every
+                # record the transaction touched.
+                with store.transactions.activate(txn):
+                    self.database.constraints.reset_deferred()
+                    store.transactions.abort_detached(txn)
         finally:
             self._transaction = None
             self._statements_in_txn = 0
@@ -466,6 +620,9 @@ class Session:
 
     def holdings(self) -> Dict[str, str]:
         return self.locks.holdings(self.session_id)
+
+    def entity_holdings(self) -> Dict[Tuple[str, int], str]:
+        return self.locks.entity_holdings(self.session_id)
 
     def __enter__(self):
         return self
@@ -486,16 +643,25 @@ class Session:
             self._statements_in_txn = 0
         return self._transaction
 
-    def _lock_for(self, statement, acquired: List[Tuple[str, str]],
-                  timeout: Optional[float]) -> None:
+    def _lock_for(self, statement, acquired: List[tuple],
+                  timeout: Optional[float]) -> Optional[List[int]]:
+        """Acquire this statement's locks; appends ``(key, grant,
+        previous_mode)`` records to ``acquired`` for partial rollback.
+
+        Returns the list of entity-locked surrogates when the statement
+        locked at entity granularity (execution must restrict itself to
+        them), else None (class-level exclusive fallback).
+        """
         schema = self.database.schema
         if isinstance(statement, RetrieveQuery):
             for class_name in self._retrieve_classes(statement):
-                grant = self.locks.acquire_shared(self.session_id,
-                                                  class_name, timeout)
-                acquired.append((class_name, grant))
-            return
+                acquired.append(
+                    (class_name,) + self.locks.acquire(
+                        self.session_id, class_name, "S", timeout))
+            return None
         if isinstance(statement, InsertStatement):
+            # Inserts create entities the qualification cannot name yet
+            # (a phantom by construction): always class-exclusive.
             base = schema.get_class(statement.class_name).base_class_name
             touched = {base, statement.class_name,
                        *schema.graph.insertion_path(base,
@@ -503,12 +669,26 @@ class Session:
             touched |= self._assignment_partners(statement.class_name,
                                                  statement.assignments)
         elif isinstance(statement, ModifyStatement):
+            if (self.entity_locks and statement.where is not None
+                    and not self._assignment_partners(
+                        statement.class_name, statement.assignments)):
+                return self._lock_entities(statement.class_name,
+                                           statement.where, acquired,
+                                           timeout)
             touched = {statement.class_name}
             touched |= self._assignment_partners(statement.class_name,
                                                  statement.assignments)
         elif isinstance(statement, DeleteStatement):
             # Deletion cascades to subclass roles and drops every EVA
-            # instance of the removed roles: lock all partner classes.
+            # instance of the removed roles: entity granularity is only
+            # safe when there is nothing to cascade into.
+            if (self.entity_locks and statement.where is not None
+                    and not schema.graph.descendants(statement.class_name)
+                    and not schema.get_class(
+                        statement.class_name).immediate_evas()):
+                return self._lock_entities(statement.class_name,
+                                           statement.where, acquired,
+                                           timeout)
             touched = {statement.class_name}
             touched.update(schema.graph.descendants(statement.class_name))
             for class_name in list(touched):
@@ -517,9 +697,37 @@ class Session:
         else:
             raise SimError(f"cannot lock for {statement!r}")
         for class_name in sorted(touched):
-            grant = self.locks.acquire_exclusive(self.session_id,
-                                                 class_name, timeout)
-            acquired.append((class_name, grant))
+            acquired.append(
+                (class_name,) + self.locks.acquire(
+                    self.session_id, class_name, "X", timeout))
+        return None
+
+    def _lock_entities(self, class_name: str, where, acquired: List[tuple],
+                       timeout: Optional[float]) -> List[int]:
+        """IX on the class, X on each entity the qualification names.
+
+        Resolution runs latch-free *before* any lock is taken, so it is
+        a hint; the caller re-selects under the locks and intersects.
+        Surrogates are locked in sorted order, so two sessions after
+        overlapping entity sets collide in a deterministic order."""
+        targets = self._resolve_targets(class_name, where)
+        acquired.append(
+            (class_name,) + self.locks.acquire(
+                self.session_id, class_name, "IX", timeout))
+        for surrogate in targets:
+            key = (class_name, surrogate)
+            acquired.append(
+                (key,) + self.locks.acquire(
+                    self.session_id, key, "X", timeout))
+        return targets
+
+    def _resolve_targets(self, class_name: str, where) -> List[int]:
+        """Pre-lock qualification: which entities would this statement
+        touch right now?  A private executor keeps memo state off the
+        shared one; the read takes no latch (record slots are replaced
+        copy-on-write, never mutated in place)."""
+        executor = self.database._statement_executor()
+        return sorted(executor.select_entities(class_name, where))
 
     def _assignment_partners(self, class_name: str, assignments) -> set:
         """Range classes of the EVAs an assignment list writes."""

@@ -75,9 +75,16 @@ class UpdateEngine:
 
     # -- Dispatch ---------------------------------------------------------------
 
-    def execute(self, statement) -> int:
+    def execute(self, statement, restrict_to=None) -> int:
         """Run one update statement; returns the number of affected
-        entities.  Atomic per statement."""
+        entities.  Atomic per statement.
+
+        ``restrict_to`` — optional set of surrogates a concurrent session
+        entity-locked for this statement: MODIFY/DELETE only touch the
+        selected entities that are also in the set, shielding writes from
+        entities whose membership changed between lock resolution and
+        execution (see :mod:`repro.engine.sessions`).
+        """
         transactions = self.store.transactions
         own_transaction = not transactions.in_transaction()
         if own_transaction:
@@ -90,13 +97,14 @@ class UpdateEngine:
             if isinstance(statement, InsertStatement):
                 count = self._insert(statement, touches)
             elif isinstance(statement, ModifyStatement):
-                count = self._modify(statement, touches)
+                count = self._modify(statement, touches, restrict_to)
             elif isinstance(statement, DeleteStatement):
-                count = self._delete(statement, touches)
+                count = self._delete(statement, touches, restrict_to)
             else:
                 raise CatalogError(f"not an update statement: {statement!r}")
             if self.constraints is not None:
-                self.constraints.after_statement(touches)
+                self.constraints.after_statement(touches,
+                                                 executor=self.executor)
         except Exception as exc:
             try:
                 transactions.current.rollback_to(savepoint)
@@ -228,10 +236,14 @@ class UpdateEngine:
 
     # -- MODIFY -------------------------------------------------------------------
 
-    def _modify(self, statement: ModifyStatement, touches: _Touches) -> int:
+    def _modify(self, statement: ModifyStatement, touches: _Touches,
+                restrict_to=None) -> int:
         sim_class = self.schema.get_class(statement.class_name)
         selected = self.executor.select_entities(sim_class.name,
                                                  statement.where)
+        if restrict_to is not None:
+            allowed = set(restrict_to)
+            selected = [s for s in selected if s in allowed]
         for surrogate in selected:
             for assignment in statement.assignments:
                 self._apply_modify_assignment(sim_class, surrogate,
@@ -452,10 +464,14 @@ class UpdateEngine:
 
     # -- DELETE ---------------------------------------------------------------------
 
-    def _delete(self, statement: DeleteStatement, touches: _Touches) -> int:
+    def _delete(self, statement: DeleteStatement, touches: _Touches,
+                restrict_to=None) -> int:
         sim_class = self.schema.get_class(statement.class_name)
         selected = self.executor.select_entities(sim_class.name,
                                                  statement.where)
+        if restrict_to is not None:
+            allowed = set(restrict_to)
+            selected = [s for s in selected if s in allowed]
         for surrogate in selected:
             partners = self._partners_of(surrogate, sim_class.name)
             roles = [sim_class.name] + [

@@ -136,14 +136,19 @@ class MapperStore:
         self.versions = VersionManager()
         self.transactions.commit_hooks.append(self.versions.commit)
         self.transactions.abort_hooks.append(self.versions.abort)
-        #: serializes update-statement execution and commit/abort replay
-        #: across concurrent sessions: class locks give logical isolation,
-        #: this mutex makes the single-writer storage layer physically
-        #: safe to share.  Lock-order invariant: sessions acquire class
-        #: locks FIRST and only then this mutex, and never wait on a
-        #: class lock while holding it — so it cannot deadlock.  Rank 40
-        #: in the declared hierarchy (analysis/lock_order.py).
-        self.write_mutex = ranked_lock("store.write_mutex")
+        #: the commit critical section (rank 36): Session.commit takes
+        #: this latch around commit_detached so the MVCC epoch bump
+        #: (versions.commit), the data-page flush, and the WAL commit
+        #: record publish atomically with respect to other commits.
+        #: Statement execution does NOT take it — physical safety there
+        #: comes from per-unit latches (``RecordFile.latch``, rank 42)
+        #: held per mutating operation, plus the session lock protocol:
+        #: statements whose unit sets could overlap hold conflicting
+        #: class/entity locks and never run concurrently.
+        self.commit_latch = ranked_lock("store.commit_latch")
+        #: guards the surrogate counter (rank 38): concurrent inserts to
+        #: unrelated classes are otherwise free to race the allocator.
+        self._surrogate_mutex = ranked_lock("store.surrogates")
         # this thread's pinned Snapshot, if a snapshot Retrieve is running
         self._snapshots = threading.local()
 
@@ -332,8 +337,9 @@ class MapperStore:
 
     def new_surrogate(self) -> int:
         """Allocate the next system surrogate (unique, never reused)."""
-        surrogate = self._next_surrogate
-        self._next_surrogate += 1
+        with self._surrogate_mutex:
+            surrogate = self._next_surrogate
+            self._next_surrogate += 1
         self.transactions.record_undo(lambda: None)
         return surrogate
 
@@ -560,36 +566,39 @@ class MapperStore:
             record[attr_name] = value
 
         near = self._cluster_anchor(surrogate, sim_class)
-        rid = record_file.insert(format_id, record, near=near)
-        index = self._surrogate_index[class_name]
-        index.insert(surrogate, rid)
-        # The role check above cached a negative membership; drop it now,
-        # before the unique-index checks below can raise.
-        self.read_cache.invalidate_role(class_name, surrogate)
-        if self.history is not None:
-            self.history.record_role(surrogate, class_name, acquired=True)
-            # Initial DVA values arrive with the role record, not through
-            # write_dva; journal them as NULL -> value transitions.
-            for field_name, value in (values or {}).items():
-                if field_name.startswith(("fk--", "ptr--")):
-                    continue
-                if not is_null(value):
-                    self.history.record_set(surrogate, canon(field_name),
-                                            NULL, value)
+        with record_file.latch:
+            rid = record_file.insert(format_id, record, near=near)
+            index = self._surrogate_index[class_name]
+            index.insert(surrogate, rid)
+            # The role check above cached a negative membership; drop it
+            # now, before the unique-index checks below can raise.
+            self.read_cache.invalidate_role(class_name, surrogate)
+            if self.history is not None:
+                self.history.record_role(surrogate, class_name,
+                                         acquired=True)
+                # Initial DVA values arrive with the role record, not
+                # through write_dva; journal them as NULL -> value.
+                for field_name, value in (values or {}).items():
+                    if field_name.startswith(("fk--", "ptr--")):
+                        continue
+                    if not is_null(value):
+                        self.history.record_set(surrogate,
+                                                canon(field_name),
+                                                NULL, value)
 
-        for (cls, attr_name), unique_index in self._unique_index.items():
-            if cls != class_name:
-                continue
-            value = record.get(attr_name)
-            if not is_null(value):
-                self._unique_insert(unique_index, value, rid, class_name,
-                                    attr_name)
-        for (cls, attr_name), value_index in self._value_index.items():
-            if cls != class_name:
-                continue
-            value = record.get(attr_name)
-            if not is_null(value):
-                value_index.insert(value, rid)
+            for (cls, attr_name), unique_index in self._unique_index.items():
+                if cls != class_name:
+                    continue
+                value = record.get(attr_name)
+                if not is_null(value):
+                    self._unique_insert(unique_index, value, rid,
+                                        class_name, attr_name)
+            for (cls, attr_name), value_index in self._value_index.items():
+                if cls != class_name:
+                    continue
+                value = record.get(attr_name)
+                if not is_null(value):
+                    value_index.insert(value, rid)
 
         def undo():
             self._drop_role_record(surrogate, class_name)
@@ -652,19 +661,20 @@ class MapperStore:
         self._stage_member(class_name, surrogate, adding=False)
         record_file = self._class_file[class_name]
         index = self._surrogate_index[class_name]
-        rid = index.lookup_one(surrogate)
-        if rid is None:
-            raise IntegrityError(
-                f"entity {surrogate} has no role {class_name!r}")
-        record = record_file.delete(rid)
-        index.delete(surrogate, rid)
-        self.read_cache.invalidate_role(class_name, surrogate)
-        for (cls, attr_name), unique_index in self._unique_index.items():
-            if cls == class_name and not is_null(record.get(attr_name)):
-                unique_index.delete(record[attr_name], rid)
-        for (cls, attr_name), value_index in self._value_index.items():
-            if cls == class_name and not is_null(record.get(attr_name)):
-                value_index.delete(record[attr_name], rid)
+        with record_file.latch:
+            rid = index.lookup_one(surrogate)
+            if rid is None:
+                raise IntegrityError(
+                    f"entity {surrogate} has no role {class_name!r}")
+            record = record_file.delete(rid)
+            index.delete(surrogate, rid)
+            self.read_cache.invalidate_role(class_name, surrogate)
+            for (cls, attr_name), unique_index in self._unique_index.items():
+                if cls == class_name and not is_null(record.get(attr_name)):
+                    unique_index.delete(record[attr_name], rid)
+            for (cls, attr_name), value_index in self._value_index.items():
+                if cls == class_name and not is_null(record.get(attr_name)):
+                    value_index.delete(record[attr_name], rid)
         return rid, self._class_format[class_name], record
 
     def _restore_role_record(self, surrogate: int, class_name: str, rid: RID,
@@ -672,15 +682,16 @@ class MapperStore:
         """Undo path: put a dropped role record back at its original RID so
         that RIDs held by indexes and undo closures stay valid."""
         record_file = self._class_file[class_name]
-        record_file.undelete(rid, format_id, record)
-        self._surrogate_index[class_name].insert(surrogate, rid)
-        self.read_cache.invalidate_role(class_name, surrogate)
-        for (cls, attr_name), unique_index in self._unique_index.items():
-            if cls == class_name and not is_null(record.get(attr_name)):
-                unique_index.insert(record[attr_name], rid)
-        for (cls, attr_name), value_index in self._value_index.items():
-            if cls == class_name and not is_null(record.get(attr_name)):
-                value_index.insert(record[attr_name], rid)
+        with record_file.latch:
+            record_file.undelete(rid, format_id, record)
+            self._surrogate_index[class_name].insert(surrogate, rid)
+            self.read_cache.invalidate_role(class_name, surrogate)
+            for (cls, attr_name), unique_index in self._unique_index.items():
+                if cls == class_name and not is_null(record.get(attr_name)):
+                    unique_index.insert(record[attr_name], rid)
+            for (cls, attr_name), value_index in self._value_index.items():
+                if cls == class_name and not is_null(record.get(attr_name)):
+                    value_index.insert(record[attr_name], rid)
 
     def insert_entity(self, class_name: str,
                       values: Optional[Dict[str, object]] = None) -> int:
@@ -871,29 +882,31 @@ class MapperStore:
 
     def _write_field(self, surrogate: int, class_name: str, field: str,
                      value, maintain_indexes: bool = False) -> None:
-        self._stage_record(class_name, surrogate)
-        rid, record = self.record_of(surrogate, class_name)
-        old = record.get(field, NULL)
-        if maintain_indexes:
-            unique_index = self._unique_index.get((class_name, field))
-            if unique_index is not None:
-                if not is_null(value):
-                    existing = unique_index.lookup_one(value)
-                    if existing is not None and existing != rid:
-                        raise UniquenessViolation(
-                            f"{class_name}.{field} = {value!r} already used")
-                if not is_null(old):
-                    unique_index.delete(old, rid)
-                if not is_null(value):
-                    unique_index.insert(value, rid)
-            value_index = self._value_index.get((class_name, field))
-            if value_index is not None:
-                if not is_null(old):
-                    value_index.delete(old, rid)
-                if not is_null(value):
-                    value_index.insert(value, rid)
-        self._class_file[class_name].update(rid, {field: value})
-        self.read_cache.invalidate_record(class_name, surrogate)
+        with self._class_file[class_name].latch:
+            self._stage_record(class_name, surrogate)
+            rid, record = self.record_of(surrogate, class_name)
+            old = record.get(field, NULL)
+            if maintain_indexes:
+                unique_index = self._unique_index.get((class_name, field))
+                if unique_index is not None:
+                    if not is_null(value):
+                        existing = unique_index.lookup_one(value)
+                        if existing is not None and existing != rid:
+                            raise UniquenessViolation(
+                                f"{class_name}.{field} = {value!r} "
+                                f"already used")
+                    if not is_null(old):
+                        unique_index.delete(old, rid)
+                    if not is_null(value):
+                        unique_index.insert(value, rid)
+                value_index = self._value_index.get((class_name, field))
+                if value_index is not None:
+                    if not is_null(old):
+                        value_index.delete(old, rid)
+                    if not is_null(value):
+                        value_index.insert(value, rid)
+            self._class_file[class_name].update(rid, {field: value})
+            self.read_cache.invalidate_record(class_name, surrogate)
 
         def undo():
             self._write_field(surrogate, class_name, field, old,
@@ -972,41 +985,48 @@ class MapperStore:
             self._write_field(surrogate, owner, attr.name, tuple(current))
             return True
         key = (owner, attr.name)
-        self._stage_mv(owner, attr.name, surrogate)
         record_file = self._mvdva_file[key]
-        for rid in self._mvdva_index[key].lookup(surrogate):
-            _, record = record_file.read(rid)
-            if record["value"] == value:
-                record_file.delete(rid)
-                self._mvdva_index[key].delete(surrogate, rid)
-                seq = record["seq"]
+        with record_file.latch:
+            self._stage_mv(owner, attr.name, surrogate)
+            for rid in self._mvdva_index[key].lookup(surrogate):
+                _, record = record_file.read(rid)
+                if record["value"] == value:
+                    record_file.delete(rid)
+                    self._mvdva_index[key].delete(surrogate, rid)
+                    seq = record["seq"]
 
-                def undo():
-                    record_file.undelete(
-                        rid, self._mvdva_format[key],
-                        {"owner": surrogate, "seq": seq, "value": value})
-                    self._mvdva_index[key].insert(surrogate, rid)
-                self.transactions.record_undo(undo)
-                self.read_cache.note_write()
-                return True
+                    def undo():
+                        # Abort replay runs outside any statement-level
+                        # latching, so the closure latches the unit itself.
+                        with record_file.latch:
+                            record_file.undelete(
+                                rid, self._mvdva_format[key],
+                                {"owner": surrogate, "seq": seq,
+                                 "value": value})
+                            self._mvdva_index[key].insert(surrogate, rid)
+                    self.transactions.record_undo(undo)
+                    self.read_cache.note_write()
+                    return True
         return False
 
     def _mvdva_append(self, surrogate: int, class_name: str, attr_name: str,
                       value) -> None:
-        self._stage_mv(class_name, attr_name, surrogate)
         key = (class_name, attr_name)
-        seq_key = (class_name, attr_name, surrogate)
-        seq = self._mvdva_seq.get(seq_key, 0) + 1
-        self._mvdva_seq[seq_key] = seq
         record_file = self._mvdva_file[key]
-        rid = record_file.insert(
-            self._mvdva_format[key],
-            {"owner": surrogate, "seq": seq, "value": value})
-        self._mvdva_index[key].insert(surrogate, rid)
+        with record_file.latch:
+            self._stage_mv(class_name, attr_name, surrogate)
+            seq_key = (class_name, attr_name, surrogate)
+            seq = self._mvdva_seq.get(seq_key, 0) + 1
+            self._mvdva_seq[seq_key] = seq
+            rid = record_file.insert(
+                self._mvdva_format[key],
+                {"owner": surrogate, "seq": seq, "value": value})
+            self._mvdva_index[key].insert(surrogate, rid)
 
         def undo():
-            record_file.delete(rid)
-            self._mvdva_index[key].delete(surrogate, rid)
+            with record_file.latch:
+                record_file.delete(rid)
+                self._mvdva_index[key].delete(surrogate, rid)
         self.transactions.record_undo(undo)
         # Separate-unit MV values are not cached here, but engine memos
         # validated against the epoch must still expire.
@@ -1014,22 +1034,24 @@ class MapperStore:
 
     def _mvdva_clear(self, surrogate: int, class_name: str,
                      attr_name: str) -> None:
-        self._stage_mv(class_name, attr_name, surrogate)
         key = (class_name, attr_name)
         self.read_cache.note_write()
         record_file = self._mvdva_file[key]
-        for rid in list(self._mvdva_index[key].lookup(surrogate)):
-            _, record = record_file.read(rid)
-            record_file.delete(rid)
-            self._mvdva_index[key].delete(surrogate, rid)
-            seq, value = record["seq"], record["value"]
+        with record_file.latch:
+            self._stage_mv(class_name, attr_name, surrogate)
+            for rid in list(self._mvdva_index[key].lookup(surrogate)):
+                _, record = record_file.read(rid)
+                record_file.delete(rid)
+                self._mvdva_index[key].delete(surrogate, rid)
+                seq, value = record["seq"], record["value"]
 
-            def undo(rid=rid, seq=seq, value=value):
-                record_file.undelete(
-                    rid, self._mvdva_format[key],
-                    {"owner": surrogate, "seq": seq, "value": value})
-                self._mvdva_index[key].insert(surrogate, rid)
-            self.transactions.record_undo(undo)
+                def undo(rid=rid, seq=seq, value=value):
+                    with record_file.latch:
+                        record_file.undelete(
+                            rid, self._mvdva_format[key],
+                            {"owner": surrogate, "seq": seq, "value": value})
+                        self._mvdva_index[key].insert(surrogate, rid)
+                self.transactions.record_undo(undo)
 
     # ------------------------------------------------------------------- EVAs
 
@@ -1218,18 +1240,24 @@ class MapperStore:
             if mapping is EvaMapping.CLUSTERED:
                 near = self._surrogate_index[
                     canonical.owner_name].lookup_one(domain_surr)
-            rid = info.file.insert(info.format_id,
-                                   {"surr1": domain_surr, "rel": info.rel_id,
-                                    "surr2": range_surr},
-                                   near=near)
-            info.forward.insert((info.rel_id, domain_surr), rid)
-            info.reverse.insert((info.rel_id, range_surr), rid)
+            # The fan-record unit may be the COMMON file shared by every
+            # relationship, so its latch is mandatory even when the
+            # statements' class locks are disjoint.
+            with info.file.latch:
+                rid = info.file.insert(info.format_id,
+                                       {"surr1": domain_surr,
+                                        "rel": info.rel_id,
+                                        "surr2": range_surr},
+                                       near=near)
+                info.forward.insert((info.rel_id, domain_surr), rid)
+                info.reverse.insert((info.rel_id, range_surr), rid)
 
             def undo():
-                info.file.delete(rid)
-                info.forward.delete((info.rel_id, domain_surr), rid)
-                info.reverse.delete((info.rel_id, range_surr), rid)
-                info.instance_count -= 1
+                with info.file.latch:
+                    info.file.delete(rid)
+                    info.forward.delete((info.rel_id, domain_surr), rid)
+                    info.reverse.delete((info.rel_id, range_surr), rid)
+                    info.instance_count -= 1
             self.transactions.record_undo(undo)
         info.instance_count += 1
         self.read_cache.invalidate_eva(info.rel_id, domain_surr, range_surr)
@@ -1315,28 +1343,31 @@ class MapperStore:
                 lambda: info.ptr_reverse.insert(range_surr, owner_rid))
             info.instance_count -= 1
             return True
-        for rid in info.forward.lookup((info.rel_id, domain_surr)):
-            _, record = info.file.read(rid)
-            if record["surr2"] != range_surr:
-                continue
-            info.file.delete(rid)
-            info.forward.delete((info.rel_id, domain_surr), rid)
-            info.reverse.delete((info.rel_id, range_surr), rid)
-            info.instance_count -= 1
+        with info.file.latch:
+            for rid in info.forward.lookup((info.rel_id, domain_surr)):
+                _, record = info.file.read(rid)
+                if record["surr2"] != range_surr:
+                    continue
+                info.file.delete(rid)
+                info.forward.delete((info.rel_id, domain_surr), rid)
+                info.reverse.delete((info.rel_id, range_surr), rid)
+                info.instance_count -= 1
 
-            def undo():
-                # Restore at the SAME RID: a compensation that re-inserts
-                # elsewhere would duplicate the instance when crash
-                # recovery also restores the original slot from the log.
-                info.file.undelete(rid, info.format_id,
-                                   {"surr1": domain_surr,
-                                    "rel": info.rel_id,
-                                    "surr2": range_surr})
-                info.forward.insert((info.rel_id, domain_surr), rid)
-                info.reverse.insert((info.rel_id, range_surr), rid)
-                info.instance_count += 1
-            self.transactions.record_undo(undo)
-            return True
+                def undo():
+                    # Restore at the SAME RID: a compensation that
+                    # re-inserts elsewhere would duplicate the instance
+                    # when crash recovery also restores the original slot
+                    # from the log.
+                    with info.file.latch:
+                        info.file.undelete(rid, info.format_id,
+                                           {"surr1": domain_surr,
+                                            "rel": info.rel_id,
+                                            "surr2": range_surr})
+                        info.forward.insert((info.rel_id, domain_surr), rid)
+                        info.reverse.insert((info.rel_id, range_surr), rid)
+                        info.instance_count += 1
+                self.transactions.record_undo(undo)
+                return True
         return False
 
     def _require_role(self, surrogate: int, class_name: str) -> None:

@@ -135,9 +135,10 @@ class VersionManager:
     # -- Writer side: staging ----------------------------------------------------
 
     def is_staged(self, key: tuple) -> bool:
-        """True when a pending pre-image exists for ``key`` (exclusive
-        class locks guarantee it can only be this transaction's), so the
-        store can skip recomputing the pre-image."""
+        """True when a pending pre-image exists for ``key`` (the
+        writer's exclusive class or entity locks guarantee it can only
+        be this transaction's), so the store can skip recomputing the
+        pre-image."""
         return key in self._pending
 
     def stage(self, txn_id: Optional[int], key: tuple, pre_image,

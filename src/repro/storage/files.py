@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.storage.buffer import BufferPool
+from repro.storage.latch import ranked_lock
 from repro.storage.records import RecordFormat, RID
 
 
@@ -40,6 +41,14 @@ class RecordFile:
         #: (callable returning (txn_id, rolling_back)); wired by the Mapper
         self.wal = None
         self.txn_context = None
+        #: per-unit write latch (rank 42, ``store.unit_latch``): every
+        #: Mapper mutator takes the latch of the single unit it writes
+        #: for just that operation, so same-class writers to *different*
+        #: entities interleave between operations instead of serializing
+        #: per statement.  Latches are leaf-per-operation by design —
+        #: two unit latches are never held at once (equal rank would
+        #: trip lockdep, which is the enforcement).
+        self.latch = ranked_lock("store.unit_latch")
         self.formats: Dict[int, RecordFormat] = {}
         # In-memory extent metadata (a real system keeps this in a file
         # header block; we charge no I/O for it).
@@ -129,17 +138,25 @@ class RecordFile:
         return format_id, dict(values)
 
     def update(self, rid: RID, values: Dict[str, object]) -> None:
-        """Overwrite the named fields of a record in place."""
+        """Overwrite the named fields of a record.
+
+        The slot is replaced with a fresh dict rather than mutated in
+        place: a concurrent reader (MVCC double-check, another class's
+        writer flushing this block) sees either the old or the new
+        record, never a half-written one — and never a dict changing
+        size under ``dict(values)`` during ``Block.copy``.
+        """
         block = self._block_of(rid)
         entry = self._entry(block, rid)
-        format_id, stored = entry
+        format_id, before = entry
         record_format = self._format(format_id)
-        before = dict(stored)
+        stored = dict(before)
         for name, value in values.items():
             if name not in record_format.fields:
                 raise StorageError(
                     f"format {record_format.name!r} has no field {name!r}")
             stored[name] = value
+        block.slots[rid.slot] = (format_id, stored)
         self.pool.mark_dirty(self.file_id, rid.block, block)
         self._log(rid, (format_id, before), (format_id, stored))
 

@@ -113,10 +113,15 @@ class TransactionManager:
         #: recovered log may still mention
         self._next_txn_id = start_after
         # Rank 60: only taken in begin()/begin_detached() with no other
-        # lock held; commit/abort bodies are serialized by
-        # store.write_mutex instead (see analysis/lock_order.py).
+        # lock held; commit bodies are serialized by store.commit_latch
+        # and abort/undo replay by the aborting session's exclusive
+        # locks plus per-unit latches (see analysis/lock_order.py).
         self._mutex = ranked_lock("storage.transactions")
         self._tls = threading.local()
+        # Plain leaf lock for the commit/abort counters: aborts are no
+        # longer serialized by any store-wide mutex, so the bumps need
+        # their own guard.  Nothing is ever acquired while holding it.
+        self._stats_lock = threading.Lock()
         self.commits = 0
         self.aborts = 0
         #: callbacks fired after any rollback (full abort or partial
@@ -171,7 +176,7 @@ class TransactionManager:
 
     def commit_detached(self, txn: Transaction) -> None:
         """Commit a session-owned transaction (caller holds the store's
-        write mutex; see ``MapperStore.write_mutex``)."""
+        commit latch; see ``MapperStore.commit_latch``)."""
         if not txn.active:
             raise TransactionError("no active transaction")
         self._finish_commit(txn)
@@ -198,7 +203,8 @@ class TransactionManager:
             self._pool.flush()
         if self._wal is not None:
             self._wal.log_commit(transaction.transaction_id)
-        self.commits += 1
+        with self._stats_lock:
+            self.commits += 1
 
     def abort(self) -> None:
         transaction = self._require_active()
@@ -206,9 +212,10 @@ class TransactionManager:
 
     def abort_detached(self, txn: Transaction) -> None:
         """Abort a session-owned transaction.  The undo replay mutates
-        through the normal mapper paths, so the caller must have the
-        transaction activated on this thread (and hold the store's write
-        mutex)."""
+        through the normal mapper paths (each of which takes its unit's
+        latch), so the caller must have the transaction activated on
+        this thread and still hold the session's exclusive locks over
+        everything the transaction touched."""
         if not txn.active:
             raise TransactionError("no active transaction")
         self._finish_abort(txn)
@@ -217,7 +224,8 @@ class TransactionManager:
         transaction._abort()
         if self._current is transaction:
             self._current = None
-        self.aborts += 1
+        with self._stats_lock:
+            self.aborts += 1
         for hook in self.abort_hooks:
             hook(transaction.transaction_id)
         self._fire_invalidation_hooks()

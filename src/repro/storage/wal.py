@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set
 
+from repro.storage.latch import ranked_lock
+
 UPDATE = "update"
 COMMIT = "commit"
 CLR = "clr"
@@ -49,6 +51,11 @@ class WriteAheadLog:
         self._records: List[LogRecord] = []
         self._durable_upto = 0       # count of records safely "on disk"
         self._next_lsn = 1
+        # Rank 6, the hierarchy's innermost lock: appends arrive from
+        # concurrent sessions' statements (under unit latches, rank 42)
+        # and force() runs under the buffer pool's lock (rank 10) during
+        # eviction, so the log's own mutex must sit below both.
+        self._mutex = ranked_lock("storage.wal")
         #: physical writes charged for log forces (one per non-empty force)
         self.forces = 0
         self.appended = 0
@@ -66,11 +73,12 @@ class WriteAheadLog:
 
     def append(self, txn_id: Optional[int], kind: str,
                payload: Optional[tuple] = None) -> int:
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        self._records.append(LogRecord(lsn, txn_id, kind, payload))
-        self.appended += 1
-        return lsn
+        with self._mutex:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            self._records.append(LogRecord(lsn, txn_id, kind, payload))
+            self.appended += 1
+            return lsn
 
     def log_update(self, txn_id: Optional[int], file_id: int, block_no: int,
                    slot: int, before, after, compensation: bool) -> int:
@@ -92,16 +100,17 @@ class WriteAheadLog:
         the tail volatile (the caller's data-page write must not proceed),
         and transient faults are absorbed by the attached retry policy.
         """
-        if self._durable_upto >= len(self._records):
-            return
-        forced = len(self._records) - self._durable_upto
-        if self.faults is not None:
-            if self.retry is not None:
-                self.retry.call(self.faults.on_force)
-            else:
-                self.faults.on_force()
-        self._durable_upto = len(self._records)
-        self.forces += 1
+        with self._mutex:
+            if self._durable_upto >= len(self._records):
+                return
+            forced = len(self._records) - self._durable_upto
+            if self.faults is not None:
+                if self.retry is not None:
+                    self.retry.call(self.faults.on_force)
+                else:
+                    self.faults.on_force()
+            self._durable_upto = len(self._records)
+            self.forces += 1
         trace = self.trace
         if trace is not None and trace.enabled:
             trace.count("storage.wal_forces")
@@ -111,8 +120,10 @@ class WriteAheadLog:
 
     def crash(self) -> None:
         """Drop the volatile tail, keeping only the forced prefix."""
-        self._records = self._records[:self._durable_upto]
-        self._next_lsn = (self._records[-1].lsn + 1 if self._records else 1)
+        with self._mutex:
+            self._records = self._records[:self._durable_upto]
+            self._next_lsn = (self._records[-1].lsn + 1
+                              if self._records else 1)
 
     def durable_records(self) -> List[LogRecord]:
         return list(self._records[:self._durable_upto])
@@ -136,8 +147,9 @@ class WriteAheadLog:
 
     def truncate(self) -> None:
         """Discard the log after a successful recovery (checkpoint)."""
-        self._records.clear()
-        self._durable_upto = 0
+        with self._mutex:
+            self._records.clear()
+            self._durable_upto = 0
 
     def checkpoint(self) -> int:
         """Post-recovery checkpoint: the disk image now holds exactly the

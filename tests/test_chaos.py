@@ -45,9 +45,9 @@ Class Audit (
 ACCOUNTS = 4
 
 
-def build_bank():
+def build_bank(accounts=ACCOUNTS):
     db = Database(CHAOS_DDL, constraint_mode="off")
-    for nbr in range(1, ACCOUNTS + 1):
+    for nbr in range(1, accounts + 1):
         db.execute(f"Insert account(nbr := {nbr}, balance := 0)")
         db.execute(f"Insert audit(nbr := {nbr}, total := 0)")
     return db
@@ -58,11 +58,17 @@ class Writer(threading.Thread):
     recorded in ``self.committed`` only after ``commit()`` returns —
     the committed-prefix oracle."""
 
-    def __init__(self, db, seed, transactions, lock_timeout=5.0):
+    def __init__(self, db, seed, transactions, lock_timeout=5.0,
+                 entity_locks=False):
         super().__init__(name=f"chaos-writer-{seed}")
-        self.session = Session(db, lock_timeout=lock_timeout)
+        # entity_locks defaults OFF here: the deadlock-certainty these
+        # scenarios assert comes from class-granularity conflicts; the
+        # entity-granular path has its own scenarios below.
+        self.session = Session(db, lock_timeout=lock_timeout,
+                               entity_locks=entity_locks)
         self.rng = random.Random(seed)
         self.transactions = transactions
+        self.accounts = ACCOUNTS
         self.committed = []  # [(class_name, nbr, delta), ...] per commit
         self.aborted = 0
         self.error = None
@@ -75,8 +81,8 @@ class Writer(threading.Thread):
             self.error = exc
 
     def _one_transaction(self):
-        nbr_a = self.rng.randint(1, ACCOUNTS)
-        nbr_b = self.rng.randint(1, ACCOUNTS)
+        nbr_a = self.rng.randint(1, self.accounts)
+        nbr_b = self.rng.randint(1, self.accounts)
         delta = self.rng.randint(1, 5)
         # Half the sessions lock account→audit, half audit→account:
         # opposite orders are what makes the mix deadlock-prone.
@@ -100,7 +106,36 @@ class Writer(threading.Thread):
                 self.committed.append((class_name, nbr, step_delta))
 
 
-def run_chaos(db, writers, readers=0, fault_every=0, seed=1234):
+class DisjointWriter(threading.Thread):
+    """Entity-granularity client: every transaction updates ONE fixed
+    account, disjoint from every other writer's.  Under entity locks,
+    none of these sessions may ever block, time out, or deadlock."""
+
+    def __init__(self, db, nbr, seed, transactions):
+        super().__init__(name=f"chaos-disjoint-{nbr}")
+        self.session = Session(db, entity_locks=True)
+        self.nbr = nbr
+        self.rng = random.Random(seed)
+        self.transactions = transactions
+        self.committed = []
+        self.aborted = 0
+        self.error = None
+
+    def run(self):
+        try:
+            for _ in range(self.transactions):
+                delta = self.rng.randint(1, 5)
+                self.session.execute(
+                    f"Modify account(balance := balance + {delta})"
+                    f" Where nbr = {self.nbr}")
+                self.session.commit()
+                self.committed.append(("account", self.nbr, delta))
+        except Exception as exc:  # pragma: no cover — fail the test
+            self.error = exc
+
+
+def run_chaos(db, writers, readers=0, fault_every=0, seed=1234,
+              accounts=ACCOUNTS):
     """Drive the writer fleet (plus optional snapshot readers), arming
     transient faults from the controller thread while they run."""
     injector = db.install_faults(seed=seed) if fault_every else None
@@ -112,7 +147,7 @@ def run_chaos(db, writers, readers=0, fault_every=0, seed=1234):
         try:
             while not stop_readers.is_set():
                 rows = session.query("From account Retrieve balance").rows
-                if len(rows) != ACCOUNTS:
+                if len(rows) != accounts:
                     raise AssertionError(f"snapshot saw {len(rows)} rows")
         except Exception as exc:  # pragma: no cover
             reader_errors.append(exc)
@@ -144,11 +179,11 @@ def run_chaos(db, writers, readers=0, fault_every=0, seed=1234):
     return rounds
 
 
-def assert_committed_prefix(db, writers):
+def assert_committed_prefix(db, writers, accounts=ACCOUNTS):
     """The database state must equal initial + exactly the committed
     ledgers — aborted transactions leave no trace."""
-    expected = {("account", nbr): 0 for nbr in range(1, ACCOUNTS + 1)}
-    expected.update({("audit", nbr): 0 for nbr in range(1, ACCOUNTS + 1)})
+    expected = {("account", nbr): 0 for nbr in range(1, accounts + 1)}
+    expected.update({("audit", nbr): 0 for nbr in range(1, accounts + 1)})
     for w in writers:
         for class_name, nbr, delta in w.committed:
             expected[(class_name, nbr)] += delta
@@ -187,6 +222,43 @@ class TestChaosSmoke:
                    for i in range(4)]
         run_chaos(db, writers, readers=4)
         assert_committed_prefix(db, writers)
+
+    def test_disjoint_entity_writers_never_conflict(self):
+        """Eight writers updating disjoint entities of ONE class: under
+        entity-granularity locking their IX class locks are compatible
+        and their entity X locks never collide — zero lock conflicts,
+        zero aborts, every transaction commits, oracle intact."""
+        db = build_bank(accounts=8)
+        writers = [DisjointWriter(db, nbr=i + 1, seed=i, transactions=15)
+                   for i in range(8)]
+        run_chaos(db, writers, readers=2, accounts=8)
+        assert_committed_prefix(db, writers, accounts=8)
+        stats = db._lock_manager.statistics()
+        assert stats["deadlocks"] == 0
+        assert stats["timeouts"] == 0
+        assert all(w.aborted == 0 for w in writers)
+        assert all(len(w.committed) == 15 for w in writers)
+        # Every key released AND pruned: the holder map must be empty,
+        # not full of empty per-entity husks.
+        assert stats["tracked_keys"] == 0
+
+    def test_same_entity_contention_still_deadlocks(self):
+        """Entity-granular sessions hammering the SAME entities in
+        opposite class orders reproduce the legacy deadlock shape —
+        victim selection and the oracle work over two-level keys."""
+        db = build_bank(accounts=1)
+        writers = [Writer(db, seed=200 + i, transactions=12,
+                          entity_locks=True) for i in range(8)]
+        for w in writers:
+            w.accounts = 1      # every txn collides on entity nbr=1
+        run_chaos(db, writers, accounts=1)
+        assert_committed_prefix(db, writers, accounts=1)
+        stats = db._lock_manager.statistics()
+        assert stats["deadlocks"] > 0
+        assert stats["waiting_now"] == 0
+        total_commits = sum(len(w.committed) // 2 for w in writers)
+        total_aborts = sum(w.aborted for w in writers)
+        assert total_commits + total_aborts == 8 * 12
 
 
 @pytest.mark.chaos

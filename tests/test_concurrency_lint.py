@@ -49,16 +49,23 @@ class TestSIM301RankInversion:
     def test_ascending_nesting_fires(self):
         src = ("def f(self):\n"
                "    with self._lock:\n"              # storage.buffer, 10
-               "        with store.write_mutex:\n"   # 40: inversion
+               "        with store.commit_latch:\n"  # 36: inversion
                "            pass\n")
         assert codes(src, "buffer.py") == ["SIM301"]
 
     def test_descending_nesting_is_clean(self):
         src = ("def f(self):\n"
-               "    with store.write_mutex:\n"       # 40
+               "    with store.commit_latch:\n"      # 36
                "        with self._mutex:\n"         # mapper.versions, 30
                "            pass\n")
         assert codes(src, "versions.py") == []
+
+    def test_unit_latch_under_class_locks_is_clean(self):
+        src = ("def f(self):\n"
+               "    with self._cond:\n"              # sessions.class_locks, 50
+               "        with record_file.latch:\n"   # store.unit_latch, 42
+               "            pass\n")
+        assert codes(src, "sessions.py") == []
 
     def test_unranked_nesting_is_clean(self):
         src = ("def f(self):\n"
@@ -70,7 +77,7 @@ class TestSIM301RankInversion:
     def test_inversion_is_an_error(self):
         src = ("def f(self):\n"
                "    with self._lock:\n"
-               "        with store.write_mutex:\n"
+               "        with store.commit_latch:\n"
                "            pass\n")
         diags = lint_concurrency_source(src, "buffer.py")
         assert diags[0].severity == "error"
@@ -193,9 +200,13 @@ class TestFramework:
     def test_hierarchy_is_strictly_ordered(self):
         ranks = sorted(LOCK_RANKS.values())
         assert len(set(ranks)) == len(ranks)
-        assert LOCK_RANKS["storage.buffer"] == min(ranks)
+        assert LOCK_RANKS["storage.wal"] == min(ranks)
+        assert LOCK_RANKS["storage.wal"] < LOCK_RANKS["storage.buffer"]
+        assert LOCK_RANKS["store.commit_latch"] \
+            < LOCK_RANKS["store.unit_latch"] \
+            < LOCK_RANKS["sessions.class_locks"]
         text = describe_hierarchy()
-        assert "storage.buffer" in text.splitlines()[0]
+        assert "storage.wal" in text.splitlines()[0]
 
     def test_syntax_error_is_reported_not_raised(self):
         diags = lint_concurrency_source("def broken(:\n", "bad.py")
@@ -241,7 +252,7 @@ class TestCLI:
         bad = tmp_path / "buffer.py"
         bad.write_text("def f(self):\n"
                        "    with self._lock:\n"
-                       "        with store.write_mutex:\n"
+                       "        with store.commit_latch:\n"
                        "            pass\n")
         from repro.analysis.cli import main
         assert main(["--concurrency", str(bad)]) == 1

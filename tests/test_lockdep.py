@@ -37,7 +37,7 @@ pytestmark = pytest.mark.lockdep
 
 class TestRankRule:
     def test_descending_acquisition_is_clean(self):
-        outer = _lock("store.write_mutex")      # rank 40
+        outer = _lock("store.unit_latch")       # rank 42
         inner = _lock("storage.buffer")         # rank 10
         with outer:
             with inner:
@@ -46,7 +46,7 @@ class TestRankRule:
 
     def test_ascending_acquisition_raises(self):
         inner = _lock("storage.buffer")         # rank 10
-        outer = _lock("store.write_mutex")      # rank 40
+        outer = _lock("store.unit_latch")       # rank 42
         with inner:
             with pytest.raises(LockOrderViolation) as exc:
                 outer.acquire()
@@ -54,15 +54,18 @@ class TestRankRule:
         assert lockdep.violations() != []
 
     def test_equal_rank_two_instances_raises(self):
-        first = _lock("store.write_mutex")
-        second = _lock("store.write_mutex")
+        # Two distinct unit latches share rank 42: nesting them is the
+        # latch-discipline bug the leaf-per-operation rule forbids, and
+        # the equal-rank rule is its runtime enforcement.
+        first = _lock("store.unit_latch")
+        second = _lock("store.unit_latch")
         with first:
             with pytest.raises(LockOrderViolation):
                 second.acquire()
 
     def test_violation_does_not_take_the_lock(self):
         inner = _lock("storage.buffer")
-        outer = _lock("store.write_mutex")
+        outer = _lock("store.unit_latch")
         with inner:
             with pytest.raises(LockOrderViolation):
                 outer.acquire()
@@ -80,7 +83,7 @@ class TestRankRule:
 
     def test_warn_once_per_edge(self):
         inner = _lock("storage.buffer")
-        outer = _lock("store.write_mutex")
+        outer = _lock("store.unit_latch")
         with inner:
             with pytest.raises(LockOrderViolation):
                 outer.acquire()
@@ -92,8 +95,9 @@ class TestRankRule:
     def test_full_hierarchy_descends_clean(self):
         names = ["server.client", "server.gate", "server.connections",
                  "storage.transactions", "sessions.class_locks",
-                 "store.write_mutex", "mapper.versions",
-                 "mapper.read_cache", "storage.buffer"]
+                 "store.unit_latch", "store.surrogates",
+                 "store.commit_latch", "mapper.versions",
+                 "mapper.read_cache", "storage.buffer", "storage.wal"]
         locks = [_lock(name) for name in names]
         for lock in locks:
             lock.acquire()
@@ -146,7 +150,7 @@ class TestCycleRule:
 
 class TestReentrancy:
     def test_reentrant_reacquisition_is_clean(self):
-        lock = _lock("store.write_mutex")
+        lock = _lock("store.unit_latch")
         with lock:
             with lock:
                 with lock:
@@ -154,7 +158,7 @@ class TestReentrancy:
         assert lockdep.violations() == []
 
     def test_reentrant_release_keeps_outer_entry(self):
-        outer = _lock("store.write_mutex")
+        outer = _lock("store.unit_latch")
         inner = _lock("storage.buffer")
         with outer:
             with outer:
@@ -217,7 +221,7 @@ class TestEnableSurface:
         try:
             assert not lockdep.enabled()
             unchecked = RankedLock("storage.buffer")
-            checked_outer = _lock("store.write_mutex")
+            checked_outer = _lock("store.unit_latch")
             # An unchecked lock neither checks nor records.
             with unchecked:
                 with checked_outer:
@@ -237,7 +241,7 @@ class TestEnableSurface:
 
     def test_reset_clears_state(self):
         inner = _lock("storage.buffer")
-        outer = _lock("store.write_mutex")
+        outer = _lock("store.unit_latch")
         with inner:
             with pytest.raises(LockOrderViolation):
                 outer.acquire()
@@ -251,7 +255,8 @@ class TestEngineIntegration:
         from repro import Database
         from repro.workloads import UNIVERSITY_DDL
         db = Database(UNIVERSITY_DDL, constraint_mode="off")
-        assert db.store.write_mutex.name == "store.write_mutex"
+        assert db.store.commit_latch.name == "store.commit_latch"
+        assert db.store._surrogate_mutex.name == "store.surrogates"
         assert db.store.versions._mutex.name == "mapper.versions"
         assert db.store.read_cache._lock.name == "mapper.read_cache"
         assert db.store.transactions._mutex.name == "storage.transactions"

@@ -50,7 +50,10 @@ class TestSnapshotReads:
         writer = Session(db)
         reader = Session(db)
         writer.execute('Modify course(credits := 9) Where title = "Algebra"')
-        assert writer.holdings() == {"course": "exclusive"}
+        # Qualified single-class Modify locks at entity granularity now:
+        # IX on the class, X on the one matching entity.
+        assert writer.holdings() == {"course": "intention-exclusive"}
+        assert list(writer.entity_holdings().values()) == ["exclusive"]
         started = time.monotonic()
         assert credits_of(reader, "Algebra") == 3
         assert time.monotonic() - started < 2.0

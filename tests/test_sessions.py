@@ -366,8 +366,11 @@ class TestConcurrentSessions:
         with pytest.raises(LockTimeout):
             bob.execute('Modify course(credits := 9) Where course-no = 1',
                         timeout=0.2)
-        # bob still holds department exclusively, but nothing on course
-        assert bob.holdings() == {"department": "exclusive"}
+        # bob still holds the department write (IX class + entity X under
+        # entity-granularity locking), but nothing on course
+        assert bob.holdings() == {"department": "intention-exclusive"}
+        assert list(bob.entity_holdings().values()) == ["exclusive"]
+        assert not any(key[0] == "course" for key in bob.entity_holdings())
         alice.commit()
         bob.execute('Modify course(credits := 9) Where course-no = 1')
         bob.commit()
@@ -444,6 +447,289 @@ class TestConcurrentSessions:
                                 ' Where course-no = 1')
                 raise ValueError("boom")
         assert db.query("From course Retrieve credits").scalar() == 8
+
+
+class TestMultiGranularity:
+    """The intention-lock matrix and entity-granular (two-level) keys."""
+
+    def test_intention_modes_compatible(self):
+        locks = LockManager()
+        assert locks.acquire(1, "course", "IS")[0] == "new"
+        assert locks.acquire(2, "course", "IX")[0] == "new"
+        assert locks.acquire(3, "course", "IX")[0] == "new"
+        assert locks.acquire(4, "course", "IS")[0] == "new"
+
+    def test_is_compatible_with_shared_but_ix_is_not(self):
+        locks = LockManager()
+        locks.acquire(1, "course", "S")
+        assert locks.acquire(2, "course", "IS")[0] == "new"
+        with pytest.raises(LockConflict):
+            locks.acquire(3, "course", "IX", timeout=0)
+
+    def test_class_x_excludes_every_intention_mode(self):
+        locks = LockManager()
+        locks.acquire(1, "course", "X")
+        for mode in ("IS", "IX", "S", "SIX", "X"):
+            with pytest.raises(LockConflict):
+                locks.acquire(2, "course", mode, timeout=0)
+
+    def test_six_admits_only_is(self):
+        locks = LockManager()
+        locks.acquire(1, "course", "SIX")
+        assert locks.acquire(2, "course", "IS")[0] == "new"
+        for mode in ("IX", "S", "SIX", "X"):
+            with pytest.raises(LockConflict):
+                locks.acquire(3, "course", mode, timeout=0)
+
+    def test_disjoint_entity_keys_do_not_conflict(self):
+        locks = LockManager()
+        locks.acquire(1, "course", "IX")
+        locks.acquire(1, ("course", 7), "X")
+        locks.acquire(2, "course", "IX")
+        assert locks.acquire(2, ("course", 8), "X")[0] == "new"
+        with pytest.raises(LockConflict):
+            locks.acquire(2, ("course", 7), "X", timeout=0)
+
+    def test_ix_and_s_combine_to_six(self):
+        locks = LockManager()
+        assert locks.acquire(1, "course", "IX") == ("new", None)
+        assert locks.acquire(1, "course", "S") == ("upgraded", "IX")
+        assert locks.holdings(1)["course"] == "shared-intention-exclusive"
+        # SIX covers everything but X: further IS/IX/S are "held".
+        assert locks.acquire(1, "course", "IX")[0] == "held"
+        assert locks.acquire(1, "course", "S")[0] == "held"
+
+    def test_entity_lock_upgrade_and_rollback_demotion(self):
+        locks = LockManager()
+        key = ("course", 3)
+        locks.acquire(1, "course", "IX")
+        assert locks.acquire(1, key, "S") == ("new", None)
+        grant = locks.acquire(1, key, "X")
+        assert grant == ("upgraded", "S")
+        assert locks.entity_holdings(1) == {key: "exclusive"}
+        # Partial-statement rollback with the 3-tuple record demotes the
+        # upgrade back to exactly the mode held before.
+        locks.rollback(1, [(key, *grant)])
+        assert locks.entity_holdings(1) == {key: "shared"}
+
+    def test_victim_determinism_on_entity_keys(self):
+        """The same two-entity deadlock always dooms the youngest
+        session when the cycle runs through (class, surrogate) keys."""
+        for _ in range(5):
+            locks = LockManager()
+            key_a, key_b = ("account", 1), ("account", 2)
+            locks.acquire(1, "account", "IX")
+            locks.acquire(2, "account", "IX")
+            locks.acquire(1, key_a, "X")
+            locks.acquire(2, key_b, "X")
+            victims = []
+
+            def contend(sid, want):
+                try:
+                    locks.acquire(sid, want, "X", timeout=30.0)
+                except DeadlockError:
+                    victims.append(sid)
+                finally:
+                    locks.release_all(sid)
+
+            threads = [threading.Thread(target=contend, args=(1, key_b)),
+                       threading.Thread(target=contend, args=(2, key_a))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert victims == [2]
+
+    def test_release_all_prunes_entity_keys(self):
+        """S3: the holder map stays bounded by live locks — hammering
+        entity keys must not leave one empty husk per key ever locked."""
+        locks = LockManager()
+        for round_nbr in range(100):
+            locks.acquire(1, "account", "IX")
+            for surrogate in range(8):
+                locks.acquire(1, ("account", round_nbr * 8 + surrogate), "X")
+            locks.release_all(1)
+            assert locks.statistics()["tracked_keys"] == 0
+        assert locks._holders == {}
+
+    def test_rollback_prunes_entity_keys(self):
+        locks = LockManager()
+        acquired = [("account", *locks.acquire(1, "account", "IX")),
+                    (("account", 5), *locks.acquire(1, ("account", 5), "X"))]
+        locks.rollback(1, acquired)
+        assert locks.statistics()["tracked_keys"] == 0
+        assert locks._holders == {}
+
+    def test_statistics_count_entity_exclusives(self):
+        locks = LockManager()
+        locks.acquire(1, "account", "IX")
+        locks.acquire(1, ("account", 1), "X")
+        locks.acquire(2, "account", "IS")
+        stats = locks.statistics()
+        assert stats["entity_exclusive_held"] == 1
+        assert stats["intention_held"] == 1
+        assert stats["exclusive_held"] == 0
+        assert stats["tracked_keys"] == 2
+
+
+class TestEntityGranularSessions:
+    """End-to-end entity-granularity behavior through Session."""
+
+    def test_disjoint_entity_updates_overlap(self, db):
+        db.execute('Insert course(course-no := 2, title := "U", credits := 1)')
+        alice = Session(db)
+        bob = Session(db)
+        alice.execute('Modify course(credits := 7) Where course-no = 1')
+        # Same class, different entity: bob is NOT blocked even fail-fast.
+        bob.execute('Modify course(credits := 8) Where course-no = 2',
+                    timeout=0)
+        assert alice.holdings() == {"course": "intention-exclusive"}
+        assert bob.holdings() == {"course": "intention-exclusive"}
+        assert len(alice.entity_holdings()) == 1
+        assert len(bob.entity_holdings()) == 1
+        alice.commit()
+        bob.commit()
+        assert db.query('From course Retrieve credits'
+                        ' Where course-no = 1').scalar() == 7
+        assert db.query('From course Retrieve credits'
+                        ' Where course-no = 2').scalar() == 8
+
+    def test_same_entity_updates_conflict(self, db):
+        alice = Session(db)
+        bob = Session(db)
+        alice.execute('Modify course(credits := 7) Where course-no = 1')
+        with pytest.raises(LockConflict):
+            bob.execute('Modify course(credits := 8) Where course-no = 1',
+                        timeout=0)
+        alice.commit()
+        bob.commit()
+
+    def test_insert_takes_class_exclusive(self, db):
+        """Inserts are phantoms by construction: class-level X, which
+        the entity writer's IX makes conflicting in both directions."""
+        alice = Session(db)
+        bob = Session(db)
+        alice.execute('Insert course(course-no := 3, title := "V",'
+                      ' credits := 2)')
+        assert alice.holdings()["course"] == "exclusive"
+        with pytest.raises(LockConflict):
+            bob.execute('Modify course(credits := 8) Where course-no = 1',
+                        timeout=0)
+        alice.commit()
+        bob.commit()
+
+    def test_unqualified_modify_takes_class_exclusive(self, db):
+        alice = Session(db)
+        alice.execute('Modify course(credits := 6)')
+        assert alice.holdings() == {"course": "exclusive"}
+        assert alice.entity_holdings() == {}
+        alice.commit()
+
+    def test_entity_locks_off_restores_class_granularity(self, db):
+        alice = Session(db, entity_locks=False)
+        bob = Session(db, entity_locks=False)
+        db.execute('Insert course(course-no := 2, title := "U", credits := 1)')
+        alice.execute('Modify course(credits := 7) Where course-no = 1')
+        assert alice.holdings() == {"course": "exclusive"}
+        with pytest.raises(LockConflict):
+            bob.execute('Modify course(credits := 8) Where course-no = 2',
+                        timeout=0)
+        alice.commit()
+        bob.commit()
+
+    def test_eva_assignment_falls_back_to_class_locks(self, db):
+        """A Modify that writes an EVA touches the partner class too:
+        it must keep the class-exclusive fallback on both sides."""
+        alice = Session(db)
+        alice.execute('Insert student(soc-sec-no := 9)')
+        alice.commit()
+        alice.execute('Modify student(courses-enrolled := course'
+                      ' with (course-no = 1)) Where soc-sec-no = 9')
+        holdings = alice.holdings()
+        assert holdings["student"] == "exclusive"
+        assert holdings["course"] == "exclusive"
+        assert alice.entity_holdings() == {}
+        alice.commit()
+
+
+class TestSatelliteRegressions:
+    """S1/S2: reads outside the write latch, racy lazy initialisation."""
+
+    def test_shared_lock_reads_overlap_in_time(self, db):
+        """S1: two non-MVCC shared-lock Retrieves must run concurrently
+        — the read path takes no store-wide latch that would serialize
+        their statement bodies."""
+        intervals = []
+        intervals_lock = threading.Lock()
+        original = db._run_retrieve
+
+        def slow_retrieve(query, **kwargs):
+            start = time.monotonic()
+            time.sleep(0.2)
+            result = original(query, **kwargs)
+            with intervals_lock:
+                intervals.append((start, time.monotonic()))
+            return result
+
+        db._run_retrieve = slow_retrieve
+        try:
+            errors = []
+
+            def read():
+                try:
+                    session = Session(db, mvcc=False)
+                    assert session.query(
+                        "From course Retrieve title").rows
+                    session.commit()
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=read) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        finally:
+            db._run_retrieve = original
+        assert errors == []
+        assert len(intervals) == 2
+        # Overlap: each started before the other finished.  A statement-
+        # scope mutex would have made them strictly sequential.
+        latest_start = max(start for start, _ in intervals)
+        earliest_end = min(end for _, end in intervals)
+        assert latest_start < earliest_end
+
+    def test_lazy_init_race_installs_one_lock_manager(self):
+        """S2: concurrent first Sessions over a bare database-like
+        object (no eager wiring) must agree on ONE LockManager and
+        mint unique session ids."""
+        class Bare:
+            pass
+
+        for _ in range(20):
+            bare = Bare()
+            managers = []
+            ids = []
+            state_lock = threading.Lock()
+            barrier = threading.Barrier(8, timeout=10.0)
+
+            def construct():
+                barrier.wait()
+                session = Session(bare, mvcc=False)
+                with state_lock:
+                    managers.append(session.locks)
+                    ids.append(session.session_id)
+
+            threads = [threading.Thread(target=construct)
+                       for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert len(managers) == 8
+            assert all(m is managers[0] for m in managers)
+            assert managers[0] is bare._lock_manager
+            assert sorted(ids) == list(range(1, 9))
 
 
 @pytest.mark.lockdep
