@@ -3,7 +3,8 @@ export PYTHONPATH
 
 .PHONY: test torture chaos lockdep bench bench-recovery bench-read-path \
 	bench-lint bench-trace bench-batch bench-scale bench-concurrency \
-	bench-concurrency-smoke bench-lockdep lint typecheck simcheck
+	bench-concurrency-smoke bench-lockdep bench-rewrite lint typecheck \
+	simcheck
 
 test:
 	python -m pytest -x -q
@@ -95,3 +96,10 @@ bench-concurrency-smoke:
 # violation is recorded during the measurement).
 bench-lockdep:
 	python benchmarks/make_report.py --lockdep
+
+# E21: semantic-rewrite gate (fails below 2x on the subclass-pruned ISA
+# cell or the closure-materialization cell, on any row drift against the
+# rewrite-off reference, or if either cell fails to exercise its
+# rewrite/materialization).
+bench-rewrite:
+	python benchmarks/make_report.py --rewrite

@@ -77,6 +77,7 @@ _EXPERIMENT_TITLES = {
     "e18": "E18 — morsel-parallel execution at scale",
     "e19": "E19 — multi-session concurrency (2PL + MVCC + server)",
     "e20": "E20 — runtime lockdep instrumentation overhead",
+    "e21": "E21 — semantic rewrite & materialized derived relations",
 }
 
 
@@ -318,6 +319,44 @@ def write_lockdep_report(out_path: str) -> int:
     return 0
 
 
+def write_rewrite_report(out_path: str) -> int:
+    """Run the E21 measurement and emit ``BENCH_rewrite.json``."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_rewrite import measure_rewrite
+    measured = measure_rewrite()
+    with open(out_path, "w") as handle:
+        json.dump(measured, handle, indent=2)
+        handle.write("\n")
+    sub, mat = measured["subclass"], measured["closure_mat"]
+    print(f"wrote {out_path}: subclass-pruned ISA query "
+          f"{sub['legacy_ms']:.2f} ms -> {sub['rewritten_ms']:.2f} ms "
+          f"({sub['speedup']:.1f}x, {sub['rows']} rows), closure "
+          f"materialization {mat['direct_ms']:.2f} ms -> "
+          f"{mat['materialized_ms']:.2f} ms ({mat['speedup']:.1f}x, "
+          f"{mat['rows']} rows, {mat['materialized_hits']} hits)")
+    failed = 0
+    for label, cell in (("subclass-pruned", sub),
+                        ("materialization-hit", mat)):
+        if not cell["rows_identical"]:
+            print(f"FAIL: {label} cell rows differ from the rewrite-off "
+                  "reference", file=sys.stderr)
+            failed = 1
+        if cell["speedup"] < measured["min_speedup"]:
+            print(f"FAIL: {label} cell speedup {cell['speedup']:.2f}x "
+                  f"below the {measured['min_speedup']:.1f}x bound",
+                  file=sys.stderr)
+            failed = 1
+    if sub["rewrite_subclass_prunes"] < 1:
+        print("FAIL: subclass cell never exercised the rewrite",
+              file=sys.stderr)
+        failed = 1
+    if mat["materialized_hits"] < 1:
+        print("FAIL: materialization cell never hit the materialization",
+              file=sys.stderr)
+        failed = 1
+    return failed
+
+
 def format_benchmark(entry: dict) -> str:
     name = entry["name"]
     mean_ms = entry["stats"]["mean"] * 1000.0
@@ -355,6 +394,9 @@ def main(argv) -> int:
     if len(argv) >= 2 and argv[1] == "--lockdep":
         out_path = argv[2] if len(argv) > 2 else "BENCH_lockdep.json"
         return write_lockdep_report(out_path)
+    if len(argv) >= 2 and argv[1] == "--rewrite":
+        out_path = argv[2] if len(argv) > 2 else "BENCH_rewrite.json"
+        return write_rewrite_report(out_path)
     if len(argv) >= 2 and argv[1] == "--scale-smoke":
         out_path = argv[2] if len(argv) > 2 else "BENCH_scale_smoke.json"
         # 10^4-entity CI lane: row identity is enforced, the 2x bound is

@@ -17,6 +17,9 @@ Code ranges:
 * ``SIM3xx`` — concurrency lint (:mod:`repro.analysis.concurrency`):
   lock-discipline checks over the engine's own source, driven by the
   declared rank hierarchy in :mod:`repro.analysis.lock_order`
+* ``SIM4xx`` — semantic rewrite verification
+  (:mod:`repro.analysis.plan_verify` re-deriving the proofs of
+  :mod:`repro.optimizer.rewrite`)
 """
 
 from __future__ import annotations
@@ -116,6 +119,9 @@ RULES = _catalog(
     ("SIM302", WARNING, "blocking call while holding a lock"),
     ("SIM303", WARNING, "unguarded shared-state write in threaded code"),
     ("SIM304", WARNING, "condition wait outside a predicate loop"),
+    # -- Semantic rewrite verification (SIM4xx) --------------------------------
+    ("SIM400", INFO, "provably-empty subclass extent"),
+    ("SIM401", ERROR, "rewrite/verifier mismatch"),
 )
 
 
@@ -198,6 +204,7 @@ class DiagnosticSink:
 _TYPE_CODES = frozenset(("SIM110", "SIM112", "SIM114", "SIM117"))
 _UPDATE_PREFIX = "SIM12"
 _PLAN_PREFIX = "SIM2"
+_REWRITE_PREFIX = "SIM4"
 
 
 def exception_for(diagnostic: Diagnostic) -> type:
@@ -206,7 +213,7 @@ def exception_for(diagnostic: Diagnostic) -> type:
         return StaticTypeError
     if diagnostic.code.startswith(_UPDATE_PREFIX):
         return StaticUpdateError
-    if diagnostic.code.startswith(_PLAN_PREFIX):
+    if diagnostic.code.startswith((_PLAN_PREFIX, _REWRITE_PREFIX)):
         return PlanVerificationError
     return StaticAnalysisError
 

@@ -282,10 +282,91 @@ def _verify_access_paths(schema: Schema, tree: QueryTree, plan,
                           f"index access for {var_name!r} uses unknown "
                           f"attribute {access.attr_name!r} of "
                           f"{access.class_name!r}")
+        elif access.kind == "subclass":
+            _verify_subclass_path(schema, var_name, access, sink)
+        elif access.kind == "empty":
+            _verify_empty_path(schema, var_name, access, sink)
+        elif access.kind == "eva_flip":
+            _verify_flip_path(schema, var_name, access, sink)
         elif access.kind != "scan":
             sink.emit("SIM204",
                       f"access path for {var_name!r} has unknown kind "
                       f"{access.kind!r}")
+
+
+def _verify_subclass_path(schema: Schema, var_name, access,
+                          sink: DiagnosticSink) -> None:
+    """SIM401: a pruned extent must be a class of the root's hierarchy
+    whose entities can actually hold the root role."""
+    if access.subclass is None or not schema.has_class(access.subclass):
+        sink.emit("SIM401",
+                  f"subclass-pruned access for {var_name!r} names unknown "
+                  f"class {access.subclass!r}")
+        return
+    graph = schema.graph
+    if not graph.same_hierarchy(access.class_name, access.subclass):
+        sink.emit("SIM401",
+                  f"subclass-pruned access for {var_name!r} scans "
+                  f"{access.subclass!r}, which shares no hierarchy with "
+                  f"{access.class_name!r}",
+                  hint="pruning is only sound inside one generalization "
+                       "hierarchy (single base-class ancestor rule)")
+    elif graph.is_ancestor(access.subclass, access.class_name):
+        sink.emit("SIM401",
+                  f"subclass-pruned access for {var_name!r} scans "
+                  f"{access.subclass!r}, an ancestor of "
+                  f"{access.class_name!r} — the pruning is vacuous and "
+                  f"the extent may be larger than the root's")
+
+
+def _verify_empty_path(schema: Schema, var_name, access,
+                       sink: DiagnosticSink) -> None:
+    """Re-derive the emptiness proof from the generalization DAG:
+    SIM400 (info) when it holds, SIM401 when the schema contradicts it."""
+    graph = schema.graph
+    proof = access.proof or ()
+    holds = False
+    if len(proof) == 2 and proof[0] == "disjoint":
+        other = proof[1]
+        holds = (schema.has_class(other)
+                 and not graph.same_hierarchy(access.class_name, other))
+    elif len(proof) == 3 and proof[0] == "contradiction":
+        positive, negated = proof[1], proof[2]
+        holds = (schema.has_class(positive) and schema.has_class(negated)
+                 and (negated == positive
+                      or graph.is_ancestor(negated, positive)))
+    if holds:
+        sink.emit("SIM400",
+                  f"domain of {var_name!r} is provably empty "
+                  f"({' '.join(str(p) for p in proof)}); storage untouched")
+    else:
+        sink.emit("SIM401",
+                  f"empty-extent access for {var_name!r} claims proof "
+                  f"{proof!r}, which the generalization DAG does not "
+                  f"support")
+
+
+def _verify_flip_path(schema: Schema, var_name, access,
+                      sink: DiagnosticSink) -> None:
+    """SIM401: an EVA-inverse flip needs a real EVA with an inverse and a
+    real attribute on the far-side class."""
+    if access.eva is None or getattr(access.eva, "inverse", None) is None:
+        sink.emit("SIM401",
+                  f"eva-flip access for {var_name!r} traverses an EVA "
+                  f"without a resolved inverse")
+        return
+    if access.flip_class is None or not schema.has_class(access.flip_class):
+        sink.emit("SIM401",
+                  f"eva-flip access for {var_name!r} probes unknown class "
+                  f"{access.flip_class!r}")
+        return
+    far_class = schema.get_class(access.flip_class)
+    if (access.attr_name is None
+            or not far_class.has_attribute(access.attr_name)):
+        sink.emit("SIM401",
+                  f"eva-flip access for {var_name!r} probes unknown "
+                  f"attribute {access.attr_name!r} of "
+                  f"{access.flip_class!r}")
 
 
 def _subtree(node):

@@ -25,12 +25,14 @@ would notice.  :func:`check_store` sweeps the physical state and verifies:
   what the engine enforced on the way in.
 
 The checker is deliberately white-box (it reads the Mapper's structures
-directly) and runs with the read cache disabled — verdicts must come
-from physical state, never from cached decodes.  It mutates nothing.
+directly) and runs with the read cache and any materialized derived
+relations disabled — verdicts must come from physical state, never from
+cached decodes or stored derivations.  It mutates nothing.
 """
 
 from __future__ import annotations
 
+import contextlib
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
@@ -83,7 +85,10 @@ def check_store(store, constraints: bool = True) -> CheckReport:
     """Sweep a :class:`~repro.mapper.store.MapperStore` for semantic
     consistency.  Read-only; returns a :class:`CheckReport`."""
     report = CheckReport()
-    with store.read_cache.disabled():
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(store.read_cache.disabled())
+        if store.materialized is not None:
+            stack.enter_context(store.materialized.disabled())
         scans = _scan_classes(store, report)
         _check_surrogate_indexes(store, scans, report)
         _check_hierarchy(store, scans, report)

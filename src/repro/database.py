@@ -59,6 +59,7 @@ class Database:
                  design: Optional[PhysicalDesign] = None,
                  constraint_mode: str = "immediate",
                  use_optimizer: bool = True,
+                 rewrite: bool = True,
                  track_history: bool = False,
                  batch_size: Optional[int] = None,
                  parallelism: Optional[int] = None):
@@ -81,6 +82,9 @@ class Database:
         self.constraints = ConstraintManager(self.executor, constraint_mode)
         self.updates = UpdateEngine(self.executor, self.constraints)
         self.use_optimizer = use_optimizer
+        #: semantic rewrite pass (optimizer/rewrite.py); off reproduces
+        #: the legacy planner byte for byte
+        self.rewrite = rewrite
         self._optimizer = None
         # Concurrency plumbing, created eagerly so two threads opening
         # their first Session can never race to install it.
@@ -181,7 +185,9 @@ class Database:
                 plan = self.optimizer.choose_plan(query, tree)
             # Fail closed: a plan that breaks the structural contract
             # between the labelled tree and the enumeration must never run.
-            raise_for_errors(verify_plan(self.schema, tree, plan))
+            verdict = verify_plan(self.schema, tree, plan)
+            raise_for_errors(verdict)
+            diagnostics.extend(verdict)
             result = (executor or self.executor).run(query, tree, plan)
             result.diagnostics = diagnostics
             return result
@@ -194,7 +200,9 @@ class Database:
             if self.use_optimizer:
                 plan = self.optimizer.choose_plan(query, tree)
             with trace.span("verify", layer="analysis"):
-                raise_for_errors(verify_plan(self.schema, tree, plan))
+                verdict = verify_plan(self.schema, tree, plan)
+                raise_for_errors(verdict)
+                diagnostics.extend(verdict)
             result = (executor or self.executor).run(query, tree, plan)
             result.diagnostics = diagnostics
             if root is not None:
@@ -366,6 +374,30 @@ class Database:
 
     def cold_cache(self) -> None:
         self.store.cold_cache()
+
+    # -- Materialized derived relations ----------------------------------------------
+
+    def materialize(self, name: str, kind: str, class_name: str,
+                    eva_names):
+        """Declare (and eagerly build) a named materialized derived
+        relation — ``kind`` is ``"join"`` (one EVA's instance set) or
+        ``"closure"`` (the transitive closure of an EVA hop chain).
+        See :mod:`repro.mapper.materialized`."""
+        manager = self.store.attach_materializations()
+        return manager.declare(name, kind, class_name, eva_names)
+
+    def refresh_materialization(self, name: str):
+        """Recompute one materialization from current physical state."""
+        return self.store.attach_materializations().refresh(name)
+
+    def drop_materialization(self, name: str) -> None:
+        self.store.attach_materializations().drop(name)
+
+    def list_materializations(self):
+        """All declared materializations, sorted by name."""
+        if self.store.materialized is None:
+            return []
+        return self.store.materialized.list()
 
     # -- Temporal history (paper §6) ------------------------------------------------
 

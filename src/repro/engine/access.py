@@ -284,6 +284,11 @@ class EntityAccessor:
         if surrogate is DUMMY or is_null(surrogate):
             return []
         chain = evas if isinstance(evas, (list, tuple)) else [evas]
+        mats = self.store.materialized
+        if mats is not None and self.store.current_snapshot() is None:
+            served = mats.serve_closure(chain, surrogate)
+            if served is not None:
+                return list(served)
 
         def hop(entities):
             current = list(entities)
@@ -328,7 +333,7 @@ class EntityAccessor:
         """
         parent_instance = env[node.parent.id]
         self._sync()
-        key = (node.id, parent_instance)
+        key = (getattr(node, "domain_key", node.id), parent_instance)
         cached = self._domain_memo.get(key)
         if cached is not None:
             self.perf.bump("memo_hits")
@@ -352,7 +357,7 @@ class EntityAccessor:
         back to the per-instance enumerator."""
         self._sync()
         memo = self._domain_memo
-        node_id = node.id
+        node_id = getattr(node, "domain_key", node.id)
         domains: List = [None] * len(parent_instances)
         hits = 0
         pending = {}           # parent instance -> positions awaiting domain

@@ -193,8 +193,8 @@ class Scan(Operator):
     def detail(self) -> str:
         if self.domain_override is not None:
             return f"{self.node.describe()}, candidates"
-        if self.access is not None and self.access.kind == "index":
-            return f"{self.node.describe()}, index"
+        if self.access is not None and self.access.kind != "scan":
+            return f"{self.node.describe()}, {self.access.kind}"
         return f"{self.node.describe()}, extent"
 
     def _open(self, ctx: ExecContext):

@@ -32,8 +32,14 @@ _HELP = """Commands:
   .analyze                collect optimizer statistics
   .lint                   run the schema linter (simcheck) on the schema
   .perf                   read-path cache / memoization counters
-  .set [batch-size <n> | parallelism <n>]
-                          show or change executor tuning knobs
+  .set [batch-size <n> | parallelism <n> | rewrite on|off]
+                          show or change executor/optimizer knobs
+  .materialize <name> join <class> <eva>
+  .materialize <name> closure <class> <eva> [<eva> ...]
+                          declare a materialized derived relation
+  .materialized           list declared materializations
+  .refresh <name>         recompute one materialization
+  .dematerialize <name>   drop a materialization
   .save <path>            persist the database to a file
   .io                     block I/O counters (and reset)
   .help                   this text
@@ -157,11 +163,22 @@ class IQFSession:
             if not argument:
                 self._print(f"  batch-size: {executor.batch_size}")
                 self._print(f"  parallelism: {executor.parallelism}")
+                state = "on" if self.database.rewrite else "off"
+                self._print(f"  rewrite: {state}")
                 return
             parts = argument.split()
             knob = parts[0].lower() if parts else ""
-            if len(parts) != 2 or knob not in ("batch-size", "parallelism"):
-                self._print("usage: .set [batch-size <n> | parallelism <n>]")
+            if (len(parts) != 2
+                    or knob not in ("batch-size", "parallelism", "rewrite")):
+                self._print("usage: .set [batch-size <n> | parallelism <n>"
+                            " | rewrite on|off]")
+                return
+            if knob == "rewrite":
+                if parts[1].lower() not in ("on", "off"):
+                    self._print("usage: .set rewrite on|off")
+                    return
+                self.database.rewrite = parts[1].lower() == "on"
+                self._print(f"rewrite {parts[1].lower()}")
                 return
             try:
                 value = int(parts[1])
@@ -173,6 +190,43 @@ class IQFSession:
                 self._print(f"error: {exc}")
                 return
             self._print(f"{knob} set to {value}")
+        elif command == ".materialize":
+            parts = argument.split()
+            if len(parts) < 4 or parts[1].lower() not in ("join", "closure"):
+                self._print("usage: .materialize <name> join <class> <eva>"
+                            " | .materialize <name> closure <class>"
+                            " <eva> [<eva> ...]")
+                return
+            try:
+                mat = self.database.materialize(parts[0], parts[1],
+                                                parts[2], parts[3:])
+                self._print(mat.describe())
+            except SimError as exc:
+                self._print(f"error: {exc}")
+        elif command == ".materialized":
+            mats = self.database.list_materializations()
+            if not mats:
+                self._print("no materializations declared")
+            for mat in mats:
+                self._print(f"  {mat.describe()}")
+        elif command == ".refresh":
+            if not argument:
+                self._print("usage: .refresh <name>")
+                return
+            try:
+                mat = self.database.refresh_materialization(argument.strip())
+                self._print(mat.describe())
+            except SimError as exc:
+                self._print(f"error: {exc}")
+        elif command == ".dematerialize":
+            if not argument:
+                self._print("usage: .dematerialize <name>")
+                return
+            try:
+                self.database.drop_materialization(argument.strip())
+                self._print(f"dropped {argument.strip()}")
+            except SimError as exc:
+                self._print(f"error: {exc}")
         elif command == ".io":
             self._print(repr(self.database.io_stats))
             self.database.reset_io_stats()

@@ -21,8 +21,10 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.errors import CatalogError, IntegrityError, UniquenessViolation
 from repro.mapper.history import HistoryJournal
 from repro.mapper.luc import LUCSchema
+from repro.mapper.materialized import MaterializationManager
 from repro.mapper.read_cache import MISSING, ReadCache
 from repro.mapper.physical import EvaMapping, MvDvaMapping, PhysicalDesign
+from repro.mapper.writes import ReadCacheSubscriber, WriteNotifier
 from repro.mapper.translate import canonical_eva, translate_schema
 from repro.mapper.versions import ABSENT, VersionManager
 from repro.naming import canon
@@ -126,10 +128,18 @@ class MapperStore:
         self.trace = None
         #: decoded-record / role / EVA fan-out caches (see read_cache.py)
         self.read_cache = ReadCache(self.perf)
+        #: the single write-event publication point (writes.py): every
+        #: mutation is announced once and fanned out to the read cache,
+        #: materializations, and any other registered subscriber.
+        self.writes = WriteNotifier()
+        self.writes.subscribe(ReadCacheSubscriber(self.read_cache))
+        #: named materialized derived relations; attached lazily by the
+        #: first declaration so undeclared stores pay one None test
+        self.materialized: Optional[MaterializationManager] = None
         # Rollback surgery (abort or statement-level rollback_to) restores
         # state through raw file/index operations; the hook guarantees no
-        # cache entry survives it.
-        self.transactions.invalidation_hooks.append(self.read_cache.clear)
+        # cached or materialized state survives it.
+        self.transactions.invalidation_hooks.append(self.writes.rollback)
         #: MVCC version chains backing snapshot Retrieves (versions.py);
         #: staging stays off — zero overhead, zero extra I/O — until a
         #: Session calls enable_mvcc()
@@ -572,7 +582,7 @@ class MapperStore:
             index.insert(surrogate, rid)
             # The role check above cached a negative membership; drop it
             # now, before the unique-index checks below can raise.
-            self.read_cache.invalidate_role(class_name, surrogate)
+            self.writes.role_changed(class_name, surrogate)
             if self.history is not None:
                 self.history.record_role(surrogate, class_name,
                                          acquired=True)
@@ -668,7 +678,7 @@ class MapperStore:
                     f"entity {surrogate} has no role {class_name!r}")
             record = record_file.delete(rid)
             index.delete(surrogate, rid)
-            self.read_cache.invalidate_role(class_name, surrogate)
+            self.writes.role_changed(class_name, surrogate)
             for (cls, attr_name), unique_index in self._unique_index.items():
                 if cls == class_name and not is_null(record.get(attr_name)):
                     unique_index.delete(record[attr_name], rid)
@@ -685,7 +695,7 @@ class MapperStore:
         with record_file.latch:
             record_file.undelete(rid, format_id, record)
             self._surrogate_index[class_name].insert(surrogate, rid)
-            self.read_cache.invalidate_role(class_name, surrogate)
+            self.writes.role_changed(class_name, surrogate)
             for (cls, attr_name), unique_index in self._unique_index.items():
                 if cls == class_name and not is_null(record.get(attr_name)):
                     unique_index.insert(record[attr_name], rid)
@@ -906,7 +916,7 @@ class MapperStore:
                     if not is_null(value):
                         value_index.insert(value, rid)
             self._class_file[class_name].update(rid, {field: value})
-            self.read_cache.invalidate_record(class_name, surrogate)
+            self.writes.record_changed(class_name, surrogate)
 
         def undo():
             self._write_field(surrogate, class_name, field, old,
@@ -1005,7 +1015,7 @@ class MapperStore:
                                  "value": value})
                             self._mvdva_index[key].insert(surrogate, rid)
                     self.transactions.record_undo(undo)
-                    self.read_cache.note_write()
+                    self.writes.note_write()
                     return True
         return False
 
@@ -1030,12 +1040,12 @@ class MapperStore:
         self.transactions.record_undo(undo)
         # Separate-unit MV values are not cached here, but engine memos
         # validated against the epoch must still expire.
-        self.read_cache.note_write()
+        self.writes.note_write()
 
     def _mvdva_clear(self, surrogate: int, class_name: str,
                      attr_name: str) -> None:
         key = (class_name, attr_name)
-        self.read_cache.note_write()
+        self.writes.note_write()
         record_file = self._mvdva_file[key]
         with record_file.latch:
             self._stage_mv(class_name, attr_name, surrogate)
@@ -1052,6 +1062,16 @@ class MapperStore:
                             {"owner": surrogate, "seq": seq, "value": value})
                         self._mvdva_index[key].insert(surrogate, rid)
                 self.transactions.record_undo(undo)
+
+    # ------------------------------------------- materialized derived relations
+
+    def attach_materializations(self) -> MaterializationManager:
+        """Return the store's materialization manager, creating it (and
+        subscribing it to the write-event hub) on first use."""
+        if self.materialized is None:
+            self.materialized = MaterializationManager(self)
+            self.writes.subscribe(self.materialized)
+        return self.materialized
 
     # ------------------------------------------------------------------- EVAs
 
@@ -1072,6 +1092,10 @@ class MapperStore:
         cached = self.read_cache.get_fanout(info.rel_id, side, surrogate)
         if cached is not None:
             return list(cached)
+        if self.materialized is not None:
+            served = self.materialized.serve_eva(info.rel_id, side, surrogate)
+            if served is not None:
+                return list(served)
         if info.self_inverse:
             targets = (self._traverse(info, surrogate, forward=True)
                        + self._traverse(info, surrogate, forward=False))
@@ -1127,9 +1151,15 @@ class MapperStore:
                                                           surrogates)
         results = {surrogate: list(targets)
                    for surrogate, targets in found.items()}
+        mats = self.materialized
         for surrogate in missing:
             if surrogate in results:    # duplicate within the batch
                 continue
+            if mats is not None:
+                served = mats.serve_eva(info.rel_id, side, surrogate)
+                if served is not None:
+                    results[surrogate] = list(served)
+                    continue
             if info.self_inverse:
                 targets = (self._traverse(info, surrogate, forward=True)
                            + self._traverse(info, surrogate, forward=False))
@@ -1260,7 +1290,8 @@ class MapperStore:
                     info.instance_count -= 1
             self.transactions.record_undo(undo)
         info.instance_count += 1
-        self.read_cache.invalidate_eva(info.rel_id, domain_surr, range_surr)
+        self.writes.eva_changed(info.rel_id, domain_surr, range_surr,
+                                added=True)
         if self.history is not None:
             self.history.record_include(surrogate, eva.name, target)
             if eva.inverse is not eva:
@@ -1288,7 +1319,8 @@ class MapperStore:
         else:
             removed = self._exclude_oriented(info, target, surrogate)
         if removed:
-            self.read_cache.invalidate_eva(info.rel_id, surrogate, target)
+            self.writes.eva_changed(info.rel_id, domain_surr, range_surr,
+                                    added=False)
         if removed and self.history is not None:
             self.history.record_exclude(surrogate, eva.name, target)
             if eva.inverse is not eva:
@@ -1614,7 +1646,7 @@ class MapperStore:
         (A real system checkpoints these; rebuilding by scan is the
         simulator's equivalent and also validates that the disk image is
         self-describing.)"""
-        self.read_cache.clear()
+        self.writes.rollback()
         self.pool = BufferPool(self.disk, self.design.pool_capacity)
         self.pool.wal = self.wal
         self.pool.retry = self.retry
@@ -1625,7 +1657,7 @@ class MapperStore:
                   if r.txn_id is not None]
         self.transactions = TransactionManager(
             self.pool, wal=self.wal, start_after=max(logged, default=0))
-        self.transactions.invalidation_hooks.append(self.read_cache.clear)
+        self.transactions.invalidation_hooks.append(self.writes.rollback)
         # Versions and snapshots are volatile; the epoch stays monotonic.
         self.versions.reset()
         self.transactions.commit_hooks.append(self.versions.commit)

@@ -129,6 +129,19 @@ class CostModel:
     def scan_cost(self, class_name: str) -> float:
         return float(self.class_blocks(class_name))
 
+    def subclass_scan_cost(self, root_class: str, subclass: str) -> float:
+        """Scan of a pruned subclass extent (semantic rewrite).
+
+        In a shared variable-format unit the scan still visits every
+        block, but only the subclass's own role records are decoded and
+        qualified — the dominant per-block work — so the block cost is
+        scaled by the extent fraction relative to the perspective class.
+        """
+        blocks = float(self.class_blocks(subclass))
+        total = max(1, self.class_cardinality(root_class))
+        pruned = self.class_cardinality(subclass)
+        return max(0.5, blocks * min(1.0, pruned / total))
+
     def index_lookup_cost(self, class_name: str, attr_name: str,
                           unique: bool, value=None) -> Tuple[float, float]:
         """(cost, expected matches) of an equality index lookup."""

@@ -2,35 +2,67 @@
 
 A plan decides, per perspective root, how its domain is produced: a full
 extent scan (the canonical strategy, which preserves the surrogate
-ordering the DML implies) or an equality index lookup (results re-sorted
-by surrogate so the perspective-implied ordering is preserved — the
+ordering the DML implies), an equality index lookup, or one of the
+semantic-rewrite shapes — a pruned subclass extent, a provably-empty
+domain, or an EVA-inverse flip.  Any non-scan path re-sorts its matches
+by surrogate so the perspective-implied ordering is preserved (the
 semantics-preservation rule of §5.1 with its sort cost).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.dml.query_tree import QTNode
 
 
 @dataclass
 class AccessPath:
-    """How one root variable's domain is produced."""
+    """How one root variable's domain is produced.
 
-    kind: str                       # "scan" | "index"
+    ``kind``:
+
+    * ``"scan"`` — full extent scan of ``class_name``;
+    * ``"index"`` — equality lookup of ``attr_name = value``;
+    * ``"subclass"`` — scan the pruned ``subclass`` extent, keep entities
+      holding the ``class_name`` role (semantic rewrite);
+    * ``"empty"`` — the domain is provably empty; ``proof`` carries the
+      schema facts the verifier re-checks (semantic rewrite);
+    * ``"eva_flip"`` — index-probe ``flip_class.attr_name = value`` on the
+      far side of ``eva``, then traverse the EVA's inverse back to
+      candidate roots (semantic rewrite).
+    """
+
+    kind: str       # "scan" | "index" | "subclass" | "empty" | "eva_flip"
     class_name: str
     attr_name: Optional[str] = None
     value: object = None
     estimated_cost: float = 0.0
     estimated_rows: float = 0.0
     preserves_order: bool = True
+    #: for "subclass": the pruned extent's class
+    subclass: Optional[str] = None
+    #: for "eva_flip": the EVA traversed root -> target, and the target class
+    eva: object = None
+    flip_class: Optional[str] = None
+    #: for "empty": ("disjoint", other) or ("contradiction", pos, neg)
+    proof: Optional[Tuple] = None
 
     def describe(self) -> str:
         if self.kind == "scan":
             return (f"scan {self.class_name} "
                     f"(cost {self.estimated_cost:.1f})")
+        if self.kind == "subclass":
+            return (f"subclass-prune {self.class_name} -> {self.subclass} "
+                    f"(cost {self.estimated_cost:.1f})")
+        if self.kind == "empty":
+            return (f"empty {self.class_name} "
+                    f"[{' '.join(str(p) for p in self.proof or ())}] (cost 0.0)")
+        if self.kind == "eva_flip":
+            return (f"eva-flip {self.class_name} via inverse({self.eva.name}) "
+                    f"from {self.flip_class}.{self.attr_name} = "
+                    f"{self.value!r} (cost {self.estimated_cost:.1f})")
         return (f"index {self.class_name}.{self.attr_name} = "
                 f"{self.value!r} (cost {self.estimated_cost:.1f})")
 
@@ -53,6 +85,10 @@ class Plan:
     #: node id -> estimated instance count (EXPLAIN ANALYZE's "est" column;
     #: filled in by Optimizer.choose_plan for the winning strategy)
     node_estimates: Dict[int, float] = field(default_factory=dict)
+    #: human-readable summary of the semantic rewrites applied to the
+    #: statement ("none" when the rewrite phase ran but found nothing;
+    #: None when the phase was disabled)
+    rewrite: Optional[str] = None
 
     def root_iterator(self, node: QTNode, executor):
         """Domain iterator for a root node, or None for the default scan."""
@@ -60,6 +96,22 @@ class Plan:
         if access is None or access.kind == "scan":
             return None
         store = executor.store
+        if access.kind == "empty":
+            return iter(())
+        if access.kind == "subclass":
+            surrogates = [s for s in store.scan_class(access.subclass)
+                          if store.has_role(s, access.class_name)]
+            return iter(sorted(surrogates))
+        if access.kind == "eva_flip":
+            matches = store.find_by_dva(access.flip_class, access.attr_name,
+                                        access.value)
+            candidates = set()
+            inverse = access.eva.inverse
+            for target in matches:
+                for source in store.eva_targets(target, inverse):
+                    if store.has_role(source, access.class_name):
+                        candidates.add(source)
+            return iter(sorted(candidates))
         surrogates = store.find_by_dva(access.class_name, access.attr_name,
                                        access.value)
         # Re-sort by surrogate: preserves the perspective-implied ordering
@@ -69,6 +121,8 @@ class Plan:
     def describe(self) -> str:
         lines = [f"plan: {self.description} "
                  f"(estimated cost {self.estimated_cost:.1f})"]
+        if self.rewrite is not None:
+            lines.append(f"  rewrite: {self.rewrite}")
         if self.root_order is not None:
             lines.append("  loop order: " + " > ".join(self.root_order)
                          + "  [re-sorted to perspective order]")

@@ -20,6 +20,7 @@ from repro.dml.query_tree import TYPE2, QTNode, QueryTree
 from repro.optimizer.cost import CostModel
 from repro.optimizer.plan import AccessPath, Plan
 from repro.optimizer.query_graph import build_query_graph
+from repro.optimizer.rewrite import RootHint, rewrite_query
 
 
 def equality_conjuncts(where, root: QTNode) -> List[Tuple[str, object]]:
@@ -114,6 +115,9 @@ class Optimizer:
         #: observe_execution from traced EXPLAIN ANALYZE actuals
         self._fanout_observations = {}
         self._considered = 0
+        #: human-readable summary of the last statement's semantic
+        #: rewrites (None when the phase was disabled)
+        self._last_rewrite = None
 
     # -- Public API ---------------------------------------------------------------
 
@@ -125,6 +129,8 @@ class Optimizer:
                 span.attrs["strategy"] = plan.description
                 span.attrs["estimated_cost"] = round(plan.estimated_cost, 2)
                 span.attrs["strategies_considered"] = self._considered
+                if self._last_rewrite is not None:
+                    span.attrs["rewrite"] = self._last_rewrite
                 return plan
         return self._choose_plan(query, tree)
 
@@ -226,9 +232,11 @@ class Optimizer:
                              cost_model: CostModel = None) -> List[Plan]:
         if cost_model is None:
             cost_model = self._cost_model()
+        hints, rewrite_text = self._run_rewrite(query, tree)
         per_root: List[List[AccessPath]] = []
         for root in tree.roots:
-            per_root.append(self._root_alternatives(query, root, cost_model))
+            per_root.append(self._root_alternatives(
+                query, root, cost_model, hints.get(root.var_name)))
 
         # Loop orders: the FROM order (semantics-preserving) plus, for
         # multi-perspective queries, every permutation — non-preserving
@@ -263,8 +271,40 @@ class Optimizer:
                     access_of[root.var_name].kind for root in order)
                 if not preserves:
                     plan.description += " (reordered)"
+                plan.rewrite = rewrite_text
                 plans.append(plan)
         return plans
+
+    # -- Semantic rewrite phase -----------------------------------------------------
+
+    def _run_rewrite(self, query: RetrieveQuery, tree: QueryTree):
+        """Run the semantic rewrite pass when the knob allows it.
+
+        Returns ``(hints_by_var, description)``.  With rewrites off the
+        tree is untouched and every downstream plan is byte-identical to
+        the legacy enumeration (description None).
+        """
+        if not getattr(self.database, "rewrite", True):
+            self._last_rewrite = None
+            return {}, None
+        result = rewrite_query(self.store, self.schema, query, tree)
+        self._last_rewrite = result.describe()
+        perf = self.store.perf
+        if perf is not None:
+            perf.bump("rewrite_statements")
+            for hint in result.hints.values():
+                if hint.empty_proof is not None:
+                    perf.bump("rewrite_empty_extents")
+                elif hint.subclass is not None:
+                    perf.bump("rewrite_subclass_prunes")
+                if hint.flips:
+                    perf.bump("rewrite_eva_flips", len(hint.flips))
+            for tag in result.applied:
+                if tag.startswith("exists-reorder"):
+                    perf.bump("rewrite_exists_reorders")
+                elif tag.startswith("factor"):
+                    perf.bump("rewrite_traversal_factorings")
+        return result.hints, self._last_rewrite
 
     def _nested_cost(self, order, access_of, cost_model: CostModel) -> float:
         """Cost of the nested cross-product loops in the given order.
@@ -287,8 +327,16 @@ class Optimizer:
         return total
 
     def _root_alternatives(self, query: RetrieveQuery, root: QTNode,
-                           cost_model: CostModel) -> List[AccessPath]:
+                           cost_model: CostModel,
+                           hint: RootHint = None) -> List[AccessPath]:
         class_name = root.class_name
+        if hint is not None and hint.empty_proof is not None:
+            # Provably-empty short-circuit: no other alternative can beat
+            # an empty domain, and the verifier re-derives the proof.
+            return [AccessPath("empty", class_name,
+                               estimated_cost=0.0, estimated_rows=0.0,
+                               preserves_order=True,
+                               proof=hint.empty_proof)]
         cardinality = cost_model.class_cardinality(class_name)
         alternatives = [AccessPath(
             "scan", class_name,
@@ -306,6 +354,32 @@ class Optimizer:
                 estimated_cost=lookup_cost,
                 estimated_rows=matches,
                 preserves_order=False))
+        if hint is not None and hint.subclass is not None:
+            pruned = float(cost_model.class_cardinality(hint.subclass))
+            alternatives.append(AccessPath(
+                "subclass", class_name,
+                estimated_cost=cost_model.subclass_scan_cost(
+                    class_name, hint.subclass),
+                estimated_rows=pruned,
+                preserves_order=False,
+                subclass=hint.subclass))
+        if hint is not None:
+            for flip in hint.flips:
+                flip_attr = self.schema.get_class(
+                    flip.target_class).attribute(flip.attr_name)
+                lookup_cost, matches = cost_model.index_lookup_cost(
+                    flip.target_class, flip.attr_name,
+                    flip_attr.options.unique, flip.value)
+                inverse = flip.eva.inverse
+                back_cost = cost_model.traversal_cost(inverse, matches, False)
+                fanout = max(cost_model.eva_fanout(inverse), 0.0)
+                alternatives.append(AccessPath(
+                    "eva_flip", class_name,
+                    attr_name=flip.attr_name, value=flip.value,
+                    estimated_cost=lookup_cost + back_cost,
+                    estimated_rows=max(matches * fanout, 1.0),
+                    preserves_order=False,
+                    eva=flip.eva, flip_class=flip.target_class))
         return alternatives
 
     def _equality_conjuncts(self, query: RetrieveQuery, root: QTNode

@@ -46,6 +46,14 @@ COUNTER_FIELDS = (
     "transient_giveups",      # transient faults that exhausted the policy
     "batches_dispatched",     # operator batches that flowed between operators
     "batch_rows",             # slot rows carried by those batches
+    "rewrite_statements",     # statements run through the semantic rewriter
+    "rewrite_subclass_prunes",  # subclass-extent prunings offered
+    "rewrite_empty_extents",  # provably-empty short-circuits (SIM400)
+    "rewrite_eva_flips",      # EVA-inverse direction flips offered
+    "rewrite_exists_reorders",  # TYPE 2 sibling reorderings applied
+    "rewrite_traversal_factorings",  # shared-domain-key groups assigned
+    "materialized_hits",      # traversals served from a materialization
+    "materialized_misses",    # probes that found a stale/uncovered mat
 )
 
 

@@ -102,7 +102,11 @@ def save_database(database, path: str) -> None:
         "wal_records": store.wal.durable_records(),
         "constraint_mode": database.constraints.mode,
         "use_optimizer": database.use_optimizer,
+        "rewrite": database.rewrite,
         "track_history": store.history is not None,
+        # Declarations only: content is recomputed on open (a restart).
+        "materializations": (store.materialized.specs()
+                             if store.materialized is not None else []),
     }
     with open(path, "wb") as handle:
         handle.write(MAGIC)
@@ -129,6 +133,7 @@ def open_database(path: str):
     database = Database(schema, design=design,
                         constraint_mode=payload["constraint_mode"],
                         use_optimizer=payload["use_optimizer"],
+                        rewrite=payload.get("rewrite", True),
                         track_history=payload["track_history"])
     store = database.store
     store.disk._blocks = payload["disk_blocks"]
@@ -140,4 +145,9 @@ def open_database(path: str):
     # Opening is a restart: recover (undoing any losers the file carried)
     # and rebuild all volatile state from the disk image.
     store.simulate_crash()
+    # Re-declare materializations after recovery so their content is
+    # rebuilt from the recovered physical state.
+    for spec in payload.get("materializations", []):
+        database.materialize(spec["name"], spec["kind"],
+                             spec["class_name"], spec["eva_names"])
     return database

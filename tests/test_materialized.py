@@ -1,0 +1,231 @@
+"""Materialized derived relations: serving, incremental maintenance,
+transactional invalidation, crash-torture convergence, and persistence.
+
+The manager (:mod:`repro.mapper.materialized`) subscribes to the store's
+write-event hub; these tests pin the contract: a fresh materialization
+serves traversals bit-identically to direct evaluation, every write
+either applies its delta or marks the content stale, abort/crash always
+invalidates, and the consistency checker never reads derived state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.sessions import Session
+from repro.errors import CatalogError, InjectedCrash
+from repro.interfaces.iqf import run_script
+from repro.workloads.university import build_university
+
+ADVISEES_Q = "From instructor Retrieve name, count(advisees)"
+ADVISOR_Q = "From student Retrieve name, name of advisor"
+CLOSURE_Q = ("Retrieve title of Transitive(prerequisites) of course"
+             " Where course-no of course = 101")
+
+
+@pytest.fixture()
+def db():
+    database = build_university(seed=11)
+    database.materialize("advising", "join", "instructor", ("advisees",))
+    database.materialize("prereq-closure", "closure", "course",
+                         ("prerequisites",))
+    return database
+
+
+def baseline(*queries):
+    plain = build_university(seed=11)
+    return [plain.query(text).rows for text in queries]
+
+
+class TestServing:
+    def test_join_rows_identical_and_hits(self, db):
+        expect_fwd, expect_rev = baseline(ADVISEES_Q, ADVISOR_Q)
+        before = db.perf.as_dict()["materialized_hits"]
+        assert db.query(ADVISEES_Q).rows == expect_fwd
+        assert db.query(ADVISOR_Q).rows == expect_rev  # inverse direction
+        assert db.perf.as_dict()["materialized_hits"] > before
+
+    def test_closure_rows_identical_and_hits(self, db):
+        (expect,) = baseline(CLOSURE_Q)
+        before = db.perf.as_dict()["materialized_hits"]
+        assert db.query(CLOSURE_Q).rows == expect
+        assert db.perf.as_dict()["materialized_hits"] > before
+
+    def test_snapshot_reads_bypass_materializations(self, db):
+        (expect,) = baseline(ADVISEES_Q)
+        session = Session(db, mvcc=True)
+        before = db.perf.as_dict()
+        assert session.query(ADVISEES_Q).rows == expect
+        after = db.perf.as_dict()
+        assert after["materialized_hits"] == before["materialized_hits"]
+
+    def test_explain_analyze_names_materialization(self, db):
+        db.enable_tracing()
+        report = db.execute(ADVISEES_Q).explain_analyze()
+        assert "materialized_hits" in report
+
+
+class TestMaintenance:
+    def test_incremental_join_delta_stays_fresh(self, db):
+        mat = db.store.materialized.get("advising")
+        student = db.query("From student Retrieve name").rows[0][0]
+        target = db.query("From instructor Retrieve name").rows[-1][0]
+        db.execute(f'Modify student(advisor := instructor with'
+                   f' (name = "{target}")) Where name = "{student}"')
+        assert mat.fresh          # delta applied in place, no refresh
+        assert mat.refreshes == 1
+        plain = build_university(seed=11)
+        plain.execute(f'Modify student(advisor := instructor with'
+                      f' (name = "{target}")) Where name = "{student}"')
+        assert db.query(ADVISEES_Q).rows == plain.query(ADVISEES_Q).rows
+        assert db.query(ADVISOR_Q).rows == plain.query(ADVISOR_Q).rows
+
+    def test_chain_write_stales_closure(self, db):
+        mat = db.store.materialized.get("prereq-closure")
+        assert mat.fresh
+        db.execute('Modify course(prerequisites := include course with'
+                   ' (course-no = 103)) Where course-no = 102')
+        assert not mat.fresh
+        # the next probe lazily refreshes and serves correct rows
+        plain = build_university(seed=11)
+        plain.execute('Modify course(prerequisites := include course with'
+                      ' (course-no = 103)) Where course-no = 102')
+        assert db.query(CLOSURE_Q).rows == plain.query(CLOSURE_Q).rows
+        assert mat.fresh
+
+    def test_abort_marks_stale_and_rows_converge(self, db):
+        expect = db.query(ADVISEES_Q).rows
+        mat = db.store.materialized.get("advising")
+        student = db.query("From student Retrieve name").rows[0][0]
+        target = db.query("From instructor Retrieve name").rows[-1][0]
+        session = Session(db)
+        session.execute(f'Modify student(advisor := instructor with'
+                        f' (name = "{target}")) Where name = "{student}"')
+        session.abort()
+        assert not mat.fresh      # undo surgery invalidated the content
+        assert db.query(ADVISEES_Q).rows == expect
+        db.refresh_materialization("advising")
+        assert db.query(ADVISEES_Q).rows == expect
+
+
+class TestCrashTorture:
+    def test_crash_between_commit_and_refresh_converges(self, db):
+        """The machine dies after a committed base-table change while the
+        join materialization's content still reflects it only in volatile
+        memory: recovery must mark everything stale, rows must come from
+        recovered physical state, and the checker must stay green."""
+        student = db.query("From student Retrieve name").rows[0][0]
+        target = db.query("From instructor Retrieve name").rows[-1][0]
+        with db.transaction():
+            db.execute(f'Modify student(advisor := instructor with'
+                       f' (name = "{target}")) Where name = "{student}"')
+        db.store.pool.flush()
+        expect = db.query(ADVISEES_Q).rows
+        db.simulate_crash()
+        for mat in db.list_materializations():
+            assert not mat.fresh
+        assert db.query(ADVISEES_Q).rows == expect
+        assert db.check().ok
+
+    def test_injected_crash_mid_statement_converges(self, db):
+        """The device dies while an in-flight transaction steals loser
+        pages to disk: after reboot + recovery the materializations are
+        stale, the rows agree with the pre-transaction state, and the
+        checker is green."""
+        db.store.pool.flush()
+        expect_j = db.query(ADVISEES_Q).rows
+        expect_c = db.query(CLOSURE_Q).rows
+        student = db.query("From student Retrieve name").rows[0][0]
+        target = db.query("From instructor Retrieve name").rows[-1][0]
+        db.begin()
+        db.execute(f'Modify student(advisor := instructor with'
+                   f' (name = "{target}")) Where name = "{student}"')
+        injector = db.install_faults(seed=41)
+        injector.crash_after_writes(1)
+        with pytest.raises(InjectedCrash):
+            db.store.pool.flush()    # the machine dies on this steal
+        db.simulate_crash()          # reboot + undo the loser
+        for mat in db.list_materializations():
+            assert not mat.fresh
+        assert db.query(ADVISEES_Q).rows == expect_j
+        assert db.query(CLOSURE_Q).rows == expect_c
+        assert db.check().ok
+
+    def test_repeated_crashes_keep_converging(self, db):
+        expect = db.query(ADVISEES_Q).rows
+        db.store.pool.flush()
+        for _ in range(3):
+            db.simulate_crash()
+            assert db.query(ADVISEES_Q).rows == expect
+            assert db.check().ok
+
+
+class TestCatalog:
+    def test_declare_validates(self, db):
+        with pytest.raises(CatalogError):
+            db.materialize("x", "join", "nosuch", ("advisees",))
+        with pytest.raises(CatalogError):
+            db.materialize("x", "join", "instructor", ("name",))  # not EVA
+        with pytest.raises(CatalogError):
+            db.materialize("x", "blend", "instructor", ("advisees",))
+        with pytest.raises(CatalogError):   # duplicate name
+            db.materialize("advising", "join", "student", ("advisor",))
+        with pytest.raises(CatalogError):   # rel already materialized
+            db.materialize("again", "join", "instructor", ("advisees",))
+
+    def test_drop_restores_direct_evaluation(self, db):
+        (expect,) = baseline(ADVISEES_Q)
+        db.drop_materialization("advising")
+        assert len(db.list_materializations()) == 1
+        before = db.perf.as_dict()["materialized_hits"]
+        assert db.query(ADVISEES_Q).rows == expect
+        assert db.perf.as_dict()["materialized_hits"] == before
+
+    def test_checker_never_reads_materializations(self, db):
+        # Poison the stored content; a checker that consulted it would
+        # either report phantom problems or miss real ones.
+        mat = db.store.materialized.get("advising")
+        mat.forward = {999999: (888888,)}
+        mat.reverse = {888888: (999999,)}
+        assert db.check().ok
+        db.refresh_materialization("advising")
+
+    def test_persistence_roundtrip(self, db, tmp_path):
+        expect = db.query(ADVISEES_Q).rows
+        path = str(tmp_path / "university.simdb")
+        db.save(path)
+        from repro.database import Database
+        reopened = Database.open(path)
+        mats = reopened.list_materializations()
+        assert sorted(m.name for m in mats) == ["advising", "prereq-closure"]
+        assert all(m.fresh for m in mats)   # rebuilt eagerly after recovery
+        assert reopened.query(ADVISEES_Q).rows == expect
+        assert reopened.rewrite is True
+
+
+class TestIQFCommands:
+    def test_lifecycle_via_dot_commands(self):
+        database = build_university(seed=11)
+        transcript = run_script(
+            database,
+            ".materialize advising join instructor advisees\n"
+            ".materialize prereq closure course prerequisites\n"
+            ".materialized\n"
+            ".refresh advising\n"
+            ".dematerialize prereq\n"
+            ".materialized\n")
+        assert "advising: advisees of instructor [join, fresh" in transcript
+        assert "transitive(prerequisites) of course" in transcript
+        assert "dropped prereq" in transcript
+        assert len(database.list_materializations()) == 1
+
+    def test_errors_are_reported_not_raised(self):
+        database = build_university(seed=11)
+        transcript = run_script(
+            database,
+            ".materialize x join nosuch advisees\n"
+            ".refresh nope\n"
+            ".dematerialize nope\n"
+            ".materialize\n")
+        assert transcript.count("error:") == 3
+        assert "usage: .materialize" in transcript
